@@ -1,0 +1,50 @@
+// Ablation B (motivated by §VI: "all benchmarks have been hand-tuned by
+// workgroup size and the best result is reported"): sweep the work-group
+// size for the volume kernel and the FD-MM boundary kernel, both tiers.
+#include <cstdio>
+
+#include "common/string_util.hpp"
+#include "harness/acoustic_bench.hpp"
+#include "harness/autotune.hpp"
+#include "harness/bench_common.hpp"
+#include "harness/table.hpp"
+
+using namespace lifta;
+using namespace lifta::harness;
+
+int main(int argc, char** argv) {
+  auto opt = BenchOptions::fromArgs(argc, argv);
+  printBenchBanner("Ablation: work-group size sweep", opt);
+
+  const auto sized = benchRooms(acoustics::RoomShape::Dome, opt.full)[0];
+  ocl::Context ctx;
+  AcousticBench<double> bench(ctx, sized.room, 3, opt.branches);
+  ocl::CommandQueue q(ctx);
+
+  Table table({"Kernel", "Version", "WG size", "Median ms"});
+  for (const char* kernelName : {"volume", "fdmm"}) {
+    for (Impl impl : {Impl::Handwritten, Impl::Lift}) {
+      // The §VI protocol, via the library autotuner.
+      const auto tuned = autotuneWorkGroup(
+          [&](std::size_t wg) {
+            auto bound = std::string(kernelName) == "volume"
+                             ? bench.volume(impl, wg)
+                             : bench.fdMm(impl, wg);
+            return bound.run(q).milliseconds;
+          },
+          {16, 32, 64, 128, 256}, opt.iters, opt.warmup);
+      for (const auto& [wg, med] : tuned.samples) {
+        table.addRow({kernelName, implName(impl), std::to_string(wg),
+                      fmtMs(med)});
+      }
+      std::printf("best %s/%s: wg=%zu (%.3f ms)\n", kernelName,
+                  implName(impl), tuned.bestLocalSize, tuned.bestMedianMs);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "reading: on the CPU substrate the work-group size acts as a loop-\n"
+      "blocking factor; the paper tunes it per platform and reports the\n"
+      "best, which the figure benches mirror with --local=<n>.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Micro-benchmarks of the compiler infrastructure itself (google-benchmark):
+// symbolic index simplification, view resolution, kernel code generation,
+// JIT cache hits, and NDRange launch overhead. These quantify the
+// "compile-time" costs of the paper's approach, which are paid once per
+// kernel, not per launch.
+#include <benchmark/benchmark.h>
+
+#include "arith/expr.hpp"
+#include "codegen/kernel_codegen.hpp"
+#include "lift_acoustics/kernels.hpp"
+#include "ocl/runtime.hpp"
+#include "view/view.hpp"
+
+using namespace lifta;
+
+static void BM_ArithSimplifyConcatOffset(benchmark::State& state) {
+  // The Concat length algebra of §IV-B: idx + 1 + (N - 1 - idx) -> N.
+  const auto idx = arith::Expr::var("idx");
+  const auto n = arith::Expr::var("N");
+  for (auto _ : state) {
+    auto e = idx + arith::Expr(1) + (n - arith::Expr(1) - idx);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ArithSimplifyConcatOffset);
+
+static void BM_ViewResolveStencilChain(benchmark::State& state) {
+  // slide(3,1, pad(1,1, A)) resolved at (w, u) — the §III-B stencil chain.
+  const auto t = ir::Type::array(ir::Type::float_(), arith::Expr::var("N"));
+  for (auto _ : state) {
+    auto chain = view::slideView(
+        view::padView(view::memView("A", t), 1, 1, ir::PadMode::Zero), 3, 1);
+    auto elem = view::accessView(
+        view::accessView(chain, arith::Expr::var("w")), arith::Expr::var("u"));
+    auto code = view::resolveLoad(elem, "(real)0");
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_ViewResolveStencilChain);
+
+static void BM_CodegenFiMmKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gen = codegen::generateKernel(
+        lift_acoustics::liftFiMmKernel(ir::ScalarKind::Float));
+    benchmark::DoNotOptimize(gen.source);
+  }
+}
+BENCHMARK(BM_CodegenFiMmKernel);
+
+static void BM_CodegenFdMmKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gen = codegen::generateKernel(
+        lift_acoustics::liftFdMmKernel(ir::ScalarKind::Double, 3));
+    benchmark::DoNotOptimize(gen.source);
+  }
+}
+BENCHMARK(BM_CodegenFdMmKernel);
+
+static void BM_JitCacheHit(benchmark::State& state) {
+  ocl::Context ctx;
+  const auto gen = codegen::generateKernel(
+      lift_acoustics::liftVolumeKernel(ir::ScalarKind::Float));
+  ctx.buildProgram(gen.source);  // cold build outside the loop
+  for (auto _ : state) {
+    auto p = ctx.buildProgram(gen.source);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_JitCacheHit);
+
+static void BM_NDRangeLaunchOverhead(benchmark::State& state) {
+  // An empty-ish kernel: measures executor dispatch cost per launch.
+  ocl::Context ctx;
+  auto program = ctx.buildProgram(R"(
+typedef struct { long gid[3]; long gsz[3]; long lid[3]; long lsz[3];
+                 long wg[3]; long nwg[3]; } lifta_wi_ctx;
+extern "C" void nop(void** args, const lifta_wi_ctx* ctx) {
+  (void)args; (void)ctx;
+}
+)");
+  ocl::Kernel k(program, "nop");
+  auto buf = ctx.allocate(4);
+  k.setArg(0, buf);
+  ocl::CommandQueue q(ctx);
+  const auto range = ocl::NDRange::linear(
+      static_cast<std::size_t>(state.range(0)), 64);
+  for (auto _ : state) {
+    auto ev = q.enqueueNDRange(k, range);
+    benchmark::DoNotOptimize(ev);
+  }
+}
+BENCHMARK(BM_NDRangeLaunchOverhead)->Arg(64)->Arg(4096)->Arg(65536);
+
+BENCHMARK_MAIN();

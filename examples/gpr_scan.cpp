@@ -1,0 +1,94 @@
+// Ground-penetrating radar (paper §VIII "Beyond Room Acoustics"): a 2D
+// electromagnetic FDTD B-scan over a buried object. The antenna (source +
+// receiver) slides along the surface; at each position the received trace
+// is compared against a no-object background, and the reflection energy is
+// rendered as an ASCII B-scan — the buried object appears as the classic
+// hyperbola apexed above its position.
+//
+// The per-step field updates use the same multi-array in-place WriteTo
+// machinery as the acoustics kernels; tests/geophys proves the LIFT-
+// generated versions match this reference bitwise.
+//
+//   ./gpr_scan [--nx 120] [--ny 80] [--steps 340] [--positions 24]
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "geophys/fdtd2d.hpp"
+
+using namespace lifta;
+using namespace lifta::geophys;
+
+namespace {
+
+/// One A-scan: drive a Ricker-ish pulse at (sx, sy), record Ez at the same
+/// point, return the trace.
+std::vector<double> aScan(const Scene& scene, int sx, int sy, int steps) {
+  Fdtd2d<double> sim(scene);
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(steps));
+  for (int t = 0; t < steps; ++t) {
+    const double arg = (t - 18.0) / 5.0;
+    sim.inject(sx, sy, (1.0 - arg * arg) * std::exp(-0.5 * arg * arg));
+    sim.step();
+    trace.push_back(sim.ez(sx, sy));
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const int nx = static_cast<int>(args.getInt("nx", 120));
+  const int ny = static_cast<int>(args.getInt("ny", 80));
+  const int steps = static_cast<int>(args.getInt("steps", 340));
+  const int positions = static_cast<int>(args.getInt("positions", 24));
+
+  const Scene withObject = buildGprScene(nx, ny, 10, 4.0, 25.0, 6);
+  const Scene background = buildGprScene(nx, ny, 10, 4.0, 4.0, 6);
+  const int surfaceY = (ny * 2) / 5;
+  const int antennaY = surfaceY - 4;
+
+  std::printf("GPR B-scan: %dx%d grid, soil eps=4, object eps=25 buried at "
+              "x=%d; %d antenna positions, %d steps each\n\n",
+              nx, ny, nx / 2, positions, steps);
+
+  // Collect reflection traces (object minus background) per position.
+  std::vector<std::vector<double>> scan;
+  const int x0 = 14;
+  const int x1 = nx - 14;
+  for (int p = 0; p < positions; ++p) {
+    const int sx = x0 + p * (x1 - x0) / (positions - 1);
+    const auto a = aScan(withObject, sx, antennaY, steps);
+    const auto b = aScan(background, sx, antennaY, steps);
+    std::vector<double> diff(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+    scan.push_back(std::move(diff));
+  }
+
+  // Render: rows = two-way travel time (downsampled), cols = positions.
+  double peak = 0.0;
+  for (const auto& tr : scan) {
+    for (double v : tr) peak = std::max(peak, std::fabs(v));
+  }
+  const int rows = 26;
+  const int t0 = 40;  // skip the direct-coupling window
+  std::printf("time  reflection amplitude per antenna position "
+              "(darker = stronger)\n");
+  for (int r = 0; r < rows; ++r) {
+    const int t = t0 + r * (steps - t0) / rows;
+    std::string line;
+    for (const auto& tr : scan) {
+      const double v = std::fabs(tr[static_cast<std::size_t>(t)]) / peak;
+      line += v > 0.5 ? '#' : v > 0.25 ? '*' : v > 0.1 ? '+' : v > 0.03 ? '.' : ' ';
+    }
+    std::printf("%4d  |%s|\n", t, line.c_str());
+  }
+  std::printf("\nThe earliest (shallowest) reflections align above the "
+              "object at the scan center,\nwith later arrivals flaring "
+              "outward — the migration hyperbola RTM would collapse.\n");
+  return 0;
+}

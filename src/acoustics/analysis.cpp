@@ -1,0 +1,76 @@
+#include "acoustics/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+
+std::vector<double> schroederDecayDb(const std::vector<double>& rir) {
+  std::vector<double> curve(rir.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = rir.size(); i-- > 0;) {
+    acc += rir[i] * rir[i];
+    curve[i] = acc;
+  }
+  if (acc <= 0.0) return curve;  // silent input: all zeros
+  const double ref = curve.empty() ? 1.0 : curve[0];
+  for (double& v : curve) {
+    v = 10.0 * std::log10(v / ref + 1e-300);
+  }
+  return curve;
+}
+
+double estimateRt60(const std::vector<double>& rir, double Ts) {
+  LIFTA_CHECK(Ts > 0.0, "non-positive sample period");
+  const auto curve = schroederDecayDb(rir);
+  int t5 = -1;
+  int t25 = -1;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (t5 < 0 && curve[i] <= -5.0) t5 = static_cast<int>(i);
+    if (t25 < 0 && curve[i] <= -25.0) {
+      t25 = static_cast<int>(i);
+      break;
+    }
+  }
+  if (t5 < 0 || t25 <= t5) return 0.0;
+  const double dbPerStep = 20.0 / static_cast<double>(t25 - t5);
+  return (60.0 / dbPerStep) * Ts;
+}
+
+double goertzelMagnitude(const std::vector<double>& signal, double hz,
+                         double fs) {
+  LIFTA_CHECK(fs > 0.0, "non-positive sample rate");
+  const double w = 2.0 * M_PI * hz / fs;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double re = s1 - s2 * std::cos(w);
+  const double im = s2 * std::sin(w);
+  return std::sqrt(re * re + im * im);
+}
+
+std::vector<double> boxModeFrequencies(double lx, double ly, double lz,
+                                       double c, int maxOrder) {
+  LIFTA_CHECK(lx > 0 && ly > 0 && lz > 0, "non-positive room dimension");
+  std::vector<double> out;
+  for (int p = 0; p <= maxOrder; ++p) {
+    for (int q = 0; q <= maxOrder; ++q) {
+      for (int r = 0; r <= maxOrder; ++r) {
+        if (p == 0 && q == 0 && r == 0) continue;
+        const double term = (p / lx) * (p / lx) + (q / ly) * (q / ly) +
+                            (r / lz) * (r / lz);
+        out.push_back(0.5 * c * std::sqrt(term));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,29 @@
+// Room-acoustics analysis utilities: Schroeder decay / RT60 estimation and
+// simple spectral probes used to validate the simulated physics against
+// analytic room-mode theory.
+#pragma once
+
+#include <vector>
+
+namespace lifta::acoustics {
+
+/// Schroeder backward energy integral of an impulse response, in dB
+/// relative to the total energy (element 0 is 0 dB).
+std::vector<double> schroederDecayDb(const std::vector<double>& rir);
+
+/// RT60 via a linear fit of the Schroeder curve between -5 dB and -25 dB,
+/// extrapolated to -60 dB. Returns 0 when the response does not decay far
+/// enough to fit.
+double estimateRt60(const std::vector<double>& rir, double Ts);
+
+/// Goertzel magnitude of `signal` at frequency `hz` (sample rate `fs`).
+double goertzelMagnitude(const std::vector<double>& signal, double hz,
+                         double fs);
+
+/// Analytic mode frequencies of a rigid box of dimensions (lx, ly, lz)
+/// meters: f = (c/2) * sqrt((p/lx)^2 + (q/ly)^2 + (r/lz)^2), for all
+/// 0 <= p,q,r <= maxOrder except (0,0,0), sorted ascending.
+std::vector<double> boxModeFrequencies(double lx, double ly, double lz,
+                                       double c, int maxOrder);
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,188 @@
+#include "acoustics/cl_kernels.hpp"
+
+#include "codegen/kernel_codegen.hpp"
+#include "common/string_util.hpp"
+
+namespace lifta::acoustics {
+
+namespace {
+// All baselines share the generated kernels' preamble so the work-item
+// context ABI matches exactly.
+std::string withPreamble(ir::ScalarKind real, const std::string& body) {
+  return "// hand-written baseline kernel (OpenCL port of [10]/[11])\n" +
+         codegen::kernelPreamble(real) + body;
+}
+}  // namespace
+
+std::string clFusedFiSource(ir::ScalarKind real) {
+  return withPreamble(real, R"(
+#ifdef __cplusplus
+extern "C"
+#endif
+void fused_fi(void** a, const lifta_wi_ctx* ctx) {
+  real* next = (real*)a[0];
+  const real* prev = (const real*)a[1];
+  const real* curr = (const real*)a[2];
+  const int* nbrs = (const int*)a[3];
+  const int nx = *(const int*)a[4];
+  const int nxny = *(const int*)a[5];
+  const int cells = *(const int*)a[6];
+  const real l = *(const real*)a[7];
+  const real l2 = *(const real*)a[8];
+  const real beta = *(const real*)a[9];
+  for (long idx = get_global_id(ctx, 0); idx < cells;
+       idx += get_global_size(ctx, 0)) {
+    const int nbr = nbrs[idx];
+    if (nbr > 0) {  // inside or at boundary
+      const real s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                     curr[idx + nx] + curr[idx - nxny] + curr[idx + nxny];
+      if (nbr < 6) {  // at boundary
+        const real cf = (real)0.5 * l * (real)(6 - nbr) * beta;
+        next[idx] = (((real)2.0 - l2 * (real)nbr) * curr[idx] + l2 * s +
+                     (cf - (real)1.0) * prev[idx]) /
+                    ((real)1.0 + cf);
+      } else {  // inside
+        next[idx] =
+            ((real)2.0 - l2 * (real)nbr) * curr[idx] + l2 * s - prev[idx];
+      }
+    }
+  }
+}
+)");
+}
+
+std::string clVolumeSource(ir::ScalarKind real) {
+  return withPreamble(real, R"(
+#ifdef __cplusplus
+extern "C"
+#endif
+void volume_step(void** a, const lifta_wi_ctx* ctx) {
+  real* next = (real*)a[0];
+  const real* prev = (const real*)a[1];
+  const real* curr = (const real*)a[2];
+  const int* nbrs = (const int*)a[3];
+  const int nx = *(const int*)a[4];
+  const int nxny = *(const int*)a[5];
+  const int cells = *(const int*)a[6];
+  const real l2 = *(const real*)a[7];
+  for (long idx = get_global_id(ctx, 0); idx < cells;
+       idx += get_global_size(ctx, 0)) {
+    const int nbr = nbrs[idx];
+    if (nbr > 0) {  // inside or at boundary
+      const real s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                     curr[idx + nx] + curr[idx - nxny] + curr[idx + nxny];
+      next[idx] =
+          ((real)2.0 - l2 * (real)nbr) * curr[idx] + l2 * s - prev[idx];
+    }
+  }
+}
+)");
+}
+
+std::string clFiBoundarySource(ir::ScalarKind real) {
+  return withPreamble(real, R"(
+#ifdef __cplusplus
+extern "C"
+#endif
+void fi_boundary(void** a, const lifta_wi_ctx* ctx) {
+  real* next = (real*)a[0];
+  const real* prev = (const real*)a[1];
+  const int* boundaryIndices = (const int*)a[2];
+  const int* nbrs = (const int*)a[3];
+  const int numB = *(const int*)a[4];
+  const real l = *(const real*)a[5];
+  const real beta = *(const real*)a[6];
+  for (long i = get_global_id(ctx, 0); i < numB;
+       i += get_global_size(ctx, 0)) {
+    const int idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const real cf = (real)0.5 * l * (real)(6 - nbr) * beta;
+    next[idx] = (next[idx] + cf * prev[idx]) / ((real)1.0 + cf);
+  }
+}
+)");
+}
+
+std::string clFiMmBoundarySource(ir::ScalarKind real) {
+  return withPreamble(real, R"(
+#ifdef __cplusplus
+extern "C"
+#endif
+void fimm_boundary(void** a, const lifta_wi_ctx* ctx) {
+  real* next = (real*)a[0];
+  const real* prev = (const real*)a[1];
+  const int* boundaryIndices = (const int*)a[2];
+  const int* nbrs = (const int*)a[3];
+  const int* material = (const int*)a[4];
+  const real* beta = (const real*)a[5];
+  const int numB = *(const int*)a[6];
+  const real l = *(const real*)a[7];
+  for (long i = get_global_id(ctx, 0); i < numB;
+       i += get_global_size(ctx, 0)) {
+    const int idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const int mi = material[i];
+    const real cf = (real)0.5 * l * (real)(6 - nbr) * beta[mi];
+    next[idx] = (next[idx] + cf * prev[idx]) / ((real)1.0 + cf);
+  }
+}
+)");
+}
+
+std::string clFdMmBoundarySource(ir::ScalarKind real, int numBranches) {
+  // MB is baked in as a compile-time constant, matching the CUDA original;
+  // the branch loops unroll under -O2.
+  const std::string define = strformat("#define MB %d\n", numBranches);
+  return withPreamble(real, define + R"(
+#ifdef __cplusplus
+extern "C"
+#endif
+void fdmm_boundary(void** a, const lifta_wi_ctx* ctx) {
+  real* next = (real*)a[0];
+  const real* prev = (const real*)a[1];
+  real* g1 = (real*)a[2];
+  real* v1 = (real*)a[3];
+  const real* v2 = (const real*)a[4];
+  const int* boundaryIndices = (const int*)a[5];
+  const int* nbrs = (const int*)a[6];
+  const int* material = (const int*)a[7];
+  const real* beta = (const real*)a[8];
+  const real* BI = (const real*)a[9];
+  const real* D = (const real*)a[10];
+  const real* DI = (const real*)a[11];
+  const real* F = (const real*)a[12];
+  const int numB = *(const int*)a[13];
+  const real l = *(const real*)a[14];
+  for (long i = get_global_id(ctx, 0); i < numB;
+       i += get_global_size(ctx, 0)) {
+    real _g1[MB], _v2[MB];  // local temporaries
+    const int idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const int mi = material[i];
+    const real cf1 = l * (real)(6 - nbr);
+    const real cf = (real)0.5 * cf1 * beta[mi];
+    real _next = next[idx];
+    const real _prev = prev[idx];
+    for (int b = 0; b < MB; b++) {  // for each ODE branch
+      const long ci = (long)b * numB + i;
+      const long mb = (long)mi * MB + b;
+      _g1[b] = g1[ci];
+      _v2[b] = v2[ci];
+      _next -= cf1 * BI[mb] * ((real)2.0 * D[mb] * _v2[b] - F[mb] * _g1[b]);
+    }
+    _next = (_next + cf * _prev) / ((real)1.0 + cf);
+    next[idx] = _next;
+    for (int b = 0; b < MB; b++) {  // for each ODE branch
+      const long ci = (long)b * numB + i;
+      const long mb = (long)mi * MB + b;
+      const real _v1 = BI[mb] * (_next - _prev + DI[mb] * _v2[b] -
+                                 (real)2.0 * F[mb] * _g1[b]);
+      g1[ci] = _g1[b] + (real)0.5 * (_v1 + _v2[b]);
+      v1[ci] = _v1;
+    }
+  }
+}
+)");
+}
+
+}  // namespace lifta::acoustics

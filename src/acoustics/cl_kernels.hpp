@@ -1,0 +1,48 @@
+// Hand-written OpenCL-style baseline kernels.
+//
+// The paper compares LIFT-generated code against hand-tuned OpenCL ports of
+// Webb's [10] and Hamilton et al.'s [11] CUDA kernels. These sources play
+// that role here: written by hand (not generated), expressed in the same
+// kernel dialect the JIT runtime executes, and kept operation-for-operation
+// identical to the reference C++ kernels so the three tiers can be compared
+// bitwise.
+//
+// Argument ABI (void** slots, in order) is documented per kernel below and
+// is shared with the LIFT-generated equivalents so benchmarks can launch
+// either interchangeably.
+#pragma once
+
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace lifta::acoustics {
+
+/// Kernel "fused_fi" — Listing 1 with nbrs lookup, fused boundary handling.
+/// Args: [0]=next  [1]=prev  [2]=curr  [3]=nbrs  [4]=nx(int)  [5]=nxny(int)
+///       [6]=cells(int)  [7]=l(real)  [8]=l2(real)  [9]=beta(real)
+std::string clFusedFiSource(ir::ScalarKind real);
+
+/// Kernel "volume_step" — Listing 2, kernel 1.
+/// Args: [0]=next  [1]=prev  [2]=curr  [3]=nbrs  [4]=nx  [5]=nxny
+///       [6]=cells  [7]=l2(real)
+std::string clVolumeSource(ir::ScalarKind real);
+
+/// Kernel "fi_boundary" — Listing 2, kernel 2 (single material).
+/// Args: [0]=next  [1]=prev  [2]=boundaryIndices  [3]=nbrs
+///       [4]=numBoundaryPoints(int)  [5]=l(real)  [6]=beta(real)
+std::string clFiBoundarySource(ir::ScalarKind real);
+
+/// Kernel "fimm_boundary" — Listing 3 (FI-MM).
+/// Args: [0]=next  [1]=prev  [2]=boundaryIndices  [3]=nbrs  [4]=material
+///       [5]=beta(real*)  [6]=numBoundaryPoints(int)  [7]=l(real)
+std::string clFiMmBoundarySource(ir::ScalarKind real);
+
+/// Kernel "fdmm_boundary" — Listing 4 (FD-MM) with MB baked in at build
+/// time, as the CUDA original does.
+/// Args: [0]=next  [1]=prev  [2]=g1  [3]=v1  [4]=v2  [5]=boundaryIndices
+///       [6]=nbrs  [7]=material  [8]=beta  [9]=BI  [10]=D  [11]=DI  [12]=F
+///       [13]=numBoundaryPoints(int)  [14]=l(real)
+std::string clFdMmBoundarySource(ir::ScalarKind real, int numBranches);
+
+}  // namespace lifta::acoustics

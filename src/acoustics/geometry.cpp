@@ -1,0 +1,151 @@
+#include "acoustics/geometry.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+
+const char* shapeName(RoomShape s) {
+  switch (s) {
+    case RoomShape::Box: return "box";
+    case RoomShape::Dome: return "dome";
+    case RoomShape::LShape: return "lshape";
+    case RoomShape::Cylinder: return "cylinder";
+  }
+  return "?";
+}
+
+bool Room::inside(int x, int y, int z) const {
+  // The halo (outermost layer) is never inside.
+  if (x < 1 || y < 1 || z < 1 || x > nx - 2 || y > ny - 2 || z > nz - 2) {
+    return false;
+  }
+  switch (shape) {
+    case RoomShape::Box:
+      return true;
+
+    case RoomShape::Dome: {
+      // Ellipsoid inscribed in the interior box; semi-axes span the full
+      // interior extent, which reproduces the Table II dome point counts.
+      const double cx = 0.5 * (nx - 1);
+      const double cy = 0.5 * (ny - 1);
+      const double cz = 0.5 * (nz - 1);
+      const double rx = 0.5 * (nx - 2);
+      const double ry = 0.5 * (ny - 2);
+      const double rz = 0.5 * (nz - 2);
+      const double dx = (x - cx) / rx;
+      const double dy = (y - cy) / ry;
+      const double dz = (z - cz) / rz;
+      return dx * dx + dy * dy + dz * dz <= 1.0;
+    }
+
+    case RoomShape::LShape: {
+      // Remove the quadrant with both x and y in the upper half.
+      const bool upperX = x > (nx - 1) / 2;
+      const bool upperY = y > (ny - 1) / 2;
+      return !(upperX && upperY);
+    }
+
+    case RoomShape::Cylinder: {
+      const double cx = 0.5 * (nx - 1);
+      const double cy = 0.5 * (ny - 1);
+      const double rx = 0.5 * (nx - 2);
+      const double ry = 0.5 * (ny - 2);
+      const double dx = (x - cx) / rx;
+      const double dy = (y - cy) / ry;
+      return dx * dx + dy * dy <= 1.0;
+    }
+  }
+  return false;
+}
+
+std::vector<Room> paperRooms(RoomShape shape) {
+  // Table II lists *volume* dimensions; the stored grid adds the zero halo
+  // on each side (§II-A: "the size of each array is equal to the number of
+  // points in the volume plus the halo"). With this reading the closed-form
+  // boundary count reproduces Table II's 673,352 points for the 336^3 box
+  // exactly.
+  return {
+      Room{shape, 602 + 2, 402 + 2, 302 + 2},
+      Room{shape, 336 + 2, 336 + 2, 336 + 2},
+      Room{shape, 302 + 2, 202 + 2, 152 + 2},
+  };
+}
+
+std::size_t boxBoundaryCount(int nx, int ny, int nz) {
+  const auto x = static_cast<std::size_t>(nx - 2);
+  const auto y = static_cast<std::size_t>(ny - 2);
+  const auto z = static_cast<std::size_t>(nz - 2);
+  if (x < 3 || y < 3 || z < 3) return x * y * z;  // everything is boundary
+  return x * y * z - (x - 2) * (y - 2) * (z - 2);
+}
+
+RoomGrid voxelize(const Room& room, int numMaterials) {
+  LIFTA_CHECK(room.nx >= 3 && room.ny >= 3 && room.nz >= 3,
+              "room must be at least 3 cells in every dimension");
+  LIFTA_CHECK(numMaterials >= 1, "need at least one material");
+
+  RoomGrid g;
+  g.nx = room.nx;
+  g.ny = room.ny;
+  g.nz = room.nz;
+  g.nbrs.assign(room.cells(), 0);
+
+  // Pass 1: inside mask, stored temporarily in nbrs as -1.
+  for (int z = 1; z <= room.nz - 2; ++z) {
+    for (int y = 1; y <= room.ny - 2; ++y) {
+      for (int x = 1; x <= room.nx - 2; ++x) {
+        if (room.inside(x, y, z)) {
+          g.nbrs[room.index(x, y, z)] = -1;
+          ++g.insideCells;
+        }
+      }
+    }
+  }
+
+  // Pass 2: neighbor counts and boundary extraction. Ascending index order
+  // gives the memory-continuity property discussed in §VII-B1.
+  const auto insideAt = [&](int x, int y, int z) {
+    return g.nbrs[room.index(x, y, z)] != 0;
+  };
+  for (int z = 1; z <= room.nz - 2; ++z) {
+    for (int y = 1; y <= room.ny - 2; ++y) {
+      for (int x = 1; x <= room.nx - 2; ++x) {
+        const std::size_t idx = room.index(x, y, z);
+        if (g.nbrs[idx] == 0) continue;
+        const int count = (insideAt(x - 1, y, z) ? 1 : 0) +
+                          (insideAt(x + 1, y, z) ? 1 : 0) +
+                          (insideAt(x, y - 1, z) ? 1 : 0) +
+                          (insideAt(x, y + 1, z) ? 1 : 0) +
+                          (insideAt(x, y, z - 1) ? 1 : 0) +
+                          (insideAt(x, y, z + 1) ? 1 : 0);
+        // Store count+8 so pass 2 can still distinguish inside (-1 or >=8)
+        // from outside (0) while scanning neighbors.
+        g.nbrs[idx] = count + 8;
+      }
+    }
+  }
+  // Pass 3: normalize counts and collect boundary points.
+  for (int z = 1; z <= room.nz - 2; ++z) {
+    for (int y = 1; y <= room.ny - 2; ++y) {
+      for (int x = 1; x <= room.nx - 2; ++x) {
+        const std::size_t idx = room.index(x, y, z);
+        if (g.nbrs[idx] == 0) continue;
+        const int count = g.nbrs[idx] - 8;
+        g.nbrs[idx] = count;
+        if (count < 6) {
+          g.boundaryIndices.push_back(static_cast<std::int32_t>(idx));
+          g.boundaryNbr.push_back(count);
+          // Material bands by height: floor band 0 ... ceiling band M-1.
+          const int mat = static_cast<int>(
+              (static_cast<long>(z - 1) * numMaterials) / (room.nz - 2));
+          g.material.push_back(
+              static_cast<std::int32_t>(mat < numMaterials ? mat
+                                                           : numMaterials - 1));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace lifta::acoustics

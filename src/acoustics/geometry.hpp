@@ -1,0 +1,81 @@
+// Room geometry and voxelization (paper §II-B).
+//
+// Rooms are implicit solids voxelized onto the FDTD grid. The grid uses the
+// layout of Listing 1: idx = z*Nx*Ny + y*Nx + x, with a one-cell halo around
+// the volume so stencil reads never leave the allocation. For every cell the
+// voxelizer precomputes `nbrs` — the number of 6-neighbors lying inside the
+// room (0 for cells outside) — plus the sorted list of boundary cell indices
+// (inside cells with nbr < 6) and a per-boundary-point material id. These
+// are exactly the nbrs / boundaryIndices / material arrays of Listings 2-4.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lifta::acoustics {
+
+enum class RoomShape {
+  Box,       // full cuboid interior (the paper's "box")
+  Dome,      // ellipsoid inscribed in the grid (the paper's "dome")
+  LShape,    // cuboid minus one quadrant (extra non-convex test shape)
+  Cylinder,  // vertical cylinder inscribed in x/y (extra test shape)
+};
+
+const char* shapeName(RoomShape s);
+
+struct Room {
+  RoomShape shape = RoomShape::Box;
+  // Full grid dimensions *including* the halo, as in Table II
+  // (e.g. 602 x 402 x 302).
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  /// True when interior coordinates (x,y,z), each in [1, n-2], lie inside
+  /// the room solid.
+  bool inside(int x, int y, int z) const;
+
+  std::size_t index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  }
+};
+
+/// The paper's three room sizes (Table II).
+std::vector<Room> paperRooms(RoomShape shape);
+
+/// Precomputed boundary description.
+struct RoomGrid {
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<std::int32_t> nbrs;             // per cell; 0 outside
+  std::vector<std::int32_t> boundaryIndices;  // ascending cell indices
+  std::vector<std::int32_t> boundaryNbr;      // nbr per boundary point
+  std::vector<std::int32_t> material;         // material id per boundary point
+  std::size_t insideCells = 0;
+
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+  std::size_t boundaryPoints() const { return boundaryIndices.size(); }
+};
+
+/// Voxelizes the room and assigns materials. Materials are distributed over
+/// `numMaterials` ids by horizontal bands (floor→ceiling), a deterministic
+/// stand-in for the per-surface material maps of real room models.
+RoomGrid voxelize(const Room& room, int numMaterials = 1);
+
+/// Closed-form boundary-point count for a box interior of (nx,ny,nz) grid
+/// dims including halo: X*Y*Z - (X-2)*(Y-2)*(Z-2) with X = nx-2 etc.
+/// Matches Table II exactly for the 336^3 box (673,352 points).
+std::size_t boxBoundaryCount(int nx, int ny, int nz);
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,91 @@
+#include "acoustics/materials.hpp"
+
+#include <iterator>
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+
+FdCoeffs deriveFdCoeffs(const std::vector<Material>& mats, int numBranches,
+                        double Ts) {
+  LIFTA_CHECK(!mats.empty(), "no materials");
+  LIFTA_CHECK(numBranches >= 0, "negative branch count");
+  LIFTA_CHECK(Ts > 0.0, "non-positive time step");
+
+  FdCoeffs c;
+  c.numMaterials = static_cast<int>(mats.size());
+  c.numBranches = numBranches;
+  const std::size_t n =
+      mats.size() * static_cast<std::size_t>(numBranches);
+  c.BI.assign(n, 0.0);
+  c.D.assign(n, 0.0);
+  c.DI.assign(n, 0.0);
+  c.F.assign(n, 0.0);
+
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    for (int b = 0; b < numBranches; ++b) {
+      const std::size_t i = m * static_cast<std::size_t>(numBranches) + b;
+      if (b >= static_cast<int>(mats[m].branches.size())) {
+        continue;  // inert padding branch: BI = 0 disables it entirely
+      }
+      const FdBranch& br = mats[m].branches[static_cast<std::size_t>(b)];
+      LIFTA_CHECK(br.L > 0.0, "branch inertance must be positive");
+      const double lOverTs = br.L / Ts;
+      const double denom = lOverTs + 0.5 * br.R + 0.25 * br.K * Ts;
+      c.BI[i] = 1.0 / denom;
+      c.D[i] = lOverTs;
+      c.DI[i] = lOverTs - 0.5 * br.R - 0.25 * br.K * Ts;
+      c.F[i] = 0.5 * br.K * Ts;
+    }
+  }
+  return c;
+}
+
+std::vector<Material> defaultMaterials(int count, int numBranches) {
+  LIFTA_CHECK(count >= 1, "need at least one material");
+  // Plausible absorption coefficients: beta is an admittance-like loss in
+  // [0, 1); higher = more absorbent. Branch parameters (R, L, K) are in
+  // units normalized to the grid scheme; L is kept large relative to Ts so
+  // the explicit branch treatment of Listing 4 stays stable (verified
+  // empirically by the physics tests over thousands of steps).
+  struct Preset {
+    double beta;
+    double r, l, k;
+  };
+  static const Preset kPalette[] = {
+      {0.020, 4.0, 80.0, 2.0e4},   // concrete: hard, mild damping
+      {0.250, 8.0, 40.0, 8.0e4},   // wood panel: resonant, absorbent
+      {0.600, 20.0, 30.0, 4.0e4},  // cushion: highly absorbent
+      {0.060, 2.0, 120.0, 3.0e5},  // glass: stiff high-frequency resonance
+      {0.120, 6.0, 60.0, 6.0e4},   // plaster
+      {0.350, 12.0, 50.0, 1.5e4},  // curtain
+  };
+  const int paletteSize = static_cast<int>(std::size(kPalette));
+
+  std::vector<Material> mats;
+  mats.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Preset& p = kPalette[i % paletteSize];
+    Material m;
+    m.beta = p.beta;
+    for (int b = 0; b < numBranches; ++b) {
+      // Spread branch resonances: each extra branch is stiffer and lighter.
+      FdBranch br;
+      br.R = p.r * (1.0 + 0.5 * b);
+      br.L = p.l / (1.0 + 0.3 * b);
+      br.K = p.k * (1.0 + 1.5 * b);
+      m.branches.push_back(br);
+    }
+    mats.push_back(std::move(m));
+  }
+  return mats;
+}
+
+std::vector<double> betaTable(const std::vector<Material>& mats) {
+  std::vector<double> beta;
+  beta.reserve(mats.size());
+  for (const auto& m : mats) beta.push_back(m.beta);
+  return beta;
+}
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,66 @@
+// Boundary material models (paper §II-D / §II-E).
+//
+// FI (frequency-independent): each material is a single admittance-like loss
+// coefficient beta; the boundary update of Listing 3 uses
+//   cf = 0.5 * lambda * (6 - nbr) * beta[m].
+//
+// FD (frequency-dependent): each material additionally carries MB resonant
+// branches. Branch b behaves as a series R-L-K oscillator driven by the
+// boundary pressure:
+//     L_b dv/dt + R_b v + K_b g = p,   dg/dt = v.
+// Discretizing v with the trapezoid rule and storing g in units of Ts
+// (g_code = g/Ts, updated as g += (v1+v2)/2, exactly Listing 4) yields the
+// per-branch update constants used verbatim by Listing 4 / Hamilton et
+// al. [11]:
+//     BI = 1 / (L/Ts + R/2 + K*Ts/4)
+//     DI =      L/Ts - R/2 - K*Ts/4
+//     D  =      L/Ts
+//     F  =      K*Ts/2
+// so that v1 = BI*(p' + DI*v2 - 2F*g1) with p' = next - prev, and the
+// pressure correction term is cf1*BI*(2D*v2 - F*g1).
+#pragma once
+
+#include <vector>
+
+namespace lifta::acoustics {
+
+struct FdBranch {
+  double R = 0.0;  // damping
+  double L = 1.0;  // inertance
+  double K = 0.0;  // stiffness (1/compliance)
+};
+
+struct Material {
+  double beta = 0.5;              // frequency-independent loss
+  std::vector<FdBranch> branches; // resonant branches (FD model only)
+};
+
+/// Derived per-material, per-branch constants, flattened row-major
+/// [material][branch] as the kernels index them (mi*MB + b).
+struct FdCoeffs {
+  int numMaterials = 0;
+  int numBranches = 0;
+  std::vector<double> BI, D, DI, F;
+
+  std::size_t at(int m, int b) const {
+    return static_cast<std::size_t>(m) * numBranches + b;
+  }
+};
+
+/// Derives the Listing-4 constants from the physical branch parameters.
+/// Materials with fewer than `numBranches` branches get inert padding
+/// branches (BI = 0) so every material can share one MB value, as in the
+/// paper's fixed-MB kernels.
+FdCoeffs deriveFdCoeffs(const std::vector<Material>& mats, int numBranches,
+                        double Ts);
+
+/// A deterministic palette of plausible materials (concrete, wood panel,
+/// cushion, glass, plaster, ...) cycled to the requested count. Branch
+/// parameters are scaled so the Listing-4 scheme is stable at the default
+/// sample rate (validated by the physics tests).
+std::vector<Material> defaultMaterials(int count, int numBranches);
+
+/// Beta values flattened for kernel upload.
+std::vector<double> betaTable(const std::vector<Material>& mats);
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,177 @@
+#include "acoustics/reference_kernels.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+
+template <typename T>
+void refFusedFiBox(const T* prev, const T* curr, T* next, int nx, int ny,
+                   int nz, T l, T l2, T beta) {
+  // Listing 1, kept line-for-line: analytic nbr, fused boundary handling.
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::int64_t idx =
+            static_cast<std::int64_t>(z) * nx * ny +
+            (static_cast<std::int64_t>(y) * nx + x);
+        int nbr = (x == 1 ? 0 : 1) + (y == 1 ? 0 : 1) + (z == 1 ? 0 : 1) +
+                  (x == nx - 2 ? 0 : 1) + (y == ny - 2 ? 0 : 1) +
+                  (z == nz - 2 ? 0 : 1);
+        if (x == 0 || y == 0 || z == 0 || x == nx - 1 || y == ny - 1 ||
+            z == nz - 1) {
+          nbr = 0;  // outside
+        }
+        if (nbr > 0) {  // inside or at boundary
+          const T s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                      curr[idx + nx] +
+                      curr[idx - static_cast<std::int64_t>(nx) * ny] +
+                      curr[idx + static_cast<std::int64_t>(nx) * ny];
+          if (nbr < 6) {  // at boundary
+            const T cf = T(0.5) * l * T(6 - nbr) * beta;
+            next[idx] = ((T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s +
+                         (cf - T(1.0)) * prev[idx]) /
+                        (T(1.0) + cf);
+          } else {  // inside
+            next[idx] =
+                (T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s - prev[idx];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void refFusedFiLookup(const std::int32_t* nbrs, const T* prev, const T* curr,
+                      T* next, int nx, int ny, int nz, T l, T l2, T beta) {
+  const std::int64_t cells = static_cast<std::int64_t>(nx) * ny * nz;
+  for (std::int64_t idx = 0; idx < cells; ++idx) {
+    const int nbr = nbrs[idx];
+    if (nbr > 0) {
+      const T s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                  curr[idx + nx] +
+                  curr[idx - static_cast<std::int64_t>(nx) * ny] +
+                  curr[idx + static_cast<std::int64_t>(nx) * ny];
+      if (nbr < 6) {
+        const T cf = T(0.5) * l * T(6 - nbr) * beta;
+        next[idx] = ((T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s +
+                     (cf - T(1.0)) * prev[idx]) /
+                    (T(1.0) + cf);
+      } else {
+        next[idx] = (T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s - prev[idx];
+      }
+    }
+  }
+}
+
+template <typename T>
+void refVolume(const std::int32_t* nbrs, const T* prev, const T* curr,
+               T* next, int nx, int ny, int nz, T l2) {
+  // Listing 2, kernel 1.
+  const std::int64_t cells = static_cast<std::int64_t>(nx) * ny * nz;
+  for (std::int64_t idx = 0; idx < cells; ++idx) {
+    const int nbr = nbrs[idx];
+    if (nbr > 0) {  // inside or at boundary
+      const T s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                  curr[idx + nx] +
+                  curr[idx - static_cast<std::int64_t>(nx) * ny] +
+                  curr[idx + static_cast<std::int64_t>(nx) * ny];
+      next[idx] = (T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s - prev[idx];
+    }
+  }
+}
+
+template <typename T>
+void refFiBoundary(const std::int32_t* boundaryIndices,
+                   const std::int32_t* nbrs, const T* prev, T* next,
+                   std::int64_t numBoundaryPoints, T l, T beta) {
+  // Listing 2, kernel 2.
+  for (std::int64_t i = 0; i < numBoundaryPoints; ++i) {
+    const std::int32_t idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const T cf = T(0.5) * l * T(6 - nbr) * beta;
+    next[idx] = (next[idx] + cf * prev[idx]) / (T(1.0) + cf);
+  }
+}
+
+template <typename T>
+void refFiMmBoundary(const std::int32_t* boundaryIndices,
+                     const std::int32_t* nbrs, const std::int32_t* material,
+                     const T* beta, const T* prev, T* next,
+                     std::int64_t numBoundaryPoints, T l) {
+  // Listing 3.
+  for (std::int64_t i = 0; i < numBoundaryPoints; ++i) {
+    const std::int32_t idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const int mi = material[i];
+    const T cf = T(0.5) * l * T(6 - nbr) * beta[mi];
+    next[idx] = (next[idx] + cf * prev[idx]) / (T(1.0) + cf);
+  }
+}
+
+template <typename T>
+void refFdMmBoundary(const std::int32_t* boundaryIndices,
+                     const std::int32_t* nbrs, const std::int32_t* material,
+                     const T* beta, const T* BI, const T* D, const T* DI,
+                     const T* F, int numBranches, const T* prev, T* next,
+                     T* g1, T* v1, const T* v2,
+                     std::int64_t numBoundaryPoints, T l) {
+  // Listing 4, kept structurally identical (private copies, two branch
+  // loops, in-place writes to next / g1 / v1).
+  LIFTA_CHECK(numBranches <= kMaxBranches, "too many ODE branches");
+  for (std::int64_t i = 0; i < numBoundaryPoints; ++i) {
+    T _g1[kMaxBranches];
+    T _v2[kMaxBranches];
+    const std::int32_t idx = boundaryIndices[i];
+    const int nbr = nbrs[idx];
+    const int mi = material[i];
+    const T cf1 = l * T(6 - nbr);
+    const T cf = T(0.5) * cf1 * beta[mi];
+    T _next = next[idx];
+    const T _prev = prev[idx];
+    for (int b = 0; b < numBranches; ++b) {  // for each ODE branch
+      const std::int64_t ci = static_cast<std::int64_t>(b) *
+                              numBoundaryPoints + i;
+      const std::int64_t mb = static_cast<std::int64_t>(mi) * numBranches + b;
+      _g1[b] = g1[ci];
+      _v2[b] = v2[ci];
+      _next -= cf1 * BI[mb] * (T(2.0) * D[mb] * _v2[b] - F[mb] * _g1[b]);
+    }
+    _next = (_next + cf * _prev) / (T(1.0) + cf);
+    next[idx] = _next;
+    for (int b = 0; b < numBranches; ++b) {  // for each ODE branch
+      const std::int64_t ci = static_cast<std::int64_t>(b) *
+                              numBoundaryPoints + i;
+      const std::int64_t mb = static_cast<std::int64_t>(mi) * numBranches + b;
+      const T _v1 = BI[mb] * (_next - _prev + DI[mb] * _v2[b] -
+                              T(2.0) * F[mb] * _g1[b]);
+      g1[ci] = _g1[b] + T(0.5) * (_v1 + _v2[b]);
+      v1[ci] = _v1;
+    }
+  }
+}
+
+// Explicit instantiations for both paper precisions.
+#define LIFTA_INSTANTIATE(T)                                                  \
+  template void refFusedFiBox<T>(const T*, const T*, T*, int, int, int, T, T, \
+                                 T);                                          \
+  template void refFusedFiLookup<T>(const std::int32_t*, const T*, const T*,  \
+                                    T*, int, int, int, T, T, T);              \
+  template void refVolume<T>(const std::int32_t*, const T*, const T*, T*,     \
+                             int, int, int, T);                               \
+  template void refFiBoundary<T>(const std::int32_t*, const std::int32_t*,    \
+                                 const T*, T*, std::int64_t, T, T);           \
+  template void refFiMmBoundary<T>(const std::int32_t*, const std::int32_t*,  \
+                                   const std::int32_t*, const T*, const T*,   \
+                                   T*, std::int64_t, T);                      \
+  template void refFdMmBoundary<T>(const std::int32_t*, const std::int32_t*,  \
+                                   const std::int32_t*, const T*, const T*,   \
+                                   const T*, const T*, const T*, int,         \
+                                   const T*, T*, T*, T*, const T*,            \
+                                   std::int64_t, T)
+
+LIFTA_INSTANTIATE(float);
+LIFTA_INSTANTIATE(double);
+#undef LIFTA_INSTANTIATE
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,60 @@
+// Portable C++ reference implementations of the paper's kernels
+// (Listings 1-4). These are the correctness oracle: the hand-written
+// "OpenCL" baselines and the LIFT-generated kernels must match them
+// bit-for-bit (same operation order, same FP environment).
+//
+// All functions operate on flat grids with idx = z*Nx*Ny + y*Nx + x and use
+// the buffer roles of the paper: `prev` (t-2), `curr` (t-1), `next` (t).
+#pragma once
+
+#include <cstdint>
+
+namespace lifta::acoustics {
+
+/// Listing 1: the monolithic FI kernel with the *analytic* box boundary
+/// test (nbr computed on the fly from coordinates). Box rooms only.
+template <typename T>
+void refFusedFiBox(const T* prev, const T* curr, T* next, int nx, int ny,
+                   int nz, T l, T l2, T beta);
+
+/// Listing 1 variant of §II-B: nbr comes from the precomputed lookup table,
+/// supporting arbitrary shapes; boundary handling still fused.
+template <typename T>
+void refFusedFiLookup(const std::int32_t* nbrs, const T* prev, const T* curr,
+                      T* next, int nx, int ny, int nz, T l, T l2, T beta);
+
+/// Listing 2, kernel 1: volume handling only (shared by FI-MM and FD-MM).
+template <typename T>
+void refVolume(const std::int32_t* nbrs, const T* prev, const T* curr,
+               T* next, int nx, int ny, int nz, T l2);
+
+/// Listing 2, kernel 2: single-material boundary absorption, in place.
+template <typename T>
+void refFiBoundary(const std::int32_t* boundaryIndices,
+                   const std::int32_t* nbrs, const T* prev, T* next,
+                   std::int64_t numBoundaryPoints, T l, T beta);
+
+/// Listing 3: FI-MM — multi-material frequency-independent boundary.
+template <typename T>
+void refFiMmBoundary(const std::int32_t* boundaryIndices,
+                     const std::int32_t* nbrs, const std::int32_t* material,
+                     const T* beta, const T* prev, T* next,
+                     std::int64_t numBoundaryPoints, T l);
+
+/// Listing 4: FD-MM — frequency-dependent multi-material boundary with MB
+/// ODE branches. BI/D/DI/F are flattened [material][branch]; g1/v1/v2 are
+/// flattened [branch][boundaryPoint] (ci = b*numBoundaryPoints + i), with
+/// v1 written and v2 read (the driver swaps them between steps).
+template <typename T>
+void refFdMmBoundary(const std::int32_t* boundaryIndices,
+                     const std::int32_t* nbrs, const std::int32_t* material,
+                     const T* beta, const T* BI, const T* D, const T* DI,
+                     const T* F, int numBranches, const T* prev, T* next,
+                     T* g1, T* v1, const T* v2,
+                     std::int64_t numBoundaryPoints, T l);
+
+// The FD kernels use a small fixed upper bound for the per-point private
+// branch state, as the CUDA original does with its MB compile-time constant.
+inline constexpr int kMaxBranches = 8;
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,28 @@
+// FDTD scheme parameters (paper §II, Listing 1).
+//
+// The 7-point leapfrog scheme on a cubic grid is stable for Courant numbers
+// lambda = c*Ts/h <= 1/sqrt(3); the listings' coefficient (2 - l2*nbr) with
+// nbr = 6 in free air assumes exactly this family. The paper's kernels take
+// l (= lambda) and l2 (= lambda^2) as precomputed constants.
+#pragma once
+
+#include <cmath>
+
+namespace lifta::acoustics {
+
+struct SimParams {
+  double c = 344.0;           // speed of sound, m/s
+  double sampleRate = 44100;  // Hz
+  /// Courant number; defaults to the 3D stability limit 1/sqrt(3).
+  double lambda = 1.0 / std::sqrt(3.0);
+
+  double Ts() const { return 1.0 / sampleRate; }
+  /// Grid spacing implied by c, Ts and lambda.
+  double h() const { return c * Ts() / lambda; }
+  double l() const { return lambda; }
+  double l2() const { return lambda * lambda; }
+
+  bool stable() const { return lambda <= 1.0 / std::sqrt(3.0) + 1e-12; }
+};
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,155 @@
+#include "acoustics/simulation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+
+const char* modelName(BoundaryModel m) {
+  switch (m) {
+    case BoundaryModel::FusedFi: return "FI (fused)";
+    case BoundaryModel::FiSplit: return "FI (two-kernel)";
+    case BoundaryModel::FiMm: return "FI-MM";
+    case BoundaryModel::FdMm: return "FD-MM";
+  }
+  return "?";
+}
+
+template <typename T>
+Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
+  LIFTA_CHECK(config_.params.stable(),
+              "Courant number exceeds the 3D stability limit");
+  LIFTA_CHECK(config_.numMaterials >= 1, "need at least one material");
+  if (config_.model == BoundaryModel::FdMm) {
+    LIFTA_CHECK(config_.numBranches >= 1 &&
+                    config_.numBranches <= kMaxBranches,
+                "FD-MM needs 1..kMaxBranches ODE branches");
+  }
+
+  grid_ = voxelize(config_.room, config_.numMaterials);
+
+  materials_ = config_.materials.empty()
+                   ? defaultMaterials(config_.numMaterials, config_.numBranches)
+                   : config_.materials;
+  LIFTA_CHECK(static_cast<int>(materials_.size()) >= config_.numMaterials,
+              "fewer materials than material ids in use");
+  for (const auto& m : materials_) beta_.push_back(static_cast<T>(m.beta));
+
+  fd_ = deriveFdCoeffs(materials_, config_.numBranches, config_.params.Ts());
+  for (double v : fd_.BI) bi_.push_back(static_cast<T>(v));
+  for (double v : fd_.D) d_.push_back(static_cast<T>(v));
+  for (double v : fd_.DI) di_.push_back(static_cast<T>(v));
+  for (double v : fd_.F) f_.push_back(static_cast<T>(v));
+
+  const std::size_t cells = grid_.cells();
+  bufA_.reset(cells);
+  bufB_.reset(cells);
+  bufC_.reset(cells);
+  prev_ = bufA_.data();
+  curr_ = bufB_.data();
+  next_ = bufC_.data();
+
+  if (config_.model == BoundaryModel::FdMm) {
+    const std::size_t stateLen =
+        static_cast<std::size_t>(config_.numBranches) * grid_.boundaryPoints();
+    g1_.reset(stateLen);
+    velA_.reset(stateLen);
+    velB_.reset(stateLen);
+    v1_ = velA_.data();
+    v2_ = velB_.data();
+  }
+}
+
+template <typename T>
+void Simulation<T>::addImpulse(int x, int y, int z, T amplitude) {
+  LIFTA_CHECK(config_.room.inside(x, y, z), "impulse point is outside");
+  curr_[config_.room.index(x, y, z)] += amplitude;
+}
+
+template <typename T>
+void Simulation<T>::step() {
+  const int nx = grid_.nx;
+  const int ny = grid_.ny;
+  const int nz = grid_.nz;
+  const T l = static_cast<T>(config_.params.l());
+  const T l2 = static_cast<T>(config_.params.l2());
+  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+
+  switch (config_.model) {
+    case BoundaryModel::FusedFi:
+      refFusedFiLookup(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l,
+                       l2, beta_[0]);
+      break;
+
+    case BoundaryModel::FiSplit:
+      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
+      refFiBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(), prev_,
+                    next_, numB, l, beta_[0]);
+      break;
+
+    case BoundaryModel::FiMm:
+      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
+      refFiMmBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+                      grid_.material.data(), beta_.data(), prev_, next_, numB,
+                      l);
+      break;
+
+    case BoundaryModel::FdMm:
+      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
+      refFdMmBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+                      grid_.material.data(), beta_.data(), bi_.data(),
+                      d_.data(), di_.data(), f_.data(), config_.numBranches,
+                      prev_, next_, g1_.data(), v1_, v2_, numB, l);
+      std::swap(v1_, v2_);
+      break;
+  }
+
+  // Rotate pressure buffers: prev <- curr <- next <- (old prev storage).
+  T* oldPrev = prev_;
+  prev_ = curr_;
+  curr_ = next_;
+  next_ = oldPrev;
+  ++steps_;
+}
+
+template <typename T>
+std::vector<T> Simulation<T>::record(int steps, int x, int y, int z) {
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    step();
+    out.push_back(sample(x, y, z));
+  }
+  return out;
+}
+
+template <typename T>
+T Simulation<T>::sample(int x, int y, int z) const {
+  return curr_[config_.room.index(x, y, z)];
+}
+
+template <typename T>
+double Simulation<T>::energy() const {
+  double sum = 0.0;
+  const std::size_t cells = grid_.cells();
+  for (std::size_t i = 0; i < cells; ++i) {
+    sum += static_cast<double>(curr_[i]) * static_cast<double>(curr_[i]);
+  }
+  return sum;
+}
+
+template <typename T>
+double Simulation<T>::maxAbs() const {
+  double m = 0.0;
+  const std::size_t cells = grid_.cells();
+  for (std::size_t i = 0; i < cells; ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(curr_[i])));
+  }
+  return m;
+}
+
+template class Simulation<float>;
+template class Simulation<double>;
+
+}  // namespace lifta::acoustics

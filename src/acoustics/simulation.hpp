@@ -1,0 +1,99 @@
+// The room acoustics simulation driver.
+//
+// Owns the grid state (three rotating pressure buffers plus, for FD-MM, the
+// per-branch boundary state g1/v1/v2), injects sources, samples receivers
+// and steps the chosen boundary model using the reference kernels. This is
+// the "hand-written C" tier of the reproduction; the OpenCL-style and
+// LIFT-generated tiers (src/lift_acoustics) are validated against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acoustics/geometry.hpp"
+#include "acoustics/materials.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "acoustics/sim_params.hpp"
+#include "common/aligned_buffer.hpp"
+
+namespace lifta::acoustics {
+
+enum class BoundaryModel {
+  FusedFi,  // Listing 1 (lookup variant): one kernel, single material
+  FiSplit,  // Listing 2: volume kernel + single-material boundary kernel
+  FiMm,     // Listing 3: volume kernel + multi-material FI boundary
+  FdMm,     // Listing 4: volume kernel + frequency-dependent boundary
+};
+
+const char* modelName(BoundaryModel m);
+
+template <typename T>
+class Simulation {
+public:
+  struct Config {
+    Room room;
+    SimParams params;
+    BoundaryModel model = BoundaryModel::FiMm;
+    int numMaterials = 1;
+    int numBranches = 0;  // FD-MM only
+    /// Optional explicit materials; defaultMaterials() otherwise.
+    std::vector<Material> materials;
+  };
+
+  explicit Simulation(Config config);
+
+  const Config& config() const { return config_; }
+  const RoomGrid& grid() const { return grid_; }
+  const FdCoeffs& fdCoeffs() const { return fd_; }
+  const std::vector<Material>& materials() const { return materials_; }
+
+  /// Adds an impulse to the current pressure field. Coordinates must be
+  /// inside the room.
+  void addImpulse(int x, int y, int z, T amplitude);
+
+  /// Advances one time step (volume kernel + boundary kernel, per model).
+  void step();
+
+  /// Runs `steps` steps recording the pressure at (x,y,z) after each —
+  /// a room impulse response when combined with addImpulse.
+  std::vector<T> record(int steps, int x, int y, int z);
+
+  int stepsTaken() const { return steps_; }
+
+  T sample(int x, int y, int z) const;
+  /// Sum of squared pressure over the grid (decay/energy proxy).
+  double energy() const;
+  double maxAbs() const;
+
+  // Raw state access for the cross-implementation equivalence tests.
+  const T* prev() const { return prev_; }
+  const T* curr() const { return curr_; }
+  T* currMutable() { return curr_; }
+  const T* g1() const { return g1_.data(); }
+  const T* v1() const { return v1_; }
+  const T* v2() const { return v2_; }
+
+private:
+  Config config_;
+  RoomGrid grid_;
+  std::vector<Material> materials_;
+  std::vector<T> beta_;
+  FdCoeffs fd_;
+  std::vector<T> bi_, d_, di_, f_;
+
+  AlignedArray<T> bufA_, bufB_, bufC_;
+  T* prev_ = nullptr;
+  T* curr_ = nullptr;
+  T* next_ = nullptr;
+
+  AlignedArray<T> g1_, velA_, velB_;
+  T* v1_ = nullptr;
+  T* v2_ = nullptr;
+
+  int steps_ = 0;
+};
+
+extern template class Simulation<float>;
+extern template class Simulation<double>;
+
+}  // namespace lifta::acoustics

@@ -1,0 +1,104 @@
+// Symbolic integer arithmetic for array index expressions.
+//
+// LIFT's view system (see src/view) records how each IR expression accesses
+// memory; lowering a chain of views produces one of these symbolic index
+// expressions, which the code generator then prints as a C index expression
+// (e.g. `out[(i1 + N0)]` for the paper's ViewOffset under Concat).
+//
+// Expressions are immutable DAG nodes behind shared_ptr with a value-semantic
+// wrapper `Expr`. Construction performs light canonicalization (constant
+// folding, flattening, neutral-element elimination, term sorting) so that
+// structurally equal expressions compare equal and print identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lifta::arith {
+
+enum class Kind { Const, Var, Add, Mul, Div, Mod, Min, Max };
+
+class Expr;
+struct ExprNode;
+using NodePtr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  Kind kind = Kind::Const;
+  std::int64_t value = 0;            // Const
+  std::string name;                  // Var
+  std::vector<Expr> operands;        // Add/Mul (n-ary), Div/Mod/Min/Max (2)
+
+  explicit ExprNode(std::int64_t v) : kind(Kind::Const), value(v) {}
+  explicit ExprNode(std::string n) : kind(Kind::Var), name(std::move(n)) {}
+  ExprNode(Kind k, std::vector<Expr> ops);
+};
+
+/// Value-semantic handle to an immutable expression node.
+class Expr {
+public:
+  /// Default-constructs the constant 0.
+  Expr();
+  Expr(std::int64_t v);             // NOLINT: implicit by design (indices)
+  Expr(int v) : Expr(static_cast<std::int64_t>(v)) {}
+  explicit Expr(NodePtr node) : node_(std::move(node)) {}
+
+  /// Named symbolic variable.
+  static Expr var(const std::string& name);
+
+  Kind kind() const { return node_->kind; }
+  std::int64_t constValue() const;      // requires kind()==Const
+  const std::string& varName() const;   // requires kind()==Var
+  const std::vector<Expr>& operands() const { return node_->operands; }
+
+  bool isConst() const { return node_->kind == Kind::Const; }
+  bool isConst(std::int64_t v) const {
+    return isConst() && node_->value == v;
+  }
+
+  /// Structural equality (canonical forms make this reliable for the
+  /// simplifications we perform).
+  bool operator==(const Expr& other) const;
+  bool operator!=(const Expr& other) const { return !(*this == other); }
+
+  /// Prints as a C expression, fully parenthesized where needed.
+  std::string toString() const;
+
+  /// Substitutes every occurrence of variable `name` with `replacement`.
+  Expr substitute(const std::string& name, const Expr& replacement) const;
+  Expr substitute(const std::map<std::string, Expr>& bindings) const;
+
+  /// Evaluates with the given variable bindings; throws lifta::Error when a
+  /// free variable is unbound or on division by zero.
+  std::int64_t evaluate(const std::map<std::string, std::int64_t>& env) const;
+
+  /// Collects free variable names.
+  void freeVars(std::set<std::string>& out) const;
+  std::set<std::string> freeVars() const;
+
+  const NodePtr& node() const { return node_; }
+
+private:
+  NodePtr node_;
+};
+
+// Canonicalizing constructors.
+Expr add(std::vector<Expr> terms);
+Expr mul(std::vector<Expr> factors);
+Expr div(const Expr& a, const Expr& b);   // integer (truncating) division
+Expr mod(const Expr& a, const Expr& b);
+Expr min(const Expr& a, const Expr& b);
+Expr max(const Expr& a, const Expr& b);
+
+inline Expr operator+(const Expr& a, const Expr& b) { return add({a, b}); }
+inline Expr operator-(const Expr& a, const Expr& b) {
+  return add({a, mul({Expr(-1), b})});
+}
+inline Expr operator*(const Expr& a, const Expr& b) { return mul({a, b}); }
+inline Expr operator/(const Expr& a, const Expr& b) { return div(a, b); }
+inline Expr operator%(const Expr& a, const Expr& b) { return mod(a, b); }
+
+}  // namespace lifta::arith

@@ -1,0 +1,48 @@
+// OpenCL-style C kernel generation from LIFT IR (paper §III-A, §IV-B).
+//
+// The generator lowers a type-checked KernelDef into a single self-contained
+// C/C++ source string with a uniform ABI:
+//
+//   extern "C" void <name>(void** lifta_args, const lifta_wi_ctx* ctx);
+//
+// where lifta_args holds the kernel arguments in MemoryPlan order (array
+// arguments as raw pointers, scalars by pointer to a value slot) and ctx
+// carries the OpenCL work-item identity (get_global_id & friends are
+// provided as inline helpers over ctx). The simulated OpenCL runtime
+// (src/ocl) JIT-compiles this source and invokes the entry per work-item.
+//
+// Codegen is destination-passing: array-typed expressions are emitted into
+// an output *view*; the paper's WriteTo/Concat/Skip/ArrayCons primitives act
+// purely by rewriting that view (offsetting, aliasing), which reproduces the
+// in-place scattered updates of §IV-B without touching the loop emitter.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "memory/allocator.hpp"
+#include "memory/kernel_def.hpp"
+#include "view/view.hpp"
+
+namespace lifta::codegen {
+
+struct GeneratedKernel {
+  std::string name;
+  std::string source;        // full compilable source (preamble + entry)
+  std::string body;          // entry function body only (golden tests)
+  memory::MemoryPlan plan;   // ABI argument order
+};
+
+/// Generates a kernel. The body is type-checked internally.
+/// Throws TypeError / CodegenError on malformed programs.
+GeneratedKernel generateKernel(const memory::KernelDef& def);
+
+/// The fixed source preamble (work-item context struct and id helpers)
+/// shared by every generated kernel; exposed for the runtime's host-side
+/// launcher, which must agree on the lifta_wi_ctx layout.
+std::string kernelPreamble(ir::ScalarKind real);
+
+}  // namespace lifta::codegen

@@ -1,0 +1,13 @@
+// AlignedBuffer is header-only; this translation unit exists so the library
+// has at least one object file per header group and to hold explicit
+// instantiations of the most common element types (keeps template code out of
+// every client TU).
+#include "common/aligned_buffer.hpp"
+
+namespace lifta {
+
+template class AlignedArray<float>;
+template class AlignedArray<double>;
+template class AlignedArray<int>;
+
+}  // namespace lifta

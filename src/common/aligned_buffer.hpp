@@ -1,0 +1,116 @@
+// Cache-line / SIMD aligned heap buffer used for simulation grids and the
+// simulated OpenCL device memory. Unlike std::vector it guarantees a 64-byte
+// alignment and supports explicit value-initialization control (grids are
+// large; callers often fill them immediately).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lifta {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Owning, 64-byte aligned, fixed-capacity byte buffer.
+class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+
+  /// Allocates `bytes` bytes; zero-fills when `zero` is true.
+  explicit AlignedBuffer(std::size_t bytes, bool zero = true) { reset(bytes, zero); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      free();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { free(); }
+
+  /// Re-allocates to `bytes` bytes, discarding previous contents.
+  void reset(std::size_t bytes, bool zero = true) {
+    free();
+    if (bytes == 0) return;
+    // Round up so the allocation size is a multiple of the alignment, as
+    // required by std::aligned_alloc.
+    const std::size_t rounded =
+        (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+    data_ = std::aligned_alloc(kBufferAlignment, rounded);
+    if (data_ == nullptr) throw std::bad_alloc();
+    bytes_ = bytes;
+    if (zero) std::memset(data_, 0, rounded);
+  }
+
+  void* data() noexcept { return data_; }
+  const void* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return bytes_; }
+  bool empty() const noexcept { return bytes_ == 0; }
+
+  template <typename T>
+  T* as() noexcept { return static_cast<T*>(data_); }
+  template <typename T>
+  const T* as() const noexcept { return static_cast<const T*>(data_); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+private:
+  void free() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    bytes_ = 0;
+  }
+
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// Typed aligned array with size in elements. Thin wrapper over AlignedBuffer.
+template <typename T>
+class AlignedArray {
+public:
+  AlignedArray() = default;
+  explicit AlignedArray(std::size_t n, bool zero = true)
+      : buf_(n * sizeof(T), zero), n_(n) {}
+
+  void reset(std::size_t n, bool zero = true) {
+    buf_.reset(n * sizeof(T), zero);
+    n_ = n;
+  }
+
+  T* data() noexcept { return buf_.as<T>(); }
+  const T* data() const noexcept { return buf_.as<T>(); }
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + n_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + n_; }
+
+  void fill(const T& v) {
+    for (std::size_t i = 0; i < n_; ++i) data()[i] = v;
+  }
+
+private:
+  AlignedBuffer buf_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace lifta

@@ -1,0 +1,63 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lifta {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv, bool allowUnknown) {
+  (void)allowUnknown;
+  CliArgs out;
+  if (argc > 0) out.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --key value, unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[arg] = argv[++i];
+    } else {
+      out.flags_[arg] = "true";
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return flags_.count(key) != 0;
+}
+
+std::string CliArgs::getString(const std::string& key,
+                               const std::string& dflt) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? dflt : it->second;
+}
+
+std::int64_t CliArgs::getInt(const std::string& key, std::int64_t dflt) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::getDouble(const std::string& key, double dflt) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return dflt;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::getBool(const std::string& key, bool dflt) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return dflt;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace lifta

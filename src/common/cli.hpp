@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Flags use --name=value or --name value syntax; unknown flags are errors
+// unless `allowUnknown` is set (google-benchmark binaries pass their own).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lifta {
+
+class CliArgs {
+public:
+  /// Parses argv. Flags look like --key=value, --key value, or bare --key
+  /// (boolean true). Positional arguments are collected in order.
+  static CliArgs parse(int argc, const char* const* argv,
+                       bool allowUnknown = true);
+
+  bool has(const std::string& key) const;
+  std::string getString(const std::string& key, const std::string& dflt) const;
+  std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
+  double getDouble(const std::string& key, double dflt) const;
+  bool getBool(const std::string& key, bool dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lifta

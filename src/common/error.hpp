@@ -1,0 +1,55 @@
+// Error handling primitives shared by every lift-acoustics module.
+//
+// All recoverable failures are reported as lifta::Error (a std::runtime_error
+// carrying a formatted message). Programming errors caught at runtime use
+// LIFTA_CHECK, which throws rather than aborting so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lifta {
+
+/// Base exception for all lift-acoustics errors.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a LIFT IR program fails type checking.
+class TypeError : public Error {
+public:
+  explicit TypeError(const std::string& what) : Error("type error: " + what) {}
+};
+
+/// Thrown by the code generator for unsupported or malformed IR.
+class CodegenError : public Error {
+public:
+  explicit CodegenError(const std::string& what)
+      : Error("codegen error: " + what) {}
+};
+
+/// Thrown by the simulated OpenCL runtime (build failures, bad arguments...).
+class OclError : public Error {
+public:
+  explicit OclError(const std::string& what) : Error("ocl error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lifta
+
+/// Invariant check that throws lifta::Error with location info on failure.
+#define LIFTA_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) ::lifta::detail::checkFailed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,46 @@
+// Timing and summary statistics used by the benchmark harness. The paper
+// reports the median of 2000 kernel executions measured via the OpenCL
+// profiling API; `SampleStats` reproduces median/mean/stddev/min/max
+// bookkeeping for such sample sets.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace lifta {
+
+/// Monotonic wall-clock timer with microsecond-ish resolution.
+class Timer {
+public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Summary statistics over a sample set (e.g. per-iteration kernel times).
+struct SampleStats {
+  double median = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes summary statistics. The input vector is copied (it must be
+/// partially sorted to find the median).
+SampleStats summarize(std::vector<double> samples);
+
+/// Median convenience wrapper.
+double median(std::vector<double> samples);
+
+}  // namespace lifta

@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lifta {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallelFor, so spawn threads-1
+  // workers.
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cvStart_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::workerLoop() {
+  std::size_t seenGeneration = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cvStart_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seenGeneration);
+      });
+      if (stop_) return;
+      seenGeneration = generation_;
+      task = current_;
+      ++activeWorkers_;
+    }
+    runShare(*task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --activeWorkers_;
+    }
+    cvDone_.notify_one();
+  }
+}
+
+void ThreadPool::runShare(Task& task) {
+  for (;;) {
+    std::size_t begin;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (nextIndex_ >= task.n) return;
+      begin = nextIndex_;
+      nextIndex_ += task.chunk;
+    }
+    const std::size_t end = std::min(task.n, begin + task.chunk);
+    try {
+      task.body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!firstError_) firstError_ = std::current_exception();
+      // Drain remaining work so other threads finish quickly.
+      nextIndex_ = task.n;
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallelForChunked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    body(0, n);
+    return;
+  }
+  Task task;
+  task.body = body;
+  task.n = n;
+  // Aim for ~4 chunks per thread to balance load without excess locking.
+  const std::size_t target = threadCount() * 4;
+  task.chunk = std::max<std::size_t>(1, n / target);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &task;
+    nextIndex_ = 0;
+    firstError_ = nullptr;
+    ++generation_;
+  }
+  cvStart_.notify_all();
+  runShare(task);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [&] { return activeWorkers_ == 0; });
+    current_ = nullptr;
+    if (firstError_) {
+      auto err = firstError_;
+      firstError_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  parallelForChunked(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace lifta

@@ -1,0 +1,62 @@
+// Fixed-size worker pool used by the simulated OpenCL runtime to execute
+// NDRange work-groups in parallel. Provides a bulk parallel-for primitive
+// (`parallelFor`) that blocks until all iterations complete; this mirrors the
+// implicit completion barrier of a clFinish on an in-order queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lifta {
+
+class ThreadPool {
+public:
+  /// Creates a pool with `threads` workers. 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body(i) for all i in [0, n), distributing contiguous chunks across
+  /// the pool plus the calling thread. Blocks until every iteration is done.
+  /// Exceptions thrown by `body` are captured and the first one is rethrown.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(beginIdx, endIdx) per chunk. Lower overhead for
+  /// fine-grained iterations.
+  void parallelForChunked(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& global();
+
+private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> body;
+    std::size_t chunk = 1;
+    std::size_t n = 0;
+  };
+
+  void workerLoop();
+  void runShare(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cvStart_;
+  std::condition_variable cvDone_;
+  Task* current_ = nullptr;
+  std::size_t nextIndex_ = 0;
+  std::size_t activeWorkers_ = 0;
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace lifta

@@ -1,0 +1,70 @@
+#include "common/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace lifta {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void putTag(std::vector<std::uint8_t>& out, const char* tag) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(tag[i]));
+}
+
+}  // namespace
+
+void writeWav(const std::string& path, const std::vector<double>& samples,
+              int sampleRateHz) {
+  const std::uint32_t dataBytes = static_cast<std::uint32_t>(samples.size() * 2);
+  std::vector<std::uint8_t> out;
+  out.reserve(44 + dataBytes);
+  putTag(out, "RIFF");
+  put32(out, 36 + dataBytes);
+  putTag(out, "WAVE");
+  putTag(out, "fmt ");
+  put32(out, 16);                 // PCM fmt chunk size
+  put16(out, 1);                  // PCM
+  put16(out, 1);                  // mono
+  put32(out, static_cast<std::uint32_t>(sampleRateHz));
+  put32(out, static_cast<std::uint32_t>(sampleRateHz * 2));  // byte rate
+  put16(out, 2);                  // block align
+  put16(out, 16);                 // bits per sample
+  putTag(out, "data");
+  put32(out, dataBytes);
+  for (double s : samples) {
+    const double clamped = std::clamp(s, -1.0, 1.0);
+    const auto q = static_cast<std::int16_t>(std::lrint(clamped * 32767.0));
+    put16(out, static_cast<std::uint16_t>(q));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("cannot open for writing: " + path);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) throw Error("short write: " + path);
+}
+
+std::vector<double> normalize(std::vector<double> samples, double peak) {
+  double maxAbs = 0.0;
+  for (double s : samples) maxAbs = std::max(maxAbs, std::fabs(s));
+  if (maxAbs > 0.0) {
+    const double scale = peak / maxAbs;
+    for (double& s : samples) s *= scale;
+  }
+  return samples;
+}
+
+}  // namespace lifta

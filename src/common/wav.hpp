@@ -1,0 +1,18 @@
+// Minimal mono 16-bit PCM WAV writer, used by examples to dump room impulse
+// responses captured at a receiver so the results can be auditioned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lifta {
+
+/// Writes `samples` (clamped to [-1, 1]) as a mono 16-bit PCM WAV file.
+/// Throws lifta::Error on I/O failure.
+void writeWav(const std::string& path, const std::vector<double>& samples,
+              int sampleRateHz);
+
+/// Peak-normalizes samples to the given amplitude (no-op for silent input).
+std::vector<double> normalize(std::vector<double> samples, double peak = 0.89);
+
+}  // namespace lifta

@@ -1,0 +1,98 @@
+// "Beyond Room Acoustics Simulations" (paper §VIII): a 2D TMz
+// electromagnetic FDTD substrate in the style of ground-penetrating radar
+// (gprMax [17]) / reverse-time migration. The section's point is that these
+// models need the *volume* kernels to update several arrays in place —
+// electric and magnetic fields separately, each dimension independently —
+// which is exactly what the WriteTo/Tuple machinery enables. This module
+// provides the scene construction and the portable reference kernels; the
+// LIFT versions live in src/geophys/lift_kernels.*.
+//
+// Scheme (normalized Yee grid, c = Δ = 1, Courant number S ≤ 1/√2):
+//   Ez[i,j] = ca[i,j]*Ez + cb[i,j]*((Hy[i,j]-Hy[i-1,j]) - (Hx[i,j]-Hx[i,j-1]))
+//   Hx[i,j] -= S*(Ez[i,j+1]-Ez[i,j])
+//   Hy[i,j] += S*(Ez[i+1,j]-Ez[i,j])
+// with per-cell ca/cb from relative permittivity and conductivity:
+//   loss = sigma*S/(2*eps), ca = (1-loss)/(1+loss), cb = (S/eps)/(1+loss).
+// Absorption at the domain edge uses a conductivity ramp (a simple lossy
+// fringe standing in for a PML; documented substitution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lifta::geophys {
+
+inline constexpr double kCourant2D = 0.7;  // < 1/sqrt(2)
+
+/// A 2D material scene with precomputed update coefficients.
+struct Scene {
+  int nx = 0;
+  int ny = 0;
+  std::vector<double> epsR;   // relative permittivity per cell
+  std::vector<double> sigma;  // conductivity per cell
+  std::vector<double> ca;     // derived Ez coefficients
+  std::vector<double> cb;
+
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+  std::size_t at(int x, int y) const {
+    return static_cast<std::size_t>(y) * nx + x;
+  }
+
+  /// Recomputes ca/cb from epsR/sigma.
+  void deriveCoefficients();
+};
+
+/// A GPR-style scene: air above a layered subsurface with a buried circular
+/// object of high permittivity, and an absorbing conductivity fringe of
+/// `fringe` cells on every edge.
+Scene buildGprScene(int nx, int ny, int fringe = 10, double soilEps = 4.0,
+                    double objectEps = 20.0, int objectRadius = 6);
+
+/// Uniform free-space scene with an absorbing fringe (for physics tests).
+Scene buildFreeSpaceScene(int nx, int ny, int fringe = 10);
+
+// --- reference kernels (the oracle for the LIFT tier) ----------------------
+
+/// Ez update, in place. Every interior cell is written; edge cells keep
+/// their value (expressed as a select so generated code matches bitwise).
+template <typename T>
+void refEzUpdate(T* ez, const T* hx, const T* hy, const T* ca, const T* cb,
+                 int nx, int ny);
+
+/// Hx and Hy update, both in place, one fused pass (the §VIII shape).
+template <typename T>
+void refHUpdate(T* hx, T* hy, const T* ez, int nx, int ny, T courant);
+
+/// Reference time-stepping driver with a soft source.
+template <typename T>
+class Fdtd2d {
+public:
+  explicit Fdtd2d(Scene scene);
+
+  const Scene& scene() const { return scene_; }
+
+  /// Adds to Ez at (x, y) — a soft source.
+  void inject(int x, int y, T amplitude);
+
+  void step();
+  int stepsTaken() const { return steps_; }
+
+  T ez(int x, int y) const { return ez_[scene_.at(x, y)]; }
+  const std::vector<T>& ezField() const { return ez_; }
+  const std::vector<T>& hxField() const { return hx_; }
+  const std::vector<T>& hyField() const { return hy_; }
+
+  double energy() const;
+
+private:
+  Scene scene_;
+  std::vector<T> ez_, hx_, hy_, ca_, cb_;
+  int steps_ = 0;
+};
+
+extern template class Fdtd2d<float>;
+extern template class Fdtd2d<double>;
+
+}  // namespace lifta::geophys

@@ -1,0 +1,163 @@
+#include "geophys/lift_kernels.hpp"
+
+namespace lifta::geophys {
+
+using namespace lifta::ir;
+
+namespace {
+
+arith::Expr sz(const char* name) { return arith::Expr::var(name); }
+
+struct RealOps {
+  ScalarKind kind;
+  TypePtr type() const { return Type::scalar(kind); }
+  ExprPtr lit(double v) const { return litFloat(v, kind); }
+};
+
+/// val y = i / nx; val x = i - y*nx  (decomposition without a Mod op).
+struct CellCoords {
+  ExprPtr x, y;
+};
+
+ExprPtr withCoords(const ExprPtr& i, const ExprPtr& nx, const ExprPtr& xP,
+                   const ExprPtr& yP, ExprPtr body) {
+  return let(yP, i / nx, let(xP, i - yP * nx, std::move(body)));
+}
+
+ExprPtr andB(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::And, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+memory::KernelDef liftEmEzKernel(ScalarKind real) {
+  const RealOps R{real};
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto ez = param("ez", realArr);
+  auto hx = param("hx", realArr);
+  auto hy = param("hy", realArr);
+  auto ca = param("ca", realArr);
+  auto cb = param("cb", realArr);
+  auto nx = param("nx", Type::int_());
+  auto ny = param("ny", Type::int_());
+  auto cells = param("cells", Type::int_());
+
+  auto i = param("i", nullptr);
+  auto xP = param("x", nullptr);
+  auto yP = param("y", nullptr);
+
+  auto interior = andB(
+      andB(binary(BinOp::Ge, xP, litInt(1)),
+           binary(BinOp::Le, xP, nx - litInt(2))),
+      andB(binary(BinOp::Ge, yP, litInt(1)),
+           binary(BinOp::Le, yP, ny - litInt(2))));
+  // ca[i]*ez[i] + cb[i]*((hy[i]-hy[i-1]) - (hx[i]-hx[i-nx]))
+  auto curl = (arrayAccess(hy, i) - arrayAccess(hy, i - litInt(1))) -
+              (arrayAccess(hx, i) - arrayAccess(hx, i - nx));
+  auto updated =
+      arrayAccess(ca, i) * arrayAccess(ez, i) + arrayAccess(cb, i) * curl;
+  auto body = withCoords(
+      i, nx, xP, yP,
+      writeTo(arrayAccess(ez, i),
+              select(interior, updated, arrayAccess(ez, i))));
+
+  memory::KernelDef def;
+  def.name = "lift_em_ez";
+  def.real = real;
+  def.params = {ez, hx, hy, ca, cb, nx, ny, cells};
+  def.body = mapGlb(lambda({i}, body), iota(sz("cells")));
+  return def;
+}
+
+memory::KernelDef liftEmHKernel(ScalarKind real) {
+  const RealOps R{real};
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto hx = param("hx", realArr);
+  auto hy = param("hy", realArr);
+  auto ez = param("ez", realArr);
+  auto nx = param("nx", Type::int_());
+  auto ny = param("ny", Type::int_());
+  auto cells = param("cells", Type::int_());
+  auto s = param("S", R.type());
+
+  auto i = param("i", nullptr);
+  auto xP = param("x", nullptr);
+  auto yP = param("y", nullptr);
+
+  auto hxOk = binary(BinOp::Le, yP, ny - litInt(2));
+  auto hyOk = binary(BinOp::Le, xP, nx - litInt(2));
+  auto hxNew =
+      arrayAccess(hx, i) - s * (arrayAccess(ez, i + nx) - arrayAccess(ez, i));
+  auto hyNew = arrayAccess(hy, i) +
+               s * (arrayAccess(ez, i + litInt(1)) - arrayAccess(ez, i));
+  // The §VIII shape: one volume kernel, two arrays updated in place.
+  auto body = withCoords(
+      i, nx, xP, yP,
+      makeTuple({writeTo(arrayAccess(hx, i),
+                         select(hxOk, hxNew, arrayAccess(hx, i))),
+                 writeTo(arrayAccess(hy, i),
+                         select(hyOk, hyNew, arrayAccess(hy, i)))}));
+
+  memory::KernelDef def;
+  def.name = "lift_em_h";
+  def.real = real;
+  def.params = {hx, hy, ez, nx, ny, cells, s};
+  def.body = mapGlb(lambda({i}, body), iota(sz("cells")));
+  return def;
+}
+
+memory::KernelDef liftEmHxKernel(ScalarKind real) {
+  const RealOps R{real};
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto hx = param("hx", realArr);
+  auto ez = param("ez", realArr);
+  auto nx = param("nx", Type::int_());
+  auto ny = param("ny", Type::int_());
+  auto cells = param("cells", Type::int_());
+  auto s = param("S", R.type());
+
+  auto i = param("i", nullptr);
+  auto xP = param("x", nullptr);
+  auto yP = param("y", nullptr);
+  auto hxOk = binary(BinOp::Le, yP, ny - litInt(2));
+  auto hxNew =
+      arrayAccess(hx, i) - s * (arrayAccess(ez, i + nx) - arrayAccess(ez, i));
+  auto body = withCoords(i, nx, xP, yP,
+                         writeTo(arrayAccess(hx, i),
+                                 select(hxOk, hxNew, arrayAccess(hx, i))));
+  memory::KernelDef def;
+  def.name = "lift_em_hx";
+  def.real = real;
+  def.params = {hx, ez, nx, ny, cells, s};
+  def.body = mapGlb(lambda({i}, body), iota(sz("cells")));
+  return def;
+}
+
+memory::KernelDef liftEmHyKernel(ScalarKind real) {
+  const RealOps R{real};
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto hy = param("hy", realArr);
+  auto ez = param("ez", realArr);
+  auto nx = param("nx", Type::int_());
+  auto ny = param("ny", Type::int_());
+  auto cells = param("cells", Type::int_());
+  auto s = param("S", R.type());
+
+  auto i = param("i", nullptr);
+  auto xP = param("x", nullptr);
+  auto yP = param("y", nullptr);
+  auto hyOk = binary(BinOp::Le, xP, nx - litInt(2));
+  auto hyNew = arrayAccess(hy, i) +
+               s * (arrayAccess(ez, i + litInt(1)) - arrayAccess(ez, i));
+  auto body = withCoords(i, nx, xP, yP,
+                         writeTo(arrayAccess(hy, i),
+                                 select(hyOk, hyNew, arrayAccess(hy, i))));
+  memory::KernelDef def;
+  def.name = "lift_em_hy";
+  def.real = real;
+  def.params = {hy, ez, nx, ny, cells, s};
+  def.body = mapGlb(lambda({i}, body), iota(sz("cells")));
+  return def;
+}
+
+}  // namespace lifta::geophys

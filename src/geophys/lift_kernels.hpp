@@ -1,0 +1,31 @@
+// The §VIII geophysics kernels in LIFT IR.
+//
+// Both kernels are *volume* kernels with in-place updates — the capability
+// the paper's §VIII argues is "even more critical" for electromagnetic
+// models than for room acoustics:
+//   * liftEmEzKernel  — Ez updated in place with per-cell (multi-material)
+//     coefficients;
+//   * liftEmHKernel   — Hx AND Hy updated in place by one kernel, i.e. a
+//     Tuple of WriteTo results over the whole grid, not just at boundary
+//     points;
+//   * liftEmHxKernel / liftEmHyKernel — the same updates as two separate
+//     kernels, used by the ablation bench to quantify what the fused
+//     multi-output kernel buys.
+#pragma once
+
+#include "memory/kernel_def.hpp"
+
+namespace lifta::geophys {
+
+/// Params: ez, hx, hy, ca, cb, nx, ny, cells. In place on ez.
+memory::KernelDef liftEmEzKernel(ir::ScalarKind real);
+
+/// Params: hx, hy, ez, nx, ny, cells, S. In place on hx and hy.
+memory::KernelDef liftEmHKernel(ir::ScalarKind real);
+
+/// Split variants (one output each), same parameters as liftEmHKernel
+/// minus the unused field.
+memory::KernelDef liftEmHxKernel(ir::ScalarKind real);
+memory::KernelDef liftEmHyKernel(ir::ScalarKind real);
+
+}  // namespace lifta::geophys

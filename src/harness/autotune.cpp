@@ -1,0 +1,35 @@
+#include "harness/autotune.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace lifta::harness {
+
+TuneResult autotuneWorkGroup(
+    const std::function<double(std::size_t)>& launch,
+    const std::vector<std::size_t>& candidates, int iters, int warmup) {
+  LIFTA_CHECK(!candidates.empty(), "no work-group candidates");
+  TuneResult result;
+  for (std::size_t local : candidates) {
+    std::vector<double> ms;
+    try {
+      for (int i = 0; i < warmup; ++i) launch(local);
+      ms.reserve(static_cast<std::size_t>(iters));
+      for (int i = 0; i < iters; ++i) ms.push_back(launch(local));
+    } catch (const Error&) {
+      continue;  // e.g. work-group size exceeds the device limit
+    }
+    const double med = median(std::move(ms));
+    result.samples.emplace_back(local, med);
+    if (result.bestLocalSize == 0 || med < result.bestMedianMs) {
+      result.bestLocalSize = local;
+      result.bestMedianMs = med;
+    }
+  }
+  if (result.bestLocalSize == 0) {
+    throw Error("autotune: every work-group candidate failed");
+  }
+  return result;
+}
+
+}  // namespace lifta::harness

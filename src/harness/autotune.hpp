@@ -1,0 +1,28 @@
+// Work-group autotuning — §VI's "all benchmarks have been hand-tuned by
+// workgroup size and the best result is reported", as a library: measure a
+// launch at each candidate local size and return the fastest.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace lifta::harness {
+
+struct TuneResult {
+  std::size_t bestLocalSize = 0;
+  double bestMedianMs = 0.0;
+  /// (localSize, medianMs) for every candidate, in candidate order.
+  std::vector<std::pair<std::size_t, double>> samples;
+};
+
+/// Measures `launch(localSize)` (which must perform one execution and
+/// return its event milliseconds) `iters` times per candidate and picks the
+/// best median. Candidates that throw (e.g. exceeding the device limit) are
+/// skipped; throws lifta::Error if none succeed.
+TuneResult autotuneWorkGroup(
+    const std::function<double(std::size_t)>& launch,
+    const std::vector<std::size_t>& candidates = {16, 32, 64, 128, 256},
+    int iters = 7, int warmup = 2);
+
+}  // namespace lifta::harness

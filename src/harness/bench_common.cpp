@@ -1,0 +1,72 @@
+#include "harness/bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace lifta::harness {
+
+BenchOptions BenchOptions::fromArgs(int argc, const char* const* argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  BenchOptions opt;
+  opt.full = args.getBool("full", opt.full);
+  opt.iters = static_cast<int>(args.getInt("iters", opt.iters));
+  opt.warmup = static_cast<int>(args.getInt("warmup", opt.warmup));
+  opt.localSize =
+      static_cast<std::size_t>(args.getInt("local", static_cast<int>(opt.localSize)));
+  opt.branches = static_cast<int>(args.getInt("branches", opt.branches));
+  opt.allPlatforms = args.getBool("all-platforms", opt.allPlatforms);
+  return opt;
+}
+
+std::vector<SizedRoom> benchRooms(acoustics::RoomShape shape, bool full) {
+  using acoustics::Room;
+  if (full) {
+    // Table II volume dims + halo.
+    return {
+        {"602", Room{shape, 604, 404, 304}},
+        {"336", Room{shape, 338, 338, 338}},
+        {"302", Room{shape, 304, 204, 154}},
+    };
+  }
+  // ~1/8 linear scale: preserves the aspect-ratio relationships the paper's
+  // §VII-B1 discussion relies on (cuboid with long x vs. uniform cube).
+  return {
+      {"602", Room{shape, 77, 52, 39}},
+      {"336", Room{shape, 44, 44, 44}},
+      {"302", Room{shape, 39, 27, 21}},
+  };
+}
+
+std::vector<ocl::DeviceProfile> benchPlatforms(const BenchOptions& opt) {
+  if (opt.allPlatforms) return ocl::paperPlatforms();
+  return {ocl::nativeDevice()};
+}
+
+double medianKernelMs(const std::function<double()>& launch,
+                      const BenchOptions& opt) {
+  for (int i = 0; i < opt.warmup; ++i) launch();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opt.iters));
+  for (int i = 0; i < opt.iters; ++i) samples.push_back(launch());
+  return median(std::move(samples));
+}
+
+double mups(std::size_t updates, double medianMs) {
+  if (medianMs <= 0.0) return 0.0;
+  return static_cast<double>(updates) / (medianMs * 1e-3) / 1e6;
+}
+
+void printBenchBanner(const std::string& title, const BenchOptions& opt) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "substrate: simulated OpenCL runtime on the host CPU (no GPU in this\n"
+      "environment); LIFT-generated and hand-written kernels both execute\n"
+      "through the same JIT + NDRange executor, preserving the paper's\n"
+      "LIFT-vs-handwritten comparison. rooms: %s (use --full for Table II\n"
+      "sizes), iters=%d, local=%zu\n\n",
+      opt.full ? "paper Table II sizes" : "1/8-scale Table II sizes",
+      opt.iters, opt.localSize);
+}
+
+}  // namespace lifta::harness

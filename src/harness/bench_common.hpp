@@ -1,0 +1,55 @@
+// Common benchmark options, room selection and timing for the bench/
+// binaries that regenerate the paper's tables and figures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "acoustics/geometry.hpp"
+#include "common/cli.hpp"
+#include "ocl/device.hpp"
+
+namespace lifta::harness {
+
+struct BenchOptions {
+  /// Paper-size rooms (Table II). Default: proportionally scaled rooms so
+  /// the whole suite completes quickly on one CPU core; the labels keep the
+  /// paper's size names so rows are directly comparable.
+  bool full = false;
+  int iters = 15;    // timing iterations (paper: 2000)
+  int warmup = 3;
+  std::size_t localSize = 64;   // work-group size after hand-tuning
+  int branches = 3;             // FD-MM branch count (paper: 3)
+  /// Run the row set for all four Table III platforms (one host CPU
+  /// underneath; see the banner each bench prints).
+  bool allPlatforms = false;
+
+  static BenchOptions fromArgs(int argc, const char* const* argv);
+};
+
+struct SizedRoom {
+  std::string label;       // the paper's size name ("602", "336", "302")
+  acoustics::Room room;
+};
+
+/// The three Table II rooms, scaled down ~8x per dimension by default.
+std::vector<SizedRoom> benchRooms(acoustics::RoomShape shape, bool full);
+
+/// Platforms to report: the four Table III profiles with --all-platforms,
+/// otherwise just the native host device.
+std::vector<ocl::DeviceProfile> benchPlatforms(const BenchOptions& opt);
+
+/// Times `launch` (which must perform one kernel execution and return its
+/// event milliseconds) and returns the median over opt.iters runs.
+double medianKernelMs(const std::function<double()>& launch,
+                      const BenchOptions& opt);
+
+/// Mega-updates per second for `updates` grid/boundary points per launch.
+double mups(std::size_t updates, double medianMs);
+
+/// Standard banner explaining the simulation substitution.
+void printBenchBanner(const std::string& title, const BenchOptions& opt);
+
+}  // namespace lifta::harness

@@ -1,0 +1,186 @@
+#include "harness/paper_data.hpp"
+
+namespace lifta::harness {
+
+namespace {
+constexpr const char* kTitan = "NVIDIA TITAN Black";
+constexpr const char* kAmd7970 = "AMD Radeon HD 7970";
+constexpr const char* kR9 = "AMD Radeon R9 295X2";
+constexpr const char* kGtx780 = "NVIDIA GTX 780";
+}  // namespace
+
+const std::vector<PaperRow>& paperTable4() {
+  // Table IV: median run times (ms) for the naive FI kernel, box rooms.
+  static const std::vector<PaperRow> rows = {
+      {kTitan, "OpenCL", "602", "", 8.19, 11.33},
+      {kTitan, "LIFT", "602", "", 6.93, 11.55},
+      {kTitan, "OpenCL", "336", "", 4.01, 5.16},
+      {kTitan, "LIFT", "336", "", 3.51, 5.91},
+      {kTitan, "OpenCL", "302", "", 0.97, 1.37},
+      {kTitan, "LIFT", "302", "", 0.84, 1.45},
+      {kAmd7970, "OpenCL", "602", "", 5.05, 10.66},
+      {kAmd7970, "LIFT", "602", "", 4.97, 10.31},
+      {kAmd7970, "OpenCL", "336", "", 2.70, 5.68},
+      {kAmd7970, "LIFT", "336", "", 2.70, 5.70},
+      {kAmd7970, "OpenCL", "302", "", 0.66, 1.41},
+      {kAmd7970, "LIFT", "302", "", 0.64, 1.31},
+      {kR9, "OpenCL", "602", "", 4.89, 10.10},
+      {kR9, "LIFT", "602", "", 5.05, 9.18},
+      {kR9, "OpenCL", "336", "", 2.93, 4.91},
+      {kR9, "LIFT", "336", "", 2.96, 5.09},
+      {kR9, "OpenCL", "302", "", 0.60, 1.19},
+      {kR9, "LIFT", "302", "", 0.69, 1.16},
+      {kGtx780, "OpenCL", "602", "", 9.21, 12.30},
+      {kGtx780, "LIFT", "602", "", 7.59, 13.24},
+      {kGtx780, "OpenCL", "336", "", 4.57, 5.65},
+      {kGtx780, "LIFT", "336", "", 3.85, 6.79},
+      {kGtx780, "OpenCL", "302", "", 1.23, 1.52},
+      {kGtx780, "LIFT", "302", "", 1.04, 1.69},
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paperTable5() {
+  // Table V: FI-MM boundary kernel median run times (ms).
+  static const std::vector<PaperRow> rows = {
+      {kR9, "OpenCL", "602", "box", 0.28, 0.51},
+      {kR9, "LIFT", "602", "box", 0.28, 0.35},
+      {kR9, "OpenCL", "302", "box", 0.07, 0.13},
+      {kR9, "LIFT", "302", "box", 0.07, 0.09},
+      {kR9, "OpenCL", "336", "box", 0.32, 0.60},
+      {kR9, "LIFT", "336", "box", 0.33, 0.37},
+      {kAmd7970, "OpenCL", "602", "box", 0.27, 0.34},
+      {kAmd7970, "LIFT", "602", "box", 0.27, 0.34},
+      {kAmd7970, "OpenCL", "302", "box", 0.07, 0.08},
+      {kAmd7970, "LIFT", "302", "box", 0.07, 0.08},
+      {kAmd7970, "OpenCL", "336", "box", 0.29, 0.33},
+      {kAmd7970, "LIFT", "336", "box", 0.29, 0.33},
+      {kGtx780, "OpenCL", "602", "box", 0.27, 0.33},
+      {kGtx780, "LIFT", "602", "box", 0.27, 0.34},
+      {kGtx780, "OpenCL", "302", "box", 0.06, 0.08},
+      {kGtx780, "LIFT", "302", "box", 0.06, 0.08},
+      {kGtx780, "OpenCL", "336", "box", 0.25, 0.34},
+      {kGtx780, "LIFT", "336", "box", 0.25, 0.34},
+      {kTitan, "OpenCL", "602", "box", 0.29, 0.31},
+      {kTitan, "LIFT", "602", "box", 0.28, 0.36},
+      {kTitan, "OpenCL", "302", "box", 0.06, 0.07},
+      {kTitan, "LIFT", "302", "box", 0.06, 0.09},
+      {kTitan, "OpenCL", "336", "box", 0.30, 0.29},
+      {kTitan, "LIFT", "336", "box", 0.28, 0.40},
+      {kR9, "OpenCL", "602", "dome", 0.34, 0.48},
+      {kR9, "LIFT", "602", "dome", 0.34, 0.37},
+      {kR9, "OpenCL", "302", "dome", 0.08, 0.11},
+      {kR9, "LIFT", "302", "dome", 0.08, 0.08},
+      {kR9, "OpenCL", "336", "dome", 0.28, 0.33},
+      {kR9, "LIFT", "336", "dome", 0.28, 0.27},
+      {kAmd7970, "OpenCL", "602", "dome", 0.32, 0.38},
+      {kAmd7970, "LIFT", "602", "dome", 0.31, 0.38},
+      {kAmd7970, "OpenCL", "302", "dome", 0.08, 0.09},
+      {kAmd7970, "LIFT", "302", "dome", 0.08, 0.09},
+      {kAmd7970, "OpenCL", "336", "dome", 0.25, 0.28},
+      {kAmd7970, "LIFT", "336", "dome", 0.25, 0.28},
+      {kGtx780, "OpenCL", "602", "dome", 0.28, 0.38},
+      {kGtx780, "LIFT", "602", "dome", 0.29, 0.38},
+      {kGtx780, "OpenCL", "302", "dome", 0.06, 0.09},
+      {kGtx780, "LIFT", "302", "dome", 0.06, 0.09},
+      {kGtx780, "OpenCL", "336", "dome", 0.19, 0.30},
+      {kGtx780, "LIFT", "336", "dome", 0.21, 0.30},
+      {kTitan, "OpenCL", "602", "dome", 0.30, 0.32},
+      {kTitan, "LIFT", "602", "dome", 0.29, 0.37},
+      {kTitan, "OpenCL", "302", "dome", 0.06, 0.07},
+      {kTitan, "LIFT", "302", "dome", 0.06, 0.08},
+      {kTitan, "OpenCL", "336", "dome", 0.24, 0.25},
+      {kTitan, "LIFT", "336", "dome", 0.20, 0.25},
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paperTable6() {
+  // Table VI: FD-MM boundary kernel (branch value 3) median run times (ms).
+  static const std::vector<PaperRow> rows = {
+      {kR9, "OpenCL", "602", "box", 0.52, 1.05},
+      {kR9, "LIFT", "602", "box", 0.47, 0.94},
+      {kR9, "OpenCL", "302", "box", 0.12, 0.26},
+      {kR9, "LIFT", "302", "box", 0.12, 0.23},
+      {kR9, "OpenCL", "336", "box", 0.49, 0.69},
+      {kR9, "LIFT", "336", "box", 0.44, 0.64},
+      {kAmd7970, "OpenCL", "602", "box", 0.57, 0.93},
+      {kAmd7970, "LIFT", "602", "box", 0.54, 0.85},
+      {kAmd7970, "OpenCL", "302", "box", 0.13, 0.22},
+      {kAmd7970, "LIFT", "302", "box", 0.13, 0.21},
+      {kAmd7970, "OpenCL", "336", "box", 0.50, 0.71},
+      {kAmd7970, "LIFT", "336", "box", 0.47, 0.69},
+      {kGtx780, "OpenCL", "602", "box", 0.48, 0.78},
+      {kGtx780, "LIFT", "602", "box", 0.52, 0.76},
+      {kGtx780, "OpenCL", "302", "box", 0.11, 0.18},
+      {kGtx780, "LIFT", "302", "box", 0.12, 0.18},
+      {kGtx780, "OpenCL", "336", "box", 0.36, 0.61},
+      {kGtx780, "LIFT", "336", "box", 0.38, 0.59},
+      {kTitan, "OpenCL", "602", "box", 0.49, 0.83},
+      {kTitan, "LIFT", "602", "box", 0.50, 0.87},
+      {kTitan, "OpenCL", "302", "box", 0.11, 0.20},
+      {kTitan, "LIFT", "302", "box", 0.12, 0.21},
+      {kTitan, "OpenCL", "336", "box", 0.40, 0.55},
+      {kTitan, "LIFT", "336", "box", 0.40, 0.60},
+      {kR9, "OpenCL", "602", "dome", 0.45, 0.66},
+      {kR9, "LIFT", "602", "dome", 0.46, 0.68},
+      {kR9, "OpenCL", "302", "dome", 0.11, 0.17},
+      {kR9, "LIFT", "302", "dome", 0.11, 0.17},
+      {kR9, "OpenCL", "336", "dome", 0.37, 0.41},
+      {kR9, "LIFT", "336", "dome", 0.35, 0.42},
+      {kAmd7970, "OpenCL", "602", "dome", 0.48, 0.70},
+      {kAmd7970, "LIFT", "602", "dome", 0.48, 0.70},
+      {kAmd7970, "OpenCL", "302", "dome", 0.12, 0.17},
+      {kAmd7970, "LIFT", "302", "dome", 0.12, 0.17},
+      {kAmd7970, "OpenCL", "336", "dome", 0.36, 0.47},
+      {kAmd7970, "LIFT", "336", "dome", 0.36, 0.47},
+      {kGtx780, "OpenCL", "602", "dome", 0.41, 0.60},
+      {kGtx780, "LIFT", "602", "dome", 0.44, 0.63},
+      {kGtx780, "OpenCL", "302", "dome", 0.09, 0.15},
+      {kGtx780, "LIFT", "302", "dome", 0.10, 0.16},
+      {kGtx780, "OpenCL", "336", "dome", 0.29, 0.45},
+      {kGtx780, "LIFT", "336", "dome", 0.29, 0.44},
+      {kTitan, "OpenCL", "602", "dome", 0.42, 0.56},
+      {kTitan, "LIFT", "602", "dome", 0.43, 0.65},
+      {kTitan, "OpenCL", "302", "dome", 0.10, 0.14},
+      {kTitan, "LIFT", "302", "dome", 0.10, 0.16},
+      {kTitan, "OpenCL", "336", "dome", 0.30, 0.36},
+      {kTitan, "LIFT", "336", "dome", 0.30, 0.42},
+  };
+  return rows;
+}
+
+std::optional<PaperRow> findPaperRow(const std::vector<PaperRow>& table,
+                                     const std::string& platform,
+                                     const std::string& version,
+                                     const std::string& size,
+                                     const std::string& shape) {
+  for (const auto& row : table) {
+    if (row.platform == platform && row.version == version &&
+        row.size == size && (row.shape.empty() || row.shape == shape)) {
+      return row;
+    }
+  }
+  return std::nullopt;
+}
+
+double paperLiftOverOpenclRatio(const std::vector<PaperRow>& table,
+                                bool doublePrecision) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& lift : table) {
+    if (lift.version != "LIFT") continue;
+    const auto cl =
+        findPaperRow(table, lift.platform, "OpenCL", lift.size, lift.shape);
+    if (!cl) continue;
+    const double a = doublePrecision ? lift.doubleMs : lift.singleMs;
+    const double b = doublePrecision ? cl->doubleMs : cl->singleMs;
+    if (b > 0.0) {
+      sum += a / b;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace lifta::harness

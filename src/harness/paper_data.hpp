@@ -1,0 +1,43 @@
+// The paper's published measurements (appendix Tables IV, V, VI): median
+// kernel run times in milliseconds on the authors' GPUs. The benchmarks
+// print these next to our CPU-substrate measurements so the *relative*
+// claims (LIFT vs handwritten parity, FD-MM vs FI-MM cost, single vs double
+// gaps, the 336 dip) can be compared directly; absolute times are not
+// expected to match a different machine.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lifta::harness {
+
+struct PaperRow {
+  std::string platform;  // as printed in the paper
+  std::string version;   // "OpenCL" (handwritten) or "LIFT"
+  std::string size;      // "602", "336", "302"
+  std::string shape;     // "box", "dome" ("" for Table IV)
+  double singleMs = 0.0;
+  double doubleMs = 0.0;
+};
+
+/// Table IV — naive frequency-independent (FI) fused kernel, box only.
+const std::vector<PaperRow>& paperTable4();
+/// Table V — FI-MM boundary kernel.
+const std::vector<PaperRow>& paperTable5();
+/// Table VI — FD-MM boundary kernel (branch value 3).
+const std::vector<PaperRow>& paperTable6();
+
+/// Looks up one row. `shape` is ignored for Table IV.
+std::optional<PaperRow> findPaperRow(const std::vector<PaperRow>& table,
+                                     const std::string& platform,
+                                     const std::string& version,
+                                     const std::string& size,
+                                     const std::string& shape);
+
+/// Mean LIFT/OpenCL time ratio over a table for the given precision —
+/// the paper's headline "on par" quantity (≈1.0).
+double paperLiftOverOpenclRatio(const std::vector<PaperRow>& table,
+                                bool doublePrecision);
+
+}  // namespace lifta::harness

@@ -1,0 +1,57 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace lifta::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  LIFTA_CHECK(cells.size() == headers_.size(),
+              "table row width does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmtMs(double ms) { return strformat("%.3f", ms); }
+
+std::string fmtMups(double mups) {
+  if (mups >= 1000.0) return strformat("%.2f G", mups / 1000.0);
+  return strformat("%.1f M", mups);
+}
+
+}  // namespace lifta::harness

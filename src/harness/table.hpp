@@ -1,0 +1,31 @@
+// Column-aligned plain-text tables for the benchmark binaries, which print
+// the same rows the paper's tables report (platform, version, size, shape,
+// single/double ms, throughput).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lifta::harness {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats milliseconds with paper-style precision (two decimals).
+std::string fmtMs(double ms);
+/// Formats a throughput in mega-updates per second.
+std::string fmtMups(double mups);
+
+}  // namespace lifta::harness

@@ -1,0 +1,232 @@
+#include "ir/expr.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::ir {
+
+namespace {
+ExprPtr node(Op op) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  return n;
+}
+}  // namespace
+
+ExprPtr param(const std::string& name, TypePtr type) {
+  auto n = node(Op::Param);
+  n->name = name;
+  n->type = std::move(type);
+  return n;
+}
+
+ExprPtr litFloat(double v, ScalarKind k) {
+  LIFTA_CHECK(k == ScalarKind::Float || k == ScalarKind::Double,
+              "litFloat requires a floating scalar kind");
+  auto n = node(Op::Literal);
+  n->literalValue = v;
+  n->literalKind = k;
+  n->type = Type::scalar(k);
+  return n;
+}
+
+ExprPtr litInt(std::int64_t v) {
+  auto n = node(Op::Literal);
+  n->literalValue = static_cast<double>(v);
+  n->literalKind = ScalarKind::Int;
+  n->type = Type::int_();
+  return n;
+}
+
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+  auto n = node(Op::Binary);
+  n->bin = op;
+  n->args = {std::move(a), std::move(b)};
+  return n;
+}
+
+ExprPtr unary(UnOp op, ExprPtr a) {
+  auto n = node(Op::Unary);
+  n->un = op;
+  n->args = {std::move(a)};
+  return n;
+}
+
+ExprPtr select(ExprPtr cond, ExprPtr ifTrue, ExprPtr ifFalse) {
+  auto n = node(Op::Select);
+  n->args = {std::move(cond), std::move(ifTrue), std::move(ifFalse)};
+  return n;
+}
+
+ExprPtr cast(TypePtr to, ExprPtr a) {
+  auto n = node(Op::Cast);
+  n->type = std::move(to);
+  n->args = {std::move(a)};
+  return n;
+}
+
+ExprPtr call(UserFunPtr fn, std::vector<ExprPtr> args) {
+  LIFTA_CHECK(fn != nullptr, "null user function");
+  auto n = node(Op::UserFunCall);
+  n->userFun = std::move(fn);
+  n->args = std::move(args);
+  return n;
+}
+
+ExprPtr let(ExprPtr p, ExprPtr value, ExprPtr body) {
+  LIFTA_CHECK(p->op == Op::Param, "let binder must be a param node");
+  auto n = node(Op::Let);
+  n->args = {std::move(p), std::move(value), std::move(body)};
+  return n;
+}
+
+ExprPtr makeTuple(std::vector<ExprPtr> elems) {
+  auto n = node(Op::MakeTuple);
+  n->args = std::move(elems);
+  return n;
+}
+
+ExprPtr get(ExprPtr tuple, int index) {
+  auto n = node(Op::Get);
+  n->tupleIndex = index;
+  n->args = {std::move(tuple)};
+  return n;
+}
+
+ExprPtr zip(std::vector<ExprPtr> arrays) {
+  LIFTA_CHECK(arrays.size() >= 2, "zip needs at least two arrays");
+  auto n = node(Op::Zip);
+  n->args = std::move(arrays);
+  return n;
+}
+
+ExprPtr map(MapKind kind, int dim, LambdaPtr f, ExprPtr array) {
+  LIFTA_CHECK(f != nullptr && f->params.size() == 1,
+              "map lambda must take exactly one parameter");
+  auto n = node(Op::Map);
+  n->mapKind = kind;
+  n->mapDim = dim;
+  n->lambda = std::move(f);
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr mapSeq(LambdaPtr f, ExprPtr array) {
+  return map(MapKind::Seq, 0, std::move(f), std::move(array));
+}
+
+ExprPtr mapGlb(LambdaPtr f, ExprPtr array, int dim) {
+  return map(MapKind::Glb, dim, std::move(f), std::move(array));
+}
+
+ExprPtr reduceSeq(LambdaPtr f, ExprPtr init, ExprPtr array) {
+  LIFTA_CHECK(f != nullptr && f->params.size() == 2,
+              "reduce lambda must take (acc, element)");
+  auto n = node(Op::Reduce);
+  n->lambda = std::move(f);
+  n->args = {std::move(init), std::move(array)};
+  return n;
+}
+
+ExprPtr slide(arith::Expr size, arith::Expr step, ExprPtr array) {
+  auto n = node(Op::Slide);
+  n->size1 = std::move(size);
+  n->size2 = std::move(step);
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr pad(arith::Expr left, arith::Expr right, PadMode mode, ExprPtr array) {
+  auto n = node(Op::Pad);
+  n->size1 = std::move(left);
+  n->size2 = std::move(right);
+  n->padMode = mode;
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr splitN(arith::Expr nElems, ExprPtr array) {
+  auto n = node(Op::Split);
+  n->size1 = std::move(nElems);
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr joinA(ExprPtr array) {
+  auto n = node(Op::Join);
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr iota(arith::Expr count) {
+  auto n = node(Op::Iota);
+  n->size1 = std::move(count);
+  n->type = Type::array(Type::int_(), n->size1);
+  return n;
+}
+
+ExprPtr transpose(ExprPtr array) {
+  auto n = node(Op::Transpose);
+  n->args = {std::move(array)};
+  return n;
+}
+
+ExprPtr slide3(arith::Expr size, arith::Expr step, ExprPtr array3d) {
+  auto n = node(Op::Slide3);
+  n->size1 = std::move(size);
+  n->size2 = std::move(step);
+  n->args = {std::move(array3d)};
+  return n;
+}
+
+ExprPtr pad3(arith::Expr amount, PadMode mode, ExprPtr array3d) {
+  auto n = node(Op::Pad3);
+  n->size1 = std::move(amount);
+  n->padMode = mode;
+  n->args = {std::move(array3d)};
+  return n;
+}
+
+ExprPtr arrayAccess(ExprPtr array, ExprPtr index) {
+  auto n = node(Op::ArrayAccess);
+  n->args = {std::move(array), std::move(index)};
+  return n;
+}
+
+ExprPtr writeTo(ExprPtr dest, ExprPtr value) {
+  auto n = node(Op::WriteTo);
+  n->args = {std::move(dest), std::move(value)};
+  return n;
+}
+
+ExprPtr concat(std::vector<ExprPtr> arrays) {
+  LIFTA_CHECK(!arrays.empty(), "concat needs at least one array");
+  auto n = node(Op::Concat);
+  n->args = std::move(arrays);
+  return n;
+}
+
+ExprPtr skip(TypePtr elemType, ExprPtr length) {
+  auto n = node(Op::Skip);
+  n->elemType = std::move(elemType);
+  n->args = {std::move(length)};
+  return n;
+}
+
+ExprPtr arrayCons(ExprPtr elem, arith::Expr count) {
+  auto n = node(Op::ArrayCons);
+  n->size1 = std::move(count);
+  n->args = {std::move(elem)};
+  return n;
+}
+
+LambdaPtr lambda(std::vector<ExprPtr> params, ExprPtr body) {
+  for (const auto& p : params) {
+    LIFTA_CHECK(p->op == Op::Param, "lambda parameters must be param nodes");
+  }
+  auto l = std::make_shared<Lambda>();
+  l->params = std::move(params);
+  l->body = std::move(body);
+  return l;
+}
+
+}  // namespace lifta::ir

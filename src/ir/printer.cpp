@@ -1,0 +1,148 @@
+#include "ir/printer.hpp"
+
+#include "common/string_util.hpp"
+
+namespace lifta::ir {
+
+namespace {
+
+const char* binOpName(BinOp b) {
+  switch (b) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+  }
+  return "?";
+}
+
+const char* mapName(MapKind k) {
+  switch (k) {
+    case MapKind::Seq: return "MapSeq";
+    case MapKind::Glb: return "MapGlb";
+    case MapKind::Wrg: return "MapWrg";
+    case MapKind::Lcl: return "MapLcl";
+  }
+  return "Map";
+}
+
+std::string render(const ExprPtr& e) {
+  const Node& n = *e;
+  switch (n.op) {
+    case Op::Param:
+      return n.name;
+    case Op::Literal:
+      if (n.literalKind == ScalarKind::Int) {
+        return std::to_string(static_cast<std::int64_t>(n.literalValue));
+      }
+      return strformat("%g", n.literalValue);
+    case Op::Binary: {
+      const std::string a = render(n.args[0]);
+      const std::string b = render(n.args[1]);
+      if (n.bin == BinOp::Min || n.bin == BinOp::Max) {
+        return std::string(binOpName(n.bin)) + "(" + a + ", " + b + ")";
+      }
+      return "(" + a + " " + binOpName(n.bin) + " " + b + ")";
+    }
+    case Op::Unary:
+      return (n.un == UnOp::Neg ? "-" : "!") + render(n.args[0]);
+    case Op::Select:
+      return "(" + render(n.args[0]) + " ? " + render(n.args[1]) + " : " +
+             render(n.args[2]) + ")";
+    case Op::Cast:
+      return "Cast[" + n.type->toString() + "](" + render(n.args[0]) + ")";
+    case Op::UserFunCall: {
+      std::vector<std::string> parts;
+      for (const auto& a : n.args) parts.push_back(render(a));
+      return n.userFun->name + "(" + join(parts, ", ") + ")";
+    }
+    case Op::Let:
+      return "val " + n.args[0]->name + " = " + render(n.args[1]) + " in " +
+             render(n.args[2]);
+    case Op::MakeTuple: {
+      std::vector<std::string> parts;
+      for (const auto& a : n.args) parts.push_back(render(a));
+      return "Tuple(" + join(parts, ", ") + ")";
+    }
+    case Op::Get:
+      return "Get(" + render(n.args[0]) + ", " + std::to_string(n.tupleIndex) +
+             ")";
+    case Op::Zip: {
+      std::vector<std::string> parts;
+      for (const auto& a : n.args) parts.push_back(render(a));
+      return "Zip(" + join(parts, ", ") + ")";
+    }
+    case Op::Map: {
+      std::vector<std::string> ps;
+      for (const auto& p : n.lambda->params) ps.push_back(p->name);
+      return std::string(mapName(n.mapKind)) + "(fun(" + join(ps, ", ") +
+             " => " + render(n.lambda->body) + ")) << " + render(n.args[0]);
+    }
+    case Op::Reduce: {
+      std::vector<std::string> ps;
+      for (const auto& p : n.lambda->params) ps.push_back(p->name);
+      return "ReduceSeq(fun(" + join(ps, ", ") + " => " +
+             render(n.lambda->body) + "), " + render(n.args[0]) + ") << " +
+             render(n.args[1]);
+    }
+    case Op::Slide:
+      return "Slide(" + n.size1.toString() + ", " + n.size2.toString() +
+             ") << " + render(n.args[0]);
+    case Op::Pad:
+      return "Pad(" + n.size1.toString() + ", " + n.size2.toString() + ", " +
+             (n.padMode == PadMode::Zero ? "0" : "clamp") + ") << " +
+             render(n.args[0]);
+    case Op::Split:
+      return "Split(" + n.size1.toString() + ") << " + render(n.args[0]);
+    case Op::Join:
+      return "Join() << " + render(n.args[0]);
+    case Op::Iota:
+      return "Iota(" + n.size1.toString() + ")";
+    case Op::Transpose:
+      return "Transpose() << " + render(n.args[0]);
+    case Op::Slide3:
+      return "Slide3(" + n.size1.toString() + ", " + n.size2.toString() +
+             ") << " + render(n.args[0]);
+    case Op::Pad3:
+      return "Pad3(" + n.size1.toString() + ", " +
+             (n.padMode == PadMode::Zero ? "0" : "clamp") + ") << " +
+             render(n.args[0]);
+    case Op::ArrayAccess:
+      return "ArrayAccess(" + render(n.args[1]) + ") << " + render(n.args[0]);
+    case Op::WriteTo:
+      return "WriteTo(" + render(n.args[0]) + ", " + render(n.args[1]) + ")";
+    case Op::Concat: {
+      std::vector<std::string> parts;
+      for (const auto& a : n.args) parts.push_back(render(a));
+      return "Concat(" + join(parts, ", ") + ")";
+    }
+    case Op::Skip:
+      return "Skip<" + (n.elemType ? n.elemType->toString() : "?") + ">(" +
+             render(n.args[0]) + ")";
+    case Op::ArrayCons:
+      return "ArrayCons(" + render(n.args[0]) + ", " + n.size1.toString() + ")";
+  }
+  return "<?>";
+}
+
+}  // namespace
+
+std::string printCompact(const ExprPtr& expr) { return render(expr); }
+
+std::string print(const ExprPtr& expr) {
+  // The compact renderer already produces readable output for the program
+  // sizes in this repo; pretty printing just adds a trailing newline.
+  return render(expr) + "\n";
+}
+
+}  // namespace lifta::ir

@@ -1,0 +1,18 @@
+// Human-readable printing of LIFT IR expressions, in the surface style the
+// paper uses in its listings (Map(f) << arr, Concat(Skip(...), ...)).
+// Used by tests (structure assertions) and the codegen_explore example.
+#pragma once
+
+#include <string>
+
+#include "ir/expr.hpp"
+
+namespace lifta::ir {
+
+/// Pretty multi-line rendering of the expression.
+std::string print(const ExprPtr& expr);
+
+/// Single-line compact rendering.
+std::string printCompact(const ExprPtr& expr);
+
+}  // namespace lifta::ir

@@ -1,0 +1,75 @@
+// LIFT IR types.
+//
+// The type language follows the LIFT papers: scalar types, fixed-length
+// arrays whose lengths are *symbolic* arithmetic expressions (src/arith), and
+// tuples. Array lengths being symbolic is what lets one IR program serve all
+// room sizes: the kernel is generated once with N as a variable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arith/expr.hpp"
+
+namespace lifta::ir {
+
+enum class ScalarKind { Float, Double, Int, Bool };
+
+/// Name of the scalar type in generated C code. `Float`/`Double` both print
+/// as the kernel-local `real` typedef so one IR program serves both
+/// precisions; `realName` controls that spelling.
+std::string cTypeName(ScalarKind k, const std::string& realName = "real");
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+enum class TypeKind { Scalar, Array, Tuple };
+
+class Type {
+public:
+  static TypePtr scalar(ScalarKind k);
+  static TypePtr array(TypePtr elem, arith::Expr size);
+  static TypePtr tuple(std::vector<TypePtr> elems);
+
+  // Convenience singletons.
+  static TypePtr float_();
+  static TypePtr double_();
+  static TypePtr int_();
+  static TypePtr bool_();
+
+  TypeKind kind() const { return kind_; }
+  bool isScalar() const { return kind_ == TypeKind::Scalar; }
+  bool isArray() const { return kind_ == TypeKind::Array; }
+  bool isTuple() const { return kind_ == TypeKind::Tuple; }
+
+  ScalarKind scalarKind() const;            // requires isScalar()
+  const TypePtr& elem() const;              // requires isArray()
+  const arith::Expr& size() const;          // requires isArray()
+  const std::vector<TypePtr>& elems() const;  // requires isTuple()
+
+  /// Structural equality; array sizes compare via arith::Expr equality.
+  bool equals(const TypePtr& other) const;
+
+  std::string toString() const;
+
+  /// For an array (possibly nested), the total element count as a symbolic
+  /// expression; for scalars, 1.
+  arith::Expr flatCount() const;
+
+  /// The ultimate scalar element of a (possibly nested) array type.
+  TypePtr scalarElem() const;
+
+private:
+  Type() = default;
+  TypeKind kind_ = TypeKind::Scalar;
+  ScalarKind scalar_ = ScalarKind::Float;
+  TypePtr elem_;
+  arith::Expr size_;
+  std::vector<TypePtr> elems_;
+};
+
+/// True when both are scalars of the same kind, or structurally equal.
+bool typeEquals(const TypePtr& a, const TypePtr& b);
+
+}  // namespace lifta::ir

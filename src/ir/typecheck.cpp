@@ -1,0 +1,374 @@
+#include "ir/typecheck.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::ir {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw TypeError(msg); }
+
+void expectScalar(const TypePtr& t, const char* where) {
+  if (!t->isScalar()) fail(std::string(where) + ": expected scalar, got " + t->toString());
+}
+
+void expectArray(const TypePtr& t, const char* where) {
+  if (!t->isArray()) fail(std::string(where) + ": expected array, got " + t->toString());
+}
+
+TypePtr checkBinary(const Node& n, const TypePtr& a, const TypePtr& b) {
+  expectScalar(a, "binary lhs");
+  expectScalar(b, "binary rhs");
+  switch (n.bin) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Min:
+    case BinOp::Max:
+      if (a->scalarKind() != b->scalarKind()) {
+        fail("arithmetic on mismatched scalar kinds: " + a->toString() + " vs " +
+             b->toString());
+      }
+      return a;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      if (a->scalarKind() != b->scalarKind()) {
+        fail("comparison on mismatched scalar kinds");
+      }
+      return Type::bool_();
+    case BinOp::And:
+    case BinOp::Or:
+      if (a->scalarKind() != ScalarKind::Bool ||
+          b->scalarKind() != ScalarKind::Bool) {
+        fail("logical op requires Bool operands");
+      }
+      return Type::bool_();
+  }
+  fail("unknown binary op");
+}
+
+}  // namespace
+
+arith::Expr toArith(const ExprPtr& expr) {
+  switch (expr->op) {
+    case Op::Literal:
+      if (expr->literalKind != ScalarKind::Int) {
+        fail("toArith: non-integer literal");
+      }
+      return arith::Expr(static_cast<std::int64_t>(expr->literalValue));
+    case Op::Param:
+      return arith::Expr::var(expr->name);
+    case Op::Binary: {
+      const arith::Expr a = toArith(expr->args[0]);
+      const arith::Expr b = toArith(expr->args[1]);
+      switch (expr->bin) {
+        case BinOp::Add:
+          return a + b;
+        case BinOp::Sub:
+          return a - b;
+        case BinOp::Mul:
+          return a * b;
+        case BinOp::Div:
+          return a / b;
+        default:
+          fail("toArith: unsupported binary operator");
+      }
+    }
+    default:
+      fail("toArith: expression not convertible to symbolic arithmetic");
+  }
+}
+
+TypePtr typecheck(const ExprPtr& expr) {
+  Node& n = *expr;
+  switch (n.op) {
+    case Op::Param:
+      if (n.type == nullptr) fail("parameter '" + n.name + "' has no type");
+      return n.type;
+
+    case Op::Literal:
+    case Op::Iota:
+      return n.type;
+
+    case Op::Binary: {
+      const TypePtr a = typecheck(n.args[0]);
+      const TypePtr b = typecheck(n.args[1]);
+      n.type = checkBinary(n, a, b);
+      return n.type;
+    }
+
+    case Op::Unary: {
+      const TypePtr a = typecheck(n.args[0]);
+      expectScalar(a, "unary");
+      if (n.un == UnOp::Not && a->scalarKind() != ScalarKind::Bool) {
+        fail("logical not requires Bool");
+      }
+      n.type = a;
+      return n.type;
+    }
+
+    case Op::Select: {
+      const TypePtr c = typecheck(n.args[0]);
+      const TypePtr t = typecheck(n.args[1]);
+      const TypePtr f = typecheck(n.args[2]);
+      if (!c->isScalar() || c->scalarKind() != ScalarKind::Bool) {
+        fail("select condition must be Bool");
+      }
+      if (!typeEquals(t, f)) {
+        fail("select branches differ: " + t->toString() + " vs " + f->toString());
+      }
+      n.type = t;
+      return n.type;
+    }
+
+    case Op::Cast: {
+      const TypePtr a = typecheck(n.args[0]);
+      expectScalar(a, "cast operand");
+      expectScalar(n.type, "cast target");
+      return n.type;
+    }
+
+    case Op::UserFunCall: {
+      const UserFun& fn = *n.userFun;
+      if (n.args.size() != fn.paramTypes.size()) {
+        fail("user function '" + fn.name + "' arity mismatch");
+      }
+      for (std::size_t i = 0; i < n.args.size(); ++i) {
+        const TypePtr at = typecheck(n.args[i]);
+        if (!typeEquals(at, fn.paramTypes[i])) {
+          fail("user function '" + fn.name + "' argument " + std::to_string(i) +
+               ": expected " + fn.paramTypes[i]->toString() + ", got " +
+               at->toString());
+        }
+      }
+      n.type = fn.returnType;
+      return n.type;
+    }
+
+    case Op::Let: {
+      const TypePtr vt = typecheck(n.args[1]);
+      Node& binder = *n.args[0];
+      if (binder.type == nullptr) {
+        binder.type = vt;
+      } else if (!typeEquals(binder.type, vt)) {
+        fail("let binder type mismatch for '" + binder.name + "'");
+      }
+      n.type = typecheck(n.args[2]);
+      return n.type;
+    }
+
+    case Op::MakeTuple: {
+      std::vector<TypePtr> elems;
+      elems.reserve(n.args.size());
+      for (const auto& a : n.args) elems.push_back(typecheck(a));
+      n.type = Type::tuple(std::move(elems));
+      return n.type;
+    }
+
+    case Op::Get: {
+      const TypePtr t = typecheck(n.args[0]);
+      if (!t->isTuple()) fail("get on non-tuple: " + t->toString());
+      if (n.tupleIndex < 0 ||
+          static_cast<std::size_t>(n.tupleIndex) >= t->elems().size()) {
+        fail("get index out of range");
+      }
+      n.type = t->elems()[static_cast<std::size_t>(n.tupleIndex)];
+      return n.type;
+    }
+
+    case Op::Zip: {
+      std::vector<TypePtr> elems;
+      arith::Expr size;
+      for (std::size_t i = 0; i < n.args.size(); ++i) {
+        const TypePtr t = typecheck(n.args[i]);
+        expectArray(t, "zip argument");
+        if (i == 0) {
+          size = t->size();
+        } else if (!(t->size() == size)) {
+          fail("zip arguments have different lengths: " + size.toString() +
+               " vs " + t->size().toString());
+        }
+        elems.push_back(t->elem());
+      }
+      n.type = Type::array(Type::tuple(std::move(elems)), size);
+      return n.type;
+    }
+
+    case Op::Map: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "map input");
+      Node& p = *n.lambda->params[0];
+      if (p.type == nullptr) {
+        p.type = in->elem();
+      } else if (!typeEquals(p.type, in->elem())) {
+        fail("map lambda parameter type mismatch");
+      }
+      const TypePtr out = typecheck(n.lambda->body);
+      n.type = Type::array(out, in->size());
+      return n.type;
+    }
+
+    case Op::Reduce: {
+      const TypePtr initT = typecheck(n.args[0]);
+      const TypePtr in = typecheck(n.args[1]);
+      expectArray(in, "reduce input");
+      Node& acc = *n.lambda->params[0];
+      Node& elem = *n.lambda->params[1];
+      if (acc.type == nullptr) acc.type = initT;
+      if (elem.type == nullptr) elem.type = in->elem();
+      const TypePtr bodyT = typecheck(n.lambda->body);
+      if (!typeEquals(bodyT, initT)) {
+        fail("reduce lambda must return the accumulator type");
+      }
+      n.type = initT;
+      return n.type;
+    }
+
+    case Op::Slide: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "slide input");
+      // count = (n - size) / step + 1
+      const arith::Expr count =
+          (in->size() - n.size1) / n.size2 + arith::Expr(1);
+      n.type = Type::array(Type::array(in->elem(), n.size1), count);
+      return n.type;
+    }
+
+    case Op::Pad: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "pad input");
+      n.type = Type::array(in->elem(), in->size() + n.size1 + n.size2);
+      return n.type;
+    }
+
+    case Op::Split: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "split input");
+      n.type = Type::array(Type::array(in->elem(), n.size1),
+                           in->size() / n.size1);
+      return n.type;
+    }
+
+    case Op::Join: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "join input");
+      expectArray(in->elem(), "join input element");
+      n.type =
+          Type::array(in->elem()->elem(), in->size() * in->elem()->size());
+      return n.type;
+    }
+
+    case Op::Transpose: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "transpose input");
+      expectArray(in->elem(), "transpose input element");
+      n.type = Type::array(Type::array(in->elem()->elem(), in->size()),
+                           in->elem()->size());
+      return n.type;
+    }
+
+    case Op::Slide3: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "slide3 input (z)");
+      expectArray(in->elem(), "slide3 input (y)");
+      expectArray(in->elem()->elem(), "slide3 input (x)");
+      const TypePtr t = in->elem()->elem()->elem();
+      const auto count = [&](const arith::Expr& dim) {
+        return (dim - n.size1) / n.size2 + arith::Expr(1);
+      };
+      const TypePtr window = Type::array(
+          Type::array(Type::array(t, n.size1), n.size1), n.size1);
+      n.type = Type::array(
+          Type::array(Type::array(window, count(in->elem()->elem()->size())),
+                      count(in->elem()->size())),
+          count(in->size()));
+      return n.type;
+    }
+
+    case Op::Pad3: {
+      const TypePtr in = typecheck(n.args[0]);
+      expectArray(in, "pad3 input (z)");
+      expectArray(in->elem(), "pad3 input (y)");
+      expectArray(in->elem()->elem(), "pad3 input (x)");
+      const arith::Expr two = n.size1 + n.size1;
+      n.type = Type::array(
+          Type::array(Type::array(in->elem()->elem()->elem(),
+                                  in->elem()->elem()->size() + two),
+                      in->elem()->size() + two),
+          in->size() + two);
+      return n.type;
+    }
+
+    case Op::ArrayAccess: {
+      const TypePtr arr = typecheck(n.args[0]);
+      const TypePtr idx = typecheck(n.args[1]);
+      expectArray(arr, "array access");
+      if (!idx->isScalar() || idx->scalarKind() != ScalarKind::Int) {
+        fail("array access index must be Int");
+      }
+      n.type = arr->elem();
+      return n.type;
+    }
+
+    case Op::WriteTo: {
+      const TypePtr dest = typecheck(n.args[0]);
+      const TypePtr val = typecheck(n.args[1]);
+      if (dest->isScalar()) {
+        // Writing a single element in place (e.g. WriteTo(next[idx], v)).
+        if (!typeEquals(dest, val)) {
+          fail("WriteTo scalar destination/value mismatch: " +
+               dest->toString() + " vs " + val->toString());
+        }
+      } else {
+        expectArray(dest, "WriteTo destination");
+        expectArray(val, "WriteTo value");
+        if (!typeEquals(dest->scalarElem(), val->scalarElem())) {
+          fail("WriteTo element type mismatch");
+        }
+      }
+      n.type = val;
+      return n.type;
+    }
+
+    case Op::Concat: {
+      TypePtr elem;
+      arith::Expr total(0);
+      for (const auto& a : n.args) {
+        const TypePtr t = typecheck(a);
+        expectArray(t, "concat argument");
+        if (elem == nullptr) {
+          elem = t->elem();
+        } else if (!typeEquals(elem, t->elem())) {
+          fail("concat element type mismatch: " + elem->toString() + " vs " +
+               t->elem()->toString());
+        }
+        total = total + t->size();
+      }
+      n.type = Type::array(elem, total);
+      return n.type;
+    }
+
+    case Op::Skip: {
+      const TypePtr lenT = typecheck(n.args[0]);
+      if (!lenT->isScalar() || lenT->scalarKind() != ScalarKind::Int) {
+        fail("Skip length must be Int");
+      }
+      n.type = Type::array(n.elemType, toArith(n.args[0]));
+      return n.type;
+    }
+
+    case Op::ArrayCons: {
+      const TypePtr e = typecheck(n.args[0]);
+      n.type = Type::array(e, n.size1);
+      return n.type;
+    }
+  }
+  fail("unknown IR node");
+}
+
+}  // namespace lifta::ir

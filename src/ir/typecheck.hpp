@@ -1,0 +1,23 @@
+// Bottom-up type inference / checking for the LIFT IR.
+//
+// typecheck() fills in `Node::type` for every node reachable from the given
+// expression and throws lifta::TypeError on any inconsistency. Lambda
+// parameters receive their types from the pattern that applies the lambda
+// (e.g. a Map's lambda parameter gets the input array's element type), as in
+// LIFT, so programs are written without redundant annotations.
+#pragma once
+
+#include "ir/expr.hpp"
+
+namespace lifta::ir {
+
+/// Type-checks the expression; returns its type. Idempotent.
+TypePtr typecheck(const ExprPtr& expr);
+
+/// Attempts to convert a *scalar Int* IR expression into a symbolic
+/// arith::Expr (used for the type-level lengths of Skip). Supported:
+/// literals, Int params / let-bound names, and +,-,* combinations thereof.
+/// Throws TypeError when the expression is not convertible.
+arith::Expr toArith(const ExprPtr& expr);
+
+}  // namespace lifta::ir

@@ -1,0 +1,264 @@
+#include "lift_acoustics/device_simulation.hpp"
+
+#include "common/error.hpp"
+#include "lift_acoustics/kernels.hpp"
+
+namespace lifta::lift_acoustics {
+
+using acoustics::RoomGrid;
+
+struct DeviceSimulation::Impl {
+  host::HostProgram prog;
+  host::HostPtr prev1G, prev2G, nextG, v1G, v2G;
+  std::shared_ptr<host::CompiledHostProgram> compiled;
+
+  // Host staging (double master copies; float shadows when needed).
+  std::vector<double> curr, prev, next;
+  std::vector<float> currF, prevF, nextF;
+  std::vector<double> beta, bi, d, di, f, g1, v1, v2;
+  std::vector<float> betaF, biF, dF, diF, fF, g1F, v1F, v2F;
+  std::vector<std::int32_t> nbrs, bidx, mat;
+  bool uploaded = false;
+};
+
+namespace {
+
+template <typename T>
+void bindVec(host::CompiledHostProgram& c, const char* name,
+             const std::vector<T>& v) {
+  c.bindBuffer(name, v.data(), v.size() * sizeof(T));
+}
+
+std::vector<float> toF(const std::vector<double>& v) {
+  return std::vector<float>(v.begin(), v.end());
+}
+
+}  // namespace
+
+DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
+    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+  LIFTA_CHECK(config_.params.stable(), "Courant number exceeds the limit");
+  grid_ = acoustics::voxelize(config_.room, config_.numMaterials);
+  const auto mats =
+      config_.materials.empty()
+          ? acoustics::defaultMaterials(
+                config_.numMaterials,
+                config_.model == DeviceModel::FdMm ? config_.numBranches : 0)
+          : config_.materials;
+  const auto fd = acoustics::deriveFdCoeffs(
+      mats, config_.model == DeviceModel::FdMm ? config_.numBranches : 0,
+      config_.params.Ts());
+
+  Impl& im = *impl_;
+  const std::size_t cells = grid_.cells();
+  im.curr.assign(cells, 0.0);
+  im.prev.assign(cells, 0.0);
+  im.next.assign(cells, 0.0);
+  im.beta = acoustics::betaTable(mats);
+  im.bi = fd.BI;
+  im.d = fd.D;
+  im.di = fd.DI;
+  im.f = fd.F;
+  const std::size_t stateLen =
+      (config_.model == DeviceModel::FdMm
+           ? static_cast<std::size_t>(config_.numBranches)
+           : 0) *
+      grid_.boundaryPoints();
+  im.g1.assign(stateLen, 0.0);
+  im.v1.assign(stateLen, 0.0);
+  im.v2.assign(stateLen, 0.0);
+  im.nbrs = grid_.nbrs;
+  im.bidx = grid_.boundaryIndices;
+  im.mat = grid_.material;
+
+  // --- Listing 5 host program --------------------------------------------
+  auto& prog = im.prog;
+  for (const char* s : {"nx", "ny", "nz", "nxny", "cells", "numB", "M"}) {
+    prog.declareScalar(s, host::ScalarType::Int);
+  }
+  for (const char* s : {"l", "l2"}) {
+    prog.declareScalar(s, host::ScalarType::Real);
+  }
+  im.prev1G = prog.toGPU(prog.hostParam("prev1_h"));
+  im.prev2G = prog.toGPU(prog.hostParam("prev2_h"));
+  auto nbrsG = prog.toGPU(prog.hostParam("nbrs_h"));
+  auto boundG = prog.toGPU(prog.hostParam("boundaries_h"));
+  auto matG = prog.toGPU(prog.hostParam("material_h"));
+  auto betaG = prog.toGPU(prog.hostParam("beta_h"));
+
+  host::KernelSpec volume;
+  if (config_.useStencil3DVolume) {
+    volume.def = liftVolumeStencil3DKernel(config_.precision);
+    volume.args = {{im.prev2G, ""},  {im.prev1G, ""},  {nbrsG, ""},
+                   {nullptr, "nx"},  {nullptr, "ny"},  {nullptr, "nz"},
+                   {nullptr, "cells"}, {nullptr, "l2"}};
+    // The Listing-6 kernel parallelizes over z planes.
+    volume.launchCountScalar = "nz";
+    volume.localSize = 1;
+  } else {
+    volume.def = liftVolumeKernel(config_.precision);
+    volume.args = {{im.prev2G, ""},    {im.prev1G, ""},   {nbrsG, ""},
+                   {nullptr, "nx"},    {nullptr, "nxny"}, {nullptr, "cells"},
+                   {nullptr, "l2"}};
+    volume.launchCountScalar = "cells";
+  }
+  im.nextG = prog.kernelCall(volume);
+
+  host::KernelSpec boundary;
+  if (config_.model == DeviceModel::FiMm) {
+    boundary.def = liftFiMmKernel(config_.precision);
+    boundary.args = {{boundG, ""},       {matG, ""},        {nbrsG, ""},
+                     {betaG, ""},        {im.nextG, ""},    {im.prev2G, ""},
+                     {nullptr, "cells"}, {nullptr, "numB"}, {nullptr, "M"},
+                     {nullptr, "l"}};
+  } else {
+    auto biG = prog.toGPU(prog.hostParam("bi_h"));
+    auto dG = prog.toGPU(prog.hostParam("d_h"));
+    auto diG = prog.toGPU(prog.hostParam("di_h"));
+    auto fG = prog.toGPU(prog.hostParam("f_h"));
+    im.v1G = prog.toGPU(prog.hostParam("v1_h"));
+    im.v2G = prog.toGPU(prog.hostParam("v2_h"));
+    auto g1G = prog.toGPU(prog.hostParam("g1_h"));
+    boundary.def = liftFdMmKernel(config_.precision, config_.numBranches);
+    boundary.args = {{boundG, ""},   {matG, ""},     {nbrsG, ""},
+                     {betaG, ""},    {biG, ""},      {dG, ""},
+                     {diG, ""},      {fG, ""},       {im.nextG, ""},
+                     {im.prev2G, ""}, {g1G, ""},     {im.v1G, ""},
+                     {im.v2G, ""},   {nullptr, "cells"}, {nullptr, "numB"},
+                     {nullptr, "M"}, {nullptr, "l"}};
+  }
+  boundary.launchCountScalar = "numB";
+  auto updated = prog.writeTo(im.nextG, prog.kernelCall(boundary));
+  // The output copy-back is on demand via sample(); bind next as output so
+  // the ToHost transfer lands in im.next each run.
+  prog.toHost(updated, "next_h");
+
+  im.compiled = prog.compile(ctx, config_.precision);
+
+  // --- static bindings -----------------------------------------------------
+  auto& c = *im.compiled;
+  const bool dbl = config_.precision == ir::ScalarKind::Double;
+  if (!dbl) {
+    im.betaF = toF(im.beta);
+    im.biF = toF(im.bi);
+    im.dF = toF(im.d);
+    im.diF = toF(im.di);
+    im.fF = toF(im.f);
+    im.g1F = toF(im.g1);
+    im.v1F = toF(im.v1);
+    im.v2F = toF(im.v2);
+  }
+  bindVec(c, "nbrs_h", im.nbrs);
+  bindVec(c, "boundaries_h", im.bidx);
+  bindVec(c, "material_h", im.mat);
+  if (dbl) {
+    bindVec(c, "beta_h", im.beta);
+  } else {
+    bindVec(c, "beta_h", im.betaF);
+  }
+  if (config_.model == DeviceModel::FdMm) {
+    if (dbl) {
+      bindVec(c, "bi_h", im.bi);
+      bindVec(c, "d_h", im.d);
+      bindVec(c, "di_h", im.di);
+      bindVec(c, "f_h", im.f);
+      bindVec(c, "g1_h", im.g1);
+      bindVec(c, "v1_h", im.v1);
+      bindVec(c, "v2_h", im.v2);
+    } else {
+      bindVec(c, "bi_h", im.biF);
+      bindVec(c, "d_h", im.dF);
+      bindVec(c, "di_h", im.diF);
+      bindVec(c, "f_h", im.fF);
+      bindVec(c, "g1_h", im.g1F);
+      bindVec(c, "v1_h", im.v1F);
+      bindVec(c, "v2_h", im.v2F);
+    }
+  }
+  c.setInt("nx", grid_.nx);
+  c.setInt("ny", grid_.ny);
+  c.setInt("nz", grid_.nz);
+  c.setInt("nxny", grid_.nx * grid_.ny);
+  c.setInt("cells", static_cast<int>(cells));
+  c.setInt("numB", static_cast<int>(grid_.boundaryPoints()));
+  c.setInt("M", static_cast<int>(im.beta.size()));
+  c.setReal("l", config_.params.l());
+  c.setReal("l2", config_.params.l2());
+}
+
+DeviceSimulation::~DeviceSimulation() = default;
+
+void DeviceSimulation::addImpulse(int x, int y, int z, double amplitude) {
+  LIFTA_CHECK(!impl_->uploaded,
+              "impulses must be added before the first step");
+  LIFTA_CHECK(config_.room.inside(x, y, z), "impulse point is outside");
+  impl_->curr[config_.room.index(x, y, z)] += amplitude;
+}
+
+double DeviceSimulation::step() {
+  Impl& im = *impl_;
+  auto& c = *im.compiled;
+  const bool dbl = config_.precision == ir::ScalarKind::Double;
+
+  host::CompiledHostProgram::RunStats stats;
+  if (!im.uploaded) {
+    if (dbl) {
+      bindVec(c, "prev1_h", im.curr);
+      bindVec(c, "prev2_h", im.prev);
+      c.bindOutput("next_h", im.next.data(),
+                   im.next.size() * sizeof(double));
+    } else {
+      im.currF = toF(im.curr);
+      im.prevF = toF(im.prev);
+      im.nextF.assign(im.next.size(), 0.0f);
+      bindVec(c, "prev1_h", im.currF);
+      bindVec(c, "prev2_h", im.prevF);
+      c.bindOutput("next_h", im.nextF.data(),
+                   im.nextF.size() * sizeof(float));
+    }
+    stats = c.run();
+    im.uploaded = true;
+  } else {
+    // Rotate pressure: prev2 <- prev1 <- next <- (old prev2 storage).
+    auto p1 = c.deviceBuffer(im.prev1G);
+    auto p2 = c.deviceBuffer(im.prev2G);
+    auto nx = c.deviceBuffer(im.nextG);
+    c.setDeviceBuffer(im.prev2G, p1);
+    c.setDeviceBuffer(im.prev1G, nx);
+    c.setDeviceBuffer(im.nextG, p2);
+    if (config_.model == DeviceModel::FdMm) {
+      auto a = c.deviceBuffer(im.v1G);
+      auto b = c.deviceBuffer(im.v2G);
+      c.setDeviceBuffer(im.v1G, b);
+      c.setDeviceBuffer(im.v2G, a);
+    }
+    stats = c.run(/*skipUploads=*/true);
+  }
+  ++steps_;
+  const double vol = stats.kernels.at(0).second;
+  const double bnd = stats.kernels.at(1).second;
+  volumeMs_ += vol;
+  boundaryMs_ += bnd;
+  return (vol + bnd) > 0 ? bnd / (vol + bnd) : 0.0;
+}
+
+double DeviceSimulation::sample(int x, int y, int z) {
+  Impl& im = *impl_;
+  const std::size_t idx = config_.room.index(x, y, z);
+  if (config_.precision == ir::ScalarKind::Double) {
+    return im.next[idx];
+  }
+  return static_cast<double>(im.nextF[idx]);
+}
+
+std::vector<double> DeviceSimulation::record(int n, int x, int y, int z) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    step();
+    out.push_back(sample(x, y, z));
+  }
+  return out;
+}
+
+}  // namespace lifta::lift_acoustics

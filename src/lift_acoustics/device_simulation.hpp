@@ -1,0 +1,75 @@
+// DeviceSimulation: the full LIFT pipeline as a library.
+//
+// Builds the Listing-5 host program over LIFT-*generated* kernels (volume +
+// FI-MM or FD-MM boundary), compiles it against the simulated OpenCL
+// runtime, and steps it in time with device-side buffer rotation — the
+// "executed iteratively" driver §V-A alludes to. This is what a downstream
+// user who wants the paper's system (rather than the reference C++ tier)
+// programs against; examples/concert_hall.cpp is a thin wrapper around it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "acoustics/geometry.hpp"
+#include "acoustics/materials.hpp"
+#include "acoustics/sim_params.hpp"
+#include "host/host_program.hpp"
+
+namespace lifta::lift_acoustics {
+
+enum class DeviceModel { FiMm, FdMm };
+
+class DeviceSimulation {
+public:
+  struct Config {
+    acoustics::Room room;
+    acoustics::SimParams params;
+    DeviceModel model = DeviceModel::FiMm;
+    int numMaterials = 1;
+    int numBranches = 3;  // FD-MM only
+    ir::ScalarKind precision = ir::ScalarKind::Double;
+    /// Use the Listing-6 slide3/pad3 formulation of the volume kernel
+    /// instead of the flat-index one. Both generate identical arithmetic
+    /// (see tests/lift_acoustics/test_stencil3d.cpp).
+    bool useStencil3DVolume = false;
+    std::vector<acoustics::Material> materials;  // default palette if empty
+  };
+
+  /// Voxelizes, generates + JIT-builds the kernels, uploads the static data.
+  DeviceSimulation(ocl::Context& ctx, Config config);
+  ~DeviceSimulation();
+
+  const acoustics::RoomGrid& grid() const { return grid_; }
+  const Config& config() const { return config_; }
+
+  /// Adds an impulse to the current pressure field (host side; applied on
+  /// the next upload, i.e. before the first step).
+  void addImpulse(int x, int y, int z, double amplitude);
+
+  /// Advances one time step (volume kernel + boundary kernel on the device,
+  /// with buffer rotation). Returns the boundary kernel's share of the
+  /// step's kernel time in [0,1].
+  double step();
+
+  /// Pressure at a grid point after the last step (reads one value back).
+  double sample(int x, int y, int z);
+
+  /// Steps `n` times recording the pressure at (x,y,z) after each step.
+  std::vector<double> record(int n, int x, int y, int z);
+
+  int stepsTaken() const { return steps_; }
+  double totalVolumeMs() const { return volumeMs_; }
+  double totalBoundaryMs() const { return boundaryMs_; }
+
+private:
+  struct Impl;
+  Config config_;
+  acoustics::RoomGrid grid_;
+  std::unique_ptr<Impl> impl_;
+  int steps_ = 0;
+  double volumeMs_ = 0.0;
+  double boundaryMs_ = 0.0;
+};
+
+}  // namespace lifta::lift_acoustics

@@ -1,0 +1,52 @@
+// The paper's room acoustics kernels expressed in the extended LIFT IR
+// (§V, Listings 6-8), ready for the code generator.
+//
+// Data layout notes:
+//  * Grids are flat with idx = z*Nx*Ny + y*Nx + x; the stencil reads its six
+//    neighbors through explicit ArrayAccess at i±1, i±Nx, i±Nx*Ny — the same
+//    addresses LIFT's slide3/pad3 views lower to on this layout.
+//  * The FI-MM kernel is Listing 7 verbatim: a Map over zipped boundary data
+//    whose body is Concat(Skip(idx), [update], Skip(cells-1-idx)), written
+//    in place into `next` via host-level WriteTo (outAliasParam).
+//  * The FD-MM kernel is Listing 8: per-point private gathers of the branch
+//    state, a branch reduction folded into the pressure update, and a tuple
+//    of WriteTo results updating next / g1 / v1 in place.
+//
+// Every builder keeps scalar operation order identical to the reference
+// kernels (src/acoustics/reference_kernels.cpp), so generated code matches
+// the hand-written baselines bit-for-bit.
+#pragma once
+
+#include "memory/kernel_def.hpp"
+
+namespace lifta::lift_acoustics {
+
+/// Listing 2 kernel 1 (volume handling) in LIFT IR. Output: fresh buffer.
+/// Params: prev, curr, nbrs, nx, nxny, cells, l2 (+ implicit out).
+memory::KernelDef liftVolumeKernel(ir::ScalarKind real);
+
+/// Listing 1/6: monolithic FI kernel (lookup boundary), single material.
+/// Params: prev, curr, nbrs, nx, nxny, cells, l, l2, beta (+ implicit out).
+memory::KernelDef liftFusedFiKernel(ir::ScalarKind real);
+
+/// Listing 6's structural form: the volume kernel expressed through the 3D
+/// stencil primitives — the flat grid is reshaped with Split into a 3D
+/// view, enlarged with pad3 and windowed with slide3, and the update reads
+/// the neighborhood as m[1][1][1], m[1][1][0], ... exactly as Listing 6
+/// does. Generates the same arithmetic as liftVolumeKernel (validated
+/// bitwise by tests); the two differ only in how the views are built.
+/// Params: prev, curr, nbrs, nx, ny, nz, cells, l2 (+ implicit out).
+memory::KernelDef liftVolumeStencil3DKernel(ir::ScalarKind real);
+
+/// Listing 7: FI-MM boundary kernel, updating `next` in place.
+/// Params: boundaryIndices, material, nbrs, beta, next, prev,
+///         cells, numB, M, l. outAliasParam = "next".
+memory::KernelDef liftFiMmKernel(ir::ScalarKind real);
+
+/// Listing 8: FD-MM boundary kernel (numBranches ODE branches), updating
+/// next / g1 / v1 in place (effect-only: no output buffer).
+/// Params: boundaryIndices, material, nbrs, beta, BI, D, DI, F,
+///         next, prev, g1, v1, v2, cells, numB, M, l.
+memory::KernelDef liftFdMmKernel(ir::ScalarKind real, int numBranches);
+
+}  // namespace lifta::lift_acoustics

@@ -1,0 +1,93 @@
+#include "memory/allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::memory {
+
+namespace {
+
+/// The parameter a WriteTo destination ultimately refers to. Destinations are
+/// either a bare parameter (whole-array in-place update) or an
+/// ArrayAccess(param, idx) element position.
+const ir::Node* baseParam(const ir::ExprPtr& dest) {
+  const ir::Node* n = dest.get();
+  while (n->op == ir::Op::ArrayAccess) n = n->args[0].get();
+  if (n->op == ir::Op::Param) return n;
+  throw CodegenError("WriteTo destination must be a parameter or an element "
+                     "of a parameter");
+}
+
+}  // namespace
+
+bool isEffectOnly(const ir::ExprPtr& expr) {
+  switch (expr->op) {
+    case ir::Op::WriteTo:
+      return true;
+    case ir::Op::Map:
+      return isEffectOnly(expr->lambda->body);
+    case ir::Op::MakeTuple: {
+      for (const auto& a : expr->args) {
+        if (!isEffectOnly(a)) return false;
+      }
+      return true;
+    }
+    case ir::Op::Let:
+      return isEffectOnly(expr->args[2]);
+    default:
+      return false;
+  }
+}
+
+void collectWriteDestinations(const ir::ExprPtr& expr,
+                              std::set<std::string>& params) {
+  if (expr->op == ir::Op::WriteTo) {
+    params.insert(baseParam(expr->args[0])->name);
+  }
+  for (const auto& a : expr->args) collectWriteDestinations(a, params);
+  if (expr->lambda) collectWriteDestinations(expr->lambda->body, params);
+}
+
+MemoryPlan planMemory(const KernelDef& def) {
+  LIFTA_CHECK(def.body != nullptr, "kernel has no body");
+  LIFTA_CHECK(def.body->type != nullptr, "kernel body must be type-checked");
+
+  std::set<std::string> written;
+  collectWriteDestinations(def.body, written);
+  if (def.outAliasParam) written.insert(*def.outAliasParam);
+
+  MemoryPlan plan;
+  bool sawAlias = false;
+  for (const auto& p : def.params) {
+    LIFTA_CHECK(p->op == ir::Op::Param, "kernel params must be Param nodes");
+    KernelArg arg;
+    arg.name = p->name;
+    arg.type = p->type;
+    arg.isArray = p->type->isArray();
+    arg.writable = written.count(p->name) != 0;
+    if (def.outAliasParam && p->name == *def.outAliasParam) {
+      if (!arg.isArray) {
+        throw CodegenError("in-place output alias must be an array parameter");
+      }
+      sawAlias = true;
+    }
+    plan.args.push_back(std::move(arg));
+  }
+  if (def.outAliasParam && !sawAlias) {
+    throw CodegenError("outAliasParam '" + *def.outAliasParam +
+                       "' is not a kernel parameter");
+  }
+
+  const bool effectOnly = isEffectOnly(def.body);
+  if (!effectOnly && !def.outAliasParam) {
+    if (!def.body->type->isArray()) {
+      throw CodegenError("kernel body must be array-typed or effect-only, "
+                         "got " + def.body->type->toString());
+    }
+    plan.hasOutBuffer = true;
+    plan.outType = def.body->type;
+    plan.args.push_back(KernelArg{"out", def.body->type, true, true});
+  }
+  return plan;
+}
+
+}  // namespace lifta::memory

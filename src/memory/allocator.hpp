@@ -1,0 +1,51 @@
+// The memory allocation stage of the LIFT code generator (paper §III-A:
+// "First, the system determines where memory for temporary values must be
+// allocated, if any").
+//
+// For the kernels in this paper the interesting decisions are:
+//  * whether the kernel needs a fresh global output buffer, or whether the
+//    result is written in place (WriteTo / host-level aliasing);
+//  * which parameters are written (for const-correct generated code);
+//  * private temporaries (Let-bound arrays) — handled locally by codegen,
+//    since their extent is a compile-time constant (e.g. the MB ODE branches).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "memory/kernel_def.hpp"
+
+namespace lifta::memory {
+
+enum class AddressSpace { Global, Private };
+
+struct KernelArg {
+  std::string name;
+  ir::TypePtr type;
+  bool isArray = false;
+  bool writable = false;
+};
+
+struct MemoryPlan {
+  /// All kernel arguments in ABI order: declared params, then the implicit
+  /// output buffer (when one is allocated).
+  std::vector<KernelArg> args;
+  /// True when an implicit "out" buffer argument was appended.
+  bool hasOutBuffer = false;
+  ir::TypePtr outType;  // set when hasOutBuffer
+};
+
+/// True when the expression produces its entire result through WriteTo side
+/// effects (no value needs materializing).
+bool isEffectOnly(const ir::ExprPtr& expr);
+
+/// Collects the names of parameters that appear as WriteTo destinations.
+void collectWriteDestinations(const ir::ExprPtr& expr,
+                              std::set<std::string>& params);
+
+/// Runs memory allocation for a kernel whose body has already been
+/// type-checked. Throws CodegenError for malformed kernels.
+MemoryPlan planMemory(const KernelDef& def);
+
+}  // namespace lifta::memory

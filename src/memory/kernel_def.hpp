@@ -1,0 +1,33 @@
+// The unit of code generation: one OpenCL-style kernel described by its
+// parameter list and a LIFT IR body.
+//
+// `outAliasParam` implements the host-level WriteTo of the paper (§V-A):
+// when the host program wraps a kernel call in WriteTo(buffer, ...), the
+// kernel's output buffer *is* that existing buffer, and the memory allocator
+// must not allocate a fresh output ("preventing the allocation of an output
+// buffer that would happen automatically in the memory allocator", §IV-B).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace lifta::memory {
+
+struct KernelDef {
+  std::string name;
+  /// Kernel parameters in ABI order (each an Op::Param node; arrays become
+  /// pointer arguments, scalars become by-value arguments).
+  std::vector<ir::ExprPtr> params;
+  /// The kernel computation. Array-typed (normal output), or effect-only
+  /// (every leaf is a WriteTo) in which case no output buffer exists.
+  ir::ExprPtr body;
+  /// Name of the parameter the kernel writes its result into in-place.
+  std::optional<std::string> outAliasParam;
+  /// Precision of the `real` typedef in the generated source.
+  ir::ScalarKind real = ir::ScalarKind::Float;
+};
+
+}  // namespace lifta::memory

@@ -1,0 +1,123 @@
+#include "ocl/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lifta::ocl {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string compilerCommand() {
+  if (const char* env = std::getenv("LIFTA_CXX")) return env;
+  return "c++";
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+struct Jit::Impl {
+  std::mutex mu;
+  std::map<std::uint64_t, std::shared_ptr<SharedObject>> cache;
+};
+
+SharedObject::~SharedObject() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+void* SharedObject::symbol(const std::string& name) const {
+  dlerror();  // clear
+  void* sym = dlsym(handle_, name.c_str());
+  if (sym == nullptr) {
+    const char* err = dlerror();
+    throw OclError("symbol '" + name + "' not found in " + path_ +
+                   (err ? std::string(": ") + err : ""));
+  }
+  return sym;
+}
+
+Jit::Jit() : impl_(std::make_shared<Impl>()) {
+  char tmpl[] = "/tmp/lifta-jit-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) throw OclError("cannot create JIT scratch directory");
+  scratchDir_ = dir;
+}
+
+Jit& Jit::instance() {
+  static Jit jit;
+  return jit;
+}
+
+std::shared_ptr<SharedObject> Jit::compile(const std::string& source) {
+  const std::uint64_t h = fnv1a(source);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->cache.find(h);
+    if (it != impl_->cache.end()) return it->second;
+  }
+
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  const std::string base = scratchDir_ + "/k_" + hex;
+  const std::string src = base + ".cpp";
+  const std::string so = base + ".so";
+  const std::string log = base + ".log";
+
+  {
+    std::ofstream f(src);
+    f << source;
+    if (!f) throw OclError("cannot write kernel source: " + src);
+  }
+
+  // No -march=native and contraction off: the JIT'd kernels must execute the
+  // identical FP operation sequence as the reference build (see header).
+  const std::string cmd = compilerCommand() +
+                          " -O2 -ffp-contract=off -std=c++17 -shared -fPIC " +
+                          "-x c++ '" + src + "' -o '" + so + "' 2> '" + log +
+                          "'";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    throw OclError("kernel build failed (exit " + std::to_string(rc) +
+                   ")\n--- source ---\n" + source + "\n--- compiler log ---\n" +
+                   readFile(log));
+  }
+
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    throw OclError(std::string("dlopen failed: ") + dlerror());
+  }
+  auto obj = std::shared_ptr<SharedObject>(new SharedObject(handle, so));
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->cache[h] = obj;
+    ++compiled_;
+  }
+  return obj;
+}
+
+}  // namespace lifta::ocl

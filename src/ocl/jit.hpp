@@ -1,0 +1,61 @@
+// JIT compilation of generated kernel source.
+//
+// The simulated OpenCL runtime's clBuildProgram: kernel source (C/C++ text
+// produced by src/codegen or written by hand for the baselines) is written
+// to a scratch directory, compiled into a shared object with the host
+// compiler, and dlopen'ed. Programs are cached by source hash so the
+// 2000-iteration benchmark loops pay the compile cost once.
+//
+// Compilation flags deliberately exclude -march=native / fast-math: both the
+// LIFT-generated and the hand-written kernels must execute the same FP
+// operation sequence as the portable C++ reference so correctness tests can
+// compare bitwise.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace lifta::ocl {
+
+/// A compiled, dlopen'ed shared object. Closed on destruction.
+class SharedObject {
+public:
+  ~SharedObject();
+  SharedObject(const SharedObject&) = delete;
+  SharedObject& operator=(const SharedObject&) = delete;
+
+  /// Looks up a symbol; throws OclError if absent.
+  void* symbol(const std::string& name) const;
+
+  /// Path of the compiled object (for diagnostics).
+  const std::string& path() const { return path_; }
+
+private:
+  friend class Jit;
+  SharedObject(void* handle, std::string path)
+      : handle_(handle), path_(std::move(path)) {}
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+/// Process-wide JIT compiler with a source-hash cache.
+class Jit {
+public:
+  static Jit& instance();
+
+  /// Compiles `source` (if not cached) and returns the loaded object.
+  /// Throws OclError with the compiler log on failure.
+  std::shared_ptr<SharedObject> compile(const std::string& source);
+
+  /// Number of distinct sources compiled so far (for tests).
+  std::size_t compiledCount() const { return compiled_; }
+
+private:
+  Jit();
+  std::string scratchDir_;
+  std::size_t compiled_ = 0;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace lifta::ocl

@@ -1,0 +1,151 @@
+#include "rewrite/rules.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta::rewrite {
+
+using ir::ExprPtr;
+using ir::Node;
+using ir::Op;
+
+namespace {
+
+/// Shallow-copies a node (children shared). Types are cleared so the
+/// consumer's typecheck() recomputes them for the rebuilt spine.
+ExprPtr cloneShallow(const ExprPtr& e) {
+  auto n = std::make_shared<Node>(*e);
+  if (n->op != Op::Param && n->op != Op::Literal && n->op != Op::Iota) {
+    n->type = nullptr;
+  }
+  return n;
+}
+
+}  // namespace
+
+ir::ExprPtr substituteParam(const ExprPtr& body, const ExprPtr& oldParam,
+                            const ExprPtr& replacement) {
+  if (body == oldParam) return replacement;
+  bool changed = false;
+  std::vector<ExprPtr> newArgs;
+  newArgs.reserve(body->args.size());
+  for (const auto& a : body->args) {
+    ExprPtr s = substituteParam(a, oldParam, replacement);
+    changed = changed || s != a;
+    newArgs.push_back(std::move(s));
+  }
+  ir::LambdaPtr newLambda = body->lambda;
+  if (body->lambda) {
+    ExprPtr newBody =
+        substituteParam(body->lambda->body, oldParam, replacement);
+    if (newBody != body->lambda->body) {
+      newLambda = std::make_shared<ir::Lambda>(*body->lambda);
+      newLambda->body = newBody;
+      changed = true;
+    }
+  }
+  if (!changed) return body;
+  ExprPtr out = cloneShallow(body);
+  out->args = std::move(newArgs);
+  out->lambda = std::move(newLambda);
+  return out;
+}
+
+std::optional<ExprPtr> mapFusion(const ExprPtr& expr) {
+  if (expr->op != Op::Map) return std::nullopt;
+  const ExprPtr& inner = expr->args[0];
+  if (inner->op != Op::Map) return std::nullopt;
+  // Fuse when the inner map is sequential or both agree: the fused loop
+  // inherits the outer map's parallelism.
+  if (inner->mapKind != ir::MapKind::Seq &&
+      (inner->mapKind != expr->mapKind || inner->mapDim != expr->mapDim)) {
+    return std::nullopt;
+  }
+
+  // New parameter for the fused lambda; inherits the innermost input's
+  // element (type filled by typecheck).
+  auto fresh = ir::param("fused_x", nullptr);
+  const ExprPtr innerApplied =
+      substituteParam(inner->lambda->body, inner->lambda->params[0], fresh);
+  const ExprPtr fusedBody =
+      substituteParam(expr->lambda->body, expr->lambda->params[0],
+                      innerApplied);
+
+  ExprPtr out = cloneShallow(expr);
+  out->lambda = ir::lambda({fresh}, fusedBody);
+  out->args = {inner->args[0]};
+  return out;
+}
+
+std::optional<ExprPtr> splitJoinIdentity(const ExprPtr& expr) {
+  // Join(Split(n, x)) → x
+  if (expr->op == Op::Join && expr->args[0]->op == Op::Split) {
+    return expr->args[0]->args[0];
+  }
+  // Split(n, Join(x)) → x when x : [[T]_n]_m
+  if (expr->op == Op::Split && expr->args[0]->op == Op::Join) {
+    const ExprPtr& joined = expr->args[0]->args[0];
+    if (joined->type != nullptr && joined->type->isArray() &&
+        joined->type->elem()->isArray() &&
+        joined->type->elem()->size() == expr->size1) {
+      return joined;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ExprPtr> lowerOuterMapToGlb(const ExprPtr& expr, int dim) {
+  if (expr->op != Op::Map || expr->mapKind != ir::MapKind::Seq) {
+    return std::nullopt;
+  }
+  ExprPtr out = cloneShallow(expr);
+  out->mapKind = ir::MapKind::Glb;
+  out->mapDim = dim;
+  return out;
+}
+
+std::pair<ExprPtr, int> applyBottomUp(const Rule& rule, const ExprPtr& expr) {
+  int count = 0;
+  // Rewrite children first.
+  bool changed = false;
+  std::vector<ExprPtr> newArgs;
+  newArgs.reserve(expr->args.size());
+  for (const auto& a : expr->args) {
+    auto [sub, c] = applyBottomUp(rule, a);
+    count += c;
+    changed = changed || sub != a;
+    newArgs.push_back(std::move(sub));
+  }
+  ir::LambdaPtr newLambda = expr->lambda;
+  if (expr->lambda) {
+    auto [sub, c] = applyBottomUp(rule, expr->lambda->body);
+    count += c;
+    if (sub != expr->lambda->body) {
+      newLambda = std::make_shared<ir::Lambda>(*expr->lambda);
+      newLambda->body = sub;
+      changed = true;
+    }
+  }
+  ExprPtr current = expr;
+  if (changed) {
+    current = cloneShallow(expr);
+    current->args = std::move(newArgs);
+    current->lambda = std::move(newLambda);
+  }
+  if (auto rewritten = rule(current)) {
+    ++count;
+    return {*rewritten, count};
+  }
+  return {current, count};
+}
+
+ir::ExprPtr normalize(const ExprPtr& expr) {
+  ExprPtr current = expr;
+  for (int iter = 0; iter < 32; ++iter) {
+    auto [next, count] = applyBottomUp(splitJoinIdentity, current);
+    current = next;
+    if (count == 0) return current;
+  }
+  throw Error("normalize did not reach a fixpoint");
+}
+
+}  // namespace lifta::rewrite

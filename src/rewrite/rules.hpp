@@ -1,0 +1,54 @@
+// Semantic-preserving rewrite rules (paper §III: "The LIFT internal
+// representation is optimized by applying semantic-preserving rewrite rules
+// encoding different optimization and implementation choices").
+//
+// This module implements the rule mechanism plus the rules the acoustics
+// pipeline uses:
+//   * map fusion         — Map(f) ∘ Map(g)  →  Map(f ∘ g)
+//   * split/join identity — Join(Split(n, x)) → x, Split(n, Join(x)) → x
+//   * lowering           — the outermost MapSeq becomes MapGlb(0), turning a
+//                          declarative map into a GPU grid-stride loop.
+//
+// Rules are partial functions ExprPtr → optional<ExprPtr>; applyBottomUp
+// walks the tree applying a rule everywhere it matches. Rewriting never
+// mutates the input: matched nodes are rebuilt (and re-type-checked by the
+// consumer), unmatched subtrees are shared.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ir/expr.hpp"
+
+namespace lifta::rewrite {
+
+using Rule = std::function<std::optional<ir::ExprPtr>(const ir::ExprPtr&)>;
+
+/// Replaces every reference to `oldParam` (by node identity) inside `body`
+/// with `replacement`, rebuilding only the affected spine.
+ir::ExprPtr substituteParam(const ir::ExprPtr& body, const ir::ExprPtr& oldParam,
+                            const ir::ExprPtr& replacement);
+
+/// Map(f) << (Map(g) << x)  →  Map(x' => f(g(x'))) << x.
+/// Fuses only when both maps have the same MapKind or the inner is Seq.
+std::optional<ir::ExprPtr> mapFusion(const ir::ExprPtr& expr);
+
+/// Join(Split(n, x)) → x and Split(n, Join(x)) → x (when x's rows have
+/// length n).
+std::optional<ir::ExprPtr> splitJoinIdentity(const ir::ExprPtr& expr);
+
+/// Rewrites the *outermost* Map of the expression from Seq to Glb(dim),
+/// the lowering step that makes the kernel parallel. Returns nullopt when
+/// the outermost node is not a sequential map.
+std::optional<ir::ExprPtr> lowerOuterMapToGlb(const ir::ExprPtr& expr,
+                                              int dim = 0);
+
+/// Applies `rule` bottom-up across the whole expression once; returns the
+/// rewritten expression and the number of sites rewritten.
+std::pair<ir::ExprPtr, int> applyBottomUp(const Rule& rule,
+                                          const ir::ExprPtr& expr);
+
+/// Applies the identity-elimination rules to a fixpoint (bounded).
+ir::ExprPtr normalize(const ir::ExprPtr& expr);
+
+}  // namespace lifta::rewrite

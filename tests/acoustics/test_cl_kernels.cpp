@@ -1,0 +1,174 @@
+// The hand-written OpenCL-style baselines (the paper's comparison tier)
+// must match the portable C++ reference bitwise — completing the three-way
+// equality LIFT == handwritten == reference for every kernel.
+#include "acoustics/cl_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acoustics/geometry.hpp"
+#include "acoustics/materials.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "acoustics/sim_params.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "harness/launcher.hpp"
+
+namespace lifta::acoustics {
+namespace {
+
+ocl::Context& sharedContext() {
+  static ocl::Context ctx;
+  return ctx;
+}
+
+template <typename T>
+constexpr ir::ScalarKind realKind() {
+  return std::is_same_v<T, float> ? ir::ScalarKind::Float
+                                  : ir::ScalarKind::Double;
+}
+
+template <typename T>
+struct ClState {
+  RoomGrid grid;
+  SimParams params;
+  std::vector<T> prev, curr, next, beta;
+
+  explicit ClState(RoomShape shape = RoomShape::Dome, int numMaterials = 2) {
+    Room room{shape, 17, 15, 13};
+    grid = voxelize(room, numMaterials);
+    Rng rng(31);
+    const std::size_t n = grid.cells();
+    prev.assign(n, T(0));
+    curr.assign(n, T(0));
+    next.assign(n, T(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (grid.nbrs[i] > 0) {
+        prev[i] = static_cast<T>(rng.uniform(-0.2, 0.2));
+        curr[i] = static_cast<T>(rng.uniform(-0.2, 0.2));
+      }
+    }
+    for (const auto& m : defaultMaterials(numMaterials, 0)) {
+      beta.push_back(static_cast<T>(m.beta));
+    }
+  }
+};
+
+template <typename T>
+void runVolume() {
+  ClState<T> s;
+  std::vector<T> refNext = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), refNext.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, static_cast<T>(s.params.l2()));
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  ocl::Kernel k(ctx.buildProgram(clVolumeSource(realKind<T>())),
+                "volume_step");
+  auto next = harness::upload(ctx, q, s.next);
+  k.setArg(0, next);
+  k.setArg(1, harness::upload(ctx, q, s.prev));
+  k.setArg(2, harness::upload(ctx, q, s.curr));
+  k.setArg(3, harness::upload(ctx, q, s.grid.nbrs));
+  k.setArg(4, s.grid.nx);
+  k.setArg(5, s.grid.nx * s.grid.ny);
+  k.setArg(6, static_cast<int>(s.grid.cells()));
+  k.setArg(7, static_cast<T>(s.params.l2()));
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.cells(), 64));
+  const auto got = harness::download<T>(q, next, s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(ClKernels, VolumeMatchesReferenceDouble) { runVolume<double>(); }
+TEST(ClKernels, VolumeMatchesReferenceFloat) { runVolume<float>(); }
+
+template <typename T>
+void runFused() {
+  ClState<T> s(RoomShape::Box, 1);
+  std::vector<T> refNext = s.next;
+  refFusedFiLookup(s.grid.nbrs.data(), s.prev.data(), s.curr.data(),
+                   refNext.data(), s.grid.nx, s.grid.ny, s.grid.nz,
+                   static_cast<T>(s.params.l()),
+                   static_cast<T>(s.params.l2()), s.beta[0]);
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  ocl::Kernel k(ctx.buildProgram(clFusedFiSource(realKind<T>())), "fused_fi");
+  auto next = harness::upload(ctx, q, s.next);
+  k.setArg(0, next);
+  k.setArg(1, harness::upload(ctx, q, s.prev));
+  k.setArg(2, harness::upload(ctx, q, s.curr));
+  k.setArg(3, harness::upload(ctx, q, s.grid.nbrs));
+  k.setArg(4, s.grid.nx);
+  k.setArg(5, s.grid.nx * s.grid.ny);
+  k.setArg(6, static_cast<int>(s.grid.cells()));
+  k.setArg(7, static_cast<T>(s.params.l()));
+  k.setArg(8, static_cast<T>(s.params.l2()));
+  k.setArg(9, s.beta[0]);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.cells(), 32));
+  const auto got = harness::download<T>(q, next, s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(ClKernels, FusedFiMatchesReferenceDouble) { runFused<double>(); }
+TEST(ClKernels, FusedFiMatchesReferenceFloat) { runFused<float>(); }
+
+template <typename T>
+void runFiBoundary() {
+  ClState<T> s;
+  // Start from a post-volume state.
+  std::vector<T> next = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), next.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, static_cast<T>(s.params.l2()));
+  std::vector<T> refNext = next;
+  refFiBoundary(s.grid.boundaryIndices.data(), s.grid.nbrs.data(),
+                s.prev.data(), refNext.data(),
+                static_cast<std::int64_t>(s.grid.boundaryPoints()),
+                static_cast<T>(s.params.l()), s.beta[0]);
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  ocl::Kernel k(ctx.buildProgram(clFiBoundarySource(realKind<T>())),
+                "fi_boundary");
+  auto nextBuf = harness::upload(ctx, q, next);
+  k.setArg(0, nextBuf);
+  k.setArg(1, harness::upload(ctx, q, s.prev));
+  k.setArg(2, harness::upload(ctx, q, s.grid.boundaryIndices));
+  k.setArg(3, harness::upload(ctx, q, s.grid.nbrs));
+  k.setArg(4, static_cast<int>(s.grid.boundaryPoints()));
+  k.setArg(5, static_cast<T>(s.params.l()));
+  k.setArg(6, s.beta[0]);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.boundaryPoints(), 64));
+  const auto got = harness::download<T>(q, nextBuf, s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(ClKernels, FiBoundaryMatchesReferenceDouble) { runFiBoundary<double>(); }
+TEST(ClKernels, FiBoundaryMatchesReferenceFloat) { runFiBoundary<float>(); }
+
+TEST(ClKernels, SourcesCompileForBothPrecisionsAndBranchCounts) {
+  auto& ctx = sharedContext();
+  for (auto rk : {ir::ScalarKind::Float, ir::ScalarKind::Double}) {
+    EXPECT_NO_THROW(ctx.buildProgram(clVolumeSource(rk)));
+    EXPECT_NO_THROW(ctx.buildProgram(clFusedFiSource(rk)));
+    EXPECT_NO_THROW(ctx.buildProgram(clFiBoundarySource(rk)));
+    EXPECT_NO_THROW(ctx.buildProgram(clFiMmBoundarySource(rk)));
+    for (int mb : {1, 2, 3, 4}) {
+      EXPECT_NO_THROW(ctx.buildProgram(clFdMmBoundarySource(rk, mb)));
+    }
+  }
+}
+
+TEST(ClKernels, FdMmSourceBakesBranchCount) {
+  const std::string src = clFdMmBoundarySource(ir::ScalarKind::Float, 5);
+  EXPECT_TRUE(contains(src, "#define MB 5"));
+  EXPECT_TRUE(contains(src, "typedef float real;"));
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

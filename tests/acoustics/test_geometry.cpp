@@ -1,0 +1,149 @@
+#include "acoustics/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+namespace {
+
+TEST(Geometry, BoxBoundaryCountMatchesTableII336) {
+  // Table II: the 336^3 box has 673,352 boundary points.
+  EXPECT_EQ(boxBoundaryCount(338, 338, 338), 673352u);
+}
+
+TEST(Geometry, VoxelizerMatchesClosedFormBoxCounts) {
+  for (const auto& dims : {std::array<int, 3>{20, 16, 12},
+                           std::array<int, 3>{33, 21, 17},
+                           std::array<int, 3>{8, 8, 8}}) {
+    Room r{RoomShape::Box, dims[0], dims[1], dims[2]};
+    const RoomGrid g = voxelize(r);
+    EXPECT_EQ(g.boundaryPoints(), boxBoundaryCount(dims[0], dims[1], dims[2]))
+        << dims[0] << "x" << dims[1] << "x" << dims[2];
+  }
+}
+
+TEST(Geometry, BoxInsideCellCount) {
+  Room r{RoomShape::Box, 12, 10, 8};
+  const RoomGrid g = voxelize(r);
+  EXPECT_EQ(g.insideCells, 10u * 8u * 6u);
+}
+
+TEST(Geometry, HaloIsAlwaysOutside) {
+  Room r{RoomShape::Box, 10, 10, 10};
+  const RoomGrid g = voxelize(r);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      EXPECT_EQ(g.nbrs[r.index(x, y, 0)], 0);
+      EXPECT_EQ(g.nbrs[r.index(x, y, 9)], 0);
+      EXPECT_EQ(g.nbrs[r.index(x, 0, y)], 0);
+      EXPECT_EQ(g.nbrs[r.index(0, x, y)], 0);
+    }
+  }
+}
+
+TEST(Geometry, InteriorPointsHaveSixNeighbors) {
+  Room r{RoomShape::Box, 10, 10, 10};
+  const RoomGrid g = voxelize(r);
+  EXPECT_EQ(g.nbrs[r.index(5, 5, 5)], 6);
+  // A face-center boundary point has 5, an edge point 4, a corner 3.
+  EXPECT_EQ(g.nbrs[r.index(1, 5, 5)], 5);
+  EXPECT_EQ(g.nbrs[r.index(1, 1, 5)], 4);
+  EXPECT_EQ(g.nbrs[r.index(1, 1, 1)], 3);
+}
+
+TEST(Geometry, BoundaryIndicesAscendingAndConsistent) {
+  Room r{RoomShape::Dome, 24, 20, 16};
+  const RoomGrid g = voxelize(r);
+  ASSERT_FALSE(g.boundaryIndices.empty());
+  for (std::size_t i = 1; i < g.boundaryIndices.size(); ++i) {
+    EXPECT_LT(g.boundaryIndices[i - 1], g.boundaryIndices[i]);
+  }
+  for (std::size_t i = 0; i < g.boundaryIndices.size(); ++i) {
+    const int nbr = g.nbrs[static_cast<std::size_t>(g.boundaryIndices[i])];
+    EXPECT_GT(nbr, 0);
+    EXPECT_LT(nbr, 6);
+    EXPECT_EQ(nbr, g.boundaryNbr[i]);
+  }
+}
+
+TEST(Geometry, EveryLowNbrInsideCellIsListedAsBoundary) {
+  Room r{RoomShape::Cylinder, 20, 18, 12};
+  const RoomGrid g = voxelize(r);
+  std::size_t expected = 0;
+  for (int v : g.nbrs) {
+    if (v > 0 && v < 6) ++expected;
+  }
+  EXPECT_EQ(g.boundaryPoints(), expected);
+}
+
+TEST(Geometry, DomeHasFewerBoundaryPointsThanBoxAtPaperSizes) {
+  // Table II: dome boundary counts are below box counts at every size.
+  for (int n : {24, 32}) {
+    Room box{RoomShape::Box, n, n, n};
+    Room dome{RoomShape::Dome, n, n, n};
+    EXPECT_LT(voxelize(dome).boundaryPoints(), voxelize(box).boundaryPoints());
+  }
+}
+
+TEST(Geometry, DomeIsSmallerVolumeThanBox) {
+  Room box{RoomShape::Box, 30, 26, 22};
+  Room dome{RoomShape::Dome, 30, 26, 22};
+  const auto vb = voxelize(box).insideCells;
+  const auto vd = voxelize(dome).insideCells;
+  EXPECT_LT(vd, vb);
+  // An ellipsoid fills pi/6 ≈ 52% of its bounding box.
+  EXPECT_NEAR(static_cast<double>(vd) / vb, 0.5236, 0.05);
+}
+
+TEST(Geometry, LShapeRemovesOneQuadrant) {
+  Room l{RoomShape::LShape, 22, 22, 12};
+  Room box{RoomShape::Box, 22, 22, 12};
+  const auto vl = voxelize(l).insideCells;
+  const auto vb = voxelize(box).insideCells;
+  EXPECT_NEAR(static_cast<double>(vl) / vb, 0.75, 0.05);
+}
+
+TEST(Geometry, MaterialBandsCoverAllIds) {
+  Room r{RoomShape::Box, 16, 16, 16};
+  const RoomGrid g = voxelize(r, 3);
+  std::set<int> seen(g.material.begin(), g.material.end());
+  EXPECT_EQ(seen.size(), 3u);
+  for (int m : g.material) {
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, 3);
+  }
+}
+
+TEST(Geometry, SingleMaterialByDefault) {
+  Room r{RoomShape::Box, 10, 10, 10};
+  const RoomGrid g = voxelize(r);
+  for (int m : g.material) EXPECT_EQ(m, 0);
+}
+
+TEST(Geometry, PaperRoomsListTableIISizes) {
+  const auto rooms = paperRooms(RoomShape::Dome);
+  ASSERT_EQ(rooms.size(), 3u);
+  // Volume dims from Table II plus the halo on each side.
+  EXPECT_EQ(rooms[0].nx, 604);
+  EXPECT_EQ(rooms[0].ny, 404);
+  EXPECT_EQ(rooms[0].nz, 304);
+  EXPECT_EQ(rooms[1].nx, 338);
+  EXPECT_EQ(rooms[2].nz, 154);
+}
+
+TEST(Geometry, TooSmallRoomRejected) {
+  Room r{RoomShape::Box, 2, 10, 10};
+  EXPECT_THROW(voxelize(r), Error);
+}
+
+TEST(Geometry, ShapeNames) {
+  EXPECT_STREQ(shapeName(RoomShape::Box), "box");
+  EXPECT_STREQ(shapeName(RoomShape::Dome), "dome");
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

@@ -1,0 +1,107 @@
+#include "acoustics/materials.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lifta::acoustics {
+namespace {
+
+TEST(Materials, CoefficientDerivationMatchesFormulas) {
+  Material m;
+  m.beta = 0.1;
+  m.branches = {FdBranch{2.0, 10.0, 100.0}};
+  const double Ts = 1e-3;
+  const auto c = deriveFdCoeffs({m}, 1, Ts);
+  const double lOverTs = 10.0 / Ts;            // 10000
+  const double denom = lOverTs + 1.0 + 0.025;  // + R/2 + K*Ts/4
+  EXPECT_DOUBLE_EQ(c.BI[0], 1.0 / denom);
+  EXPECT_DOUBLE_EQ(c.D[0], lOverTs);
+  EXPECT_DOUBLE_EQ(c.DI[0], lOverTs - 1.0 - 0.025);
+  EXPECT_DOUBLE_EQ(c.F[0], 0.05);  // K*Ts/2
+}
+
+TEST(Materials, PaddingBranchesAreInert) {
+  Material m;
+  m.branches = {FdBranch{1.0, 5.0, 10.0}};
+  const auto c = deriveFdCoeffs({m}, 3, 1e-4);
+  EXPECT_GT(c.BI[0], 0.0);
+  EXPECT_DOUBLE_EQ(c.BI[1], 0.0);  // padding branch contributes nothing
+  EXPECT_DOUBLE_EQ(c.BI[2], 0.0);
+  EXPECT_DOUBLE_EQ(c.F[2], 0.0);
+}
+
+TEST(Materials, FlattenedLayoutIsMaterialMajor) {
+  auto mats = defaultMaterials(3, 2);
+  const auto c = deriveFdCoeffs(mats, 2, 1e-4);
+  EXPECT_EQ(c.numMaterials, 3);
+  EXPECT_EQ(c.numBranches, 2);
+  EXPECT_EQ(c.BI.size(), 6u);
+  EXPECT_EQ(c.at(1, 0), 2u);
+  EXPECT_EQ(c.at(2, 1), 5u);
+}
+
+TEST(Materials, ZeroBranchesProducesEmptyTables) {
+  const auto c = deriveFdCoeffs(defaultMaterials(2, 0), 0, 1e-4);
+  EXPECT_TRUE(c.BI.empty());
+  EXPECT_EQ(c.numBranches, 0);
+}
+
+TEST(Materials, DefaultPaletteCyclesAndDiffers) {
+  const auto mats = defaultMaterials(8, 1);
+  ASSERT_EQ(mats.size(), 8u);
+  // Palette has 6 presets; 7th/8th repeat 1st/2nd.
+  EXPECT_DOUBLE_EQ(mats[6].beta, mats[0].beta);
+  EXPECT_NE(mats[0].beta, mats[1].beta);
+  for (const auto& m : mats) {
+    EXPECT_GT(m.beta, 0.0);
+    EXPECT_LT(m.beta, 1.0);
+    ASSERT_EQ(m.branches.size(), 1u);
+    EXPECT_GT(m.branches[0].L, 0.0);
+  }
+}
+
+TEST(Materials, BranchSpreadIncreasesStiffness) {
+  const auto mats = defaultMaterials(1, 3);
+  const auto& b = mats[0].branches;
+  EXPECT_LT(b[0].K, b[1].K);
+  EXPECT_LT(b[1].K, b[2].K);
+  EXPECT_GT(b[0].L, b[1].L);
+}
+
+TEST(Materials, BetaTableMatchesMaterials) {
+  const auto mats = defaultMaterials(4, 0);
+  const auto beta = betaTable(mats);
+  ASSERT_EQ(beta.size(), 4u);
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(beta[i], mats[i].beta);
+  }
+}
+
+TEST(Materials, InvalidInputsRejected) {
+  EXPECT_THROW(deriveFdCoeffs({}, 1, 1e-4), Error);
+  EXPECT_THROW(deriveFdCoeffs(defaultMaterials(1, 1), 1, 0.0), Error);
+  Material bad;
+  bad.branches = {FdBranch{1.0, 0.0, 1.0}};  // zero inertance
+  EXPECT_THROW(deriveFdCoeffs({bad}, 1, 1e-4), Error);
+  EXPECT_THROW(defaultMaterials(0, 0), Error);
+}
+
+TEST(Materials, BIIsPositiveAndBoundedByTsOverL) {
+  // BI = 1/(L/Ts + ...) < Ts/L for positive R, K.
+  const auto mats = defaultMaterials(6, 3);
+  const double Ts = 1.0 / 44100.0;
+  const auto c = deriveFdCoeffs(mats, 3, Ts);
+  for (int m = 0; m < c.numMaterials; ++m) {
+    for (int b = 0; b < c.numBranches; ++b) {
+      const double bi = c.BI[c.at(m, b)];
+      const double L = mats[static_cast<std::size_t>(m)]
+                           .branches[static_cast<std::size_t>(b)].L;
+      EXPECT_GT(bi, 0.0);
+      EXPECT_LT(bi, Ts / L);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

@@ -1,0 +1,254 @@
+// Physics and cross-model equivalence tests of the reference simulation:
+// stability, boundary absorption, and the structural equalities the paper
+// relies on (fused == two-kernel; FI-MM with one material == FI; FD-MM with
+// inert branches == FI-MM).
+#include "acoustics/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lifta::acoustics {
+namespace {
+
+template <typename T>
+typename Simulation<T>::Config smallBox(BoundaryModel model,
+                                        int numMaterials = 1,
+                                        int numBranches = 0) {
+  typename Simulation<T>::Config cfg;
+  cfg.room = Room{RoomShape::Box, 22, 18, 14};
+  cfg.model = model;
+  cfg.numMaterials = numMaterials;
+  cfg.numBranches = numBranches;
+  return cfg;
+}
+
+TEST(Simulation, ImpulsePropagatesOutward) {
+  Simulation<double> sim(smallBox<double>(BoundaryModel::FusedFi));
+  sim.addImpulse(10, 9, 7, 1.0);
+  EXPECT_DOUBLE_EQ(sim.sample(10, 9, 7), 1.0);
+  sim.step();
+  sim.step();
+  // After two steps the neighbors two cells away have received energy.
+  EXPECT_NE(sim.sample(12, 9, 7), 0.0);
+  EXPECT_NE(sim.sample(10, 9, 5), 0.0);
+}
+
+TEST(Simulation, WaveStaysSymmetricInSymmetricRoom) {
+  typename Simulation<double>::Config cfg;
+  cfg.room = Room{RoomShape::Box, 17, 17, 17};
+  cfg.model = BoundaryModel::FusedFi;
+  Simulation<double> sim(cfg);
+  sim.addImpulse(8, 8, 8, 1.0);
+  for (int i = 0; i < 30; ++i) sim.step();
+  // The cubic symmetry of room + source is preserved up to FP rounding
+  // (the neighbor sum evaluates in a fixed order, so mirrored points see
+  // their operands in swapped order).
+  EXPECT_NEAR(sim.sample(8 + 3, 8, 8), sim.sample(8 - 3, 8, 8), 1e-12);
+  EXPECT_NEAR(sim.sample(8, 8 + 3, 8), sim.sample(8, 8, 8 + 3), 1e-12);
+  EXPECT_NEAR(sim.sample(8 + 2, 8 + 1, 8), sim.sample(8 + 1, 8 + 2, 8), 1e-12);
+}
+
+TEST(Simulation, StableAtCourantLimitOverManySteps) {
+  Simulation<double> sim(smallBox<double>(BoundaryModel::FusedFi));
+  sim.addImpulse(10, 9, 7, 1.0);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  EXPECT_LT(sim.maxAbs(), 10.0);  // bounded: no instability
+  EXPECT_TRUE(std::isfinite(sim.energy()));
+}
+
+TEST(Simulation, AbsorbingWallsDissipateEnergy) {
+  auto cfg = smallBox<double>(BoundaryModel::FusedFi);
+  cfg.materials = {Material{0.5, {}}};
+  Simulation<double> sim(cfg);
+  sim.addImpulse(10, 9, 7, 1.0);
+  for (int i = 0; i < 50; ++i) sim.step();
+  const double early = sim.energy();
+  for (int i = 0; i < 500; ++i) sim.step();
+  const double late = sim.energy();
+  EXPECT_LT(late, early * 0.2);
+}
+
+TEST(Simulation, HigherBetaAbsorbsFaster) {
+  double residual[2];
+  const double betas[2] = {0.05, 0.6};
+  for (int k = 0; k < 2; ++k) {
+    auto cfg = smallBox<double>(BoundaryModel::FusedFi);
+    cfg.materials = {Material{betas[k], {}}};
+    Simulation<double> sim(cfg);
+    sim.addImpulse(10, 9, 7, 1.0);
+    for (int i = 0; i < 400; ++i) sim.step();
+    residual[k] = sim.energy();
+  }
+  EXPECT_LT(residual[1], residual[0]);
+}
+
+TEST(Simulation, NearRigidWallsRetainEnergy) {
+  // beta = 0: cf = 0 and the fused kernel's boundary formula becomes the
+  // lossless reflection; energy must persist (bounded, not decaying away).
+  // Slightly below the Courant limit: exactly at lambda = 1/sqrt(3) the
+  // lossless scheme admits weak (linear) growth modes at edges/corners,
+  // which real runs suppress with absorbing boundaries.
+  // The source must be zero-mean: under rigid (Neumann) walls the DC mode
+  // obeys u^{n+1} = 2u^n - u^{n-1} and a monopole impulse drifts linearly —
+  // a physical property of the scheme, not an instability.
+  auto cfg = smallBox<double>(BoundaryModel::FusedFi);
+  cfg.params.lambda = 0.55;
+  cfg.materials = {Material{0.0, {}}};
+  Simulation<double> sim(cfg);
+  sim.addImpulse(10, 9, 7, 1.0);
+  sim.addImpulse(11, 9, 7, -1.0);
+  for (int i = 0; i < 50; ++i) sim.step();
+  const double early = sim.energy();
+  for (int i = 0; i < 1000; ++i) sim.step();
+  const double late = sim.energy();
+  EXPECT_GT(late, early * 0.2);
+  EXPECT_LT(late, early * 5.0);
+}
+
+TEST(Simulation, FusedEqualsTwoKernelSplit) {
+  // §II-C: separating volume and boundary handling must not change results.
+  auto run = [](BoundaryModel model) {
+    auto cfg = smallBox<double>(model);
+    Simulation<double> sim(cfg);
+    sim.addImpulse(10, 9, 7, 1.0);
+    sim.addImpulse(5, 5, 5, -0.25);
+    return sim.record(200, 4, 4, 4);
+  };
+  const auto fused = run(BoundaryModel::FusedFi);
+  const auto split = run(BoundaryModel::FiSplit);
+  ASSERT_EQ(fused.size(), split.size());
+  // Mathematically identical; the fused form computes (cf-1)*prev where the
+  // split form computes -prev + cf*prev, so equality holds to rounding.
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_NEAR(fused[i], split[i], 1e-9) << "step " << i;
+  }
+}
+
+TEST(Simulation, FiMmWithOneMaterialEqualsFiSplit) {
+  auto cfgA = smallBox<double>(BoundaryModel::FiSplit);
+  auto cfgB = smallBox<double>(BoundaryModel::FiMm);
+  Simulation<double> a(cfgA);
+  Simulation<double> b(cfgB);
+  a.addImpulse(10, 9, 7, 1.0);
+  b.addImpulse(10, 9, 7, 1.0);
+  const auto ra = a.record(150, 6, 6, 6);
+  const auto rb = b.record(150, 6, 6, 6);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ra[i], rb[i]) << "step " << i;
+  }
+}
+
+TEST(Simulation, FdMmWithInertBranchesEqualsFiMm) {
+  // Materials whose branches have BI = 0 contribute nothing: FD-MM must
+  // collapse exactly onto FI-MM.
+  auto mats = defaultMaterials(2, 0);
+  for (auto& m : mats) {
+    // One branch of "infinite" inertance: deriveFdCoeffs would give a tiny
+    // but nonzero BI, so instead mark it inert by leaving branches empty
+    // and padding (BI = 0 exactly).
+    m.branches.clear();
+  }
+  auto cfgA = smallBox<double>(BoundaryModel::FiMm, 2);
+  cfgA.materials = mats;
+  auto cfgB = smallBox<double>(BoundaryModel::FdMm, 2, 2);
+  cfgB.materials = mats;  // branches empty → all padding → inert
+  Simulation<double> a(cfgA);
+  Simulation<double> b(cfgB);
+  a.addImpulse(10, 9, 7, 1.0);
+  b.addImpulse(10, 9, 7, 1.0);
+  const auto ra = a.record(150, 6, 6, 6);
+  const auto rb = b.record(150, 6, 6, 6);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ra[i], rb[i]) << "step " << i;
+  }
+}
+
+TEST(Simulation, FdMmStableAndDissipativeOverManySteps) {
+  auto cfg = smallBox<double>(BoundaryModel::FdMm, 3, 3);
+  Simulation<double> sim(cfg);
+  sim.addImpulse(10, 9, 7, 1.0);
+  for (int i = 0; i < 100; ++i) sim.step();
+  const double early = sim.energy();
+  for (int i = 0; i < 2000; ++i) sim.step();
+  EXPECT_TRUE(std::isfinite(sim.energy()));
+  EXPECT_LT(sim.maxAbs(), 10.0);
+  EXPECT_LT(sim.energy(), early);
+}
+
+TEST(Simulation, FdMmBranchesChangeTheResponse) {
+  // Frequency-dependent materials must actually alter the impulse response
+  // relative to FI-MM with the same betas.
+  auto mats = defaultMaterials(1, 2);
+  auto cfgA = smallBox<double>(BoundaryModel::FiMm, 1);
+  cfgA.materials = mats;
+  auto cfgB = smallBox<double>(BoundaryModel::FdMm, 1, 2);
+  cfgB.materials = mats;
+  Simulation<double> a(cfgA);
+  Simulation<double> b(cfgB);
+  a.addImpulse(10, 9, 7, 1.0);
+  b.addImpulse(10, 9, 7, 1.0);
+  const auto ra = a.record(200, 6, 6, 6);
+  const auto rb = b.record(200, 6, 6, 6);
+  double maxDiff = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    maxDiff = std::max(maxDiff, std::fabs(ra[i] - rb[i]));
+  }
+  EXPECT_GT(maxDiff, 1e-9);
+}
+
+TEST(Simulation, DomeRoomRunsStably) {
+  typename Simulation<double>::Config cfg;
+  cfg.room = Room{RoomShape::Dome, 26, 22, 18};
+  cfg.model = BoundaryModel::FiMm;
+  cfg.numMaterials = 3;
+  Simulation<double> sim(cfg);
+  sim.addImpulse(13, 11, 9, 1.0);
+  for (int i = 0; i < 1000; ++i) sim.step();
+  EXPECT_TRUE(std::isfinite(sim.energy()));
+  EXPECT_LT(sim.maxAbs(), 10.0);
+}
+
+TEST(Simulation, FloatAndDoubleAgreeInitially) {
+  Simulation<float> sf(smallBox<float>(BoundaryModel::FiMm));
+  Simulation<double> sd(smallBox<double>(BoundaryModel::FiMm));
+  sf.addImpulse(10, 9, 7, 1.0f);
+  sd.addImpulse(10, 9, 7, 1.0);
+  const auto rf = sf.record(50, 6, 6, 6);
+  const auto rd = sd.record(50, 6, 6, 6);
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(rf[i]), rd[i], 1e-4) << "step " << i;
+  }
+}
+
+TEST(Simulation, RecordCapturesImpulseArrival) {
+  Simulation<double> sim(smallBox<double>(BoundaryModel::FusedFi));
+  sim.addImpulse(10, 9, 7, 1.0);
+  // Receiver 4 cells away: signal needs at least 4 steps to arrive
+  // (the scheme's numerical wave speed is bounded by 1 cell/step).
+  const auto rec = sim.record(30, 6, 9, 7);
+  EXPECT_DOUBLE_EQ(rec[0], 0.0);
+  EXPECT_DOUBLE_EQ(rec[2], 0.0);
+  bool arrived = false;
+  for (double v : rec) arrived = arrived || v != 0.0;
+  EXPECT_TRUE(arrived);
+}
+
+TEST(Simulation, ImpulseOutsideRoomRejected) {
+  Simulation<double> sim(smallBox<double>(BoundaryModel::FusedFi));
+  EXPECT_THROW(sim.addImpulse(0, 0, 0, 1.0), Error);
+}
+
+TEST(Simulation, UnstableCourantRejected) {
+  auto cfg = smallBox<double>(BoundaryModel::FusedFi);
+  cfg.params.lambda = 0.8;  // > 1/sqrt(3)
+  EXPECT_THROW(Simulation<double> sim(cfg), Error);
+}
+
+TEST(Simulation, ModelNames) {
+  EXPECT_STREQ(modelName(BoundaryModel::FdMm), "FD-MM");
+  EXPECT_STREQ(modelName(BoundaryModel::FiMm), "FI-MM");
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

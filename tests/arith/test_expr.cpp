@@ -1,0 +1,80 @@
+#include "arith/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lifta::arith {
+namespace {
+
+TEST(ArithExpr, DefaultIsZero) {
+  Expr e;
+  EXPECT_TRUE(e.isConst(0));
+}
+
+TEST(ArithExpr, ConstArithmetic) {
+  EXPECT_TRUE((Expr(2) + Expr(3)).isConst(5));
+  EXPECT_TRUE((Expr(2) * Expr(3)).isConst(6));
+  EXPECT_TRUE((Expr(7) / Expr(2)).isConst(3));
+  EXPECT_TRUE((Expr(7) % Expr(2)).isConst(1));
+  EXPECT_TRUE((Expr(4) - Expr(9)).isConst(-5));
+}
+
+TEST(ArithExpr, VarToString) {
+  EXPECT_EQ(Expr::var("N").toString(), "N");
+}
+
+TEST(ArithExpr, EvaluateWithEnv) {
+  const Expr e = Expr::var("i") * Expr(3) + Expr::var("j");
+  EXPECT_EQ(e.evaluate({{"i", 4}, {"j", 5}}), 17);
+}
+
+TEST(ArithExpr, EvaluateUnboundThrows) {
+  EXPECT_THROW(Expr::var("x").evaluate({}), Error);
+}
+
+TEST(ArithExpr, EvaluateDivisionByZeroThrows) {
+  const Expr e = Expr::var("a") / Expr::var("b");
+  EXPECT_THROW(e.evaluate({{"a", 1}, {"b", 0}}), Error);
+}
+
+TEST(ArithExpr, SubstituteVar) {
+  const Expr e = Expr::var("i") + Expr(1);
+  const Expr s = e.substitute("i", Expr(41));
+  EXPECT_TRUE(s.isConst(42));
+}
+
+TEST(ArithExpr, SubstituteIsCaptureFree) {
+  const Expr e = Expr::var("i") * Expr::var("N");
+  const Expr s = e.substitute("i", Expr::var("N"));
+  EXPECT_EQ(s.evaluate({{"N", 5}}), 25);
+}
+
+TEST(ArithExpr, FreeVars) {
+  const Expr e = (Expr::var("a") + Expr::var("b")) * Expr::var("a");
+  const auto vars = e.freeVars();
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(vars.count("a"));
+  EXPECT_TRUE(vars.count("b"));
+}
+
+TEST(ArithExpr, StructuralEqualityIsOrderInsensitive) {
+  const Expr a = Expr::var("x") + Expr::var("y");
+  const Expr b = Expr::var("y") + Expr::var("x");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ArithExpr, MinMax) {
+  EXPECT_TRUE(min(Expr(3), Expr(5)).isConst(3));
+  EXPECT_TRUE(max(Expr(3), Expr(5)).isConst(5));
+  const Expr m = min(Expr::var("a"), Expr::var("b"));
+  EXPECT_EQ(m.evaluate({{"a", 9}, {"b", 2}}), 2);
+}
+
+TEST(ArithExpr, ModEvaluate) {
+  const Expr e = Expr::var("i") % Expr(4);
+  EXPECT_EQ(e.evaluate({{"i", 10}}), 2);
+}
+
+}  // namespace
+}  // namespace lifta::arith

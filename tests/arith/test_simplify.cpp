@@ -1,0 +1,125 @@
+// Canonicalization / simplification rules of the symbolic index algebra.
+// These matter directly for codegen quality: e.g. the paper's Concat offset
+// `i1 + N0` must not accumulate dead `+ 0` or `* 1` terms.
+#include "arith/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta::arith {
+namespace {
+
+TEST(Simplify, AddZeroEliminated) {
+  const Expr e = Expr::var("i") + Expr(0);
+  EXPECT_EQ(e.toString(), "i");
+}
+
+TEST(Simplify, MulOneEliminated) {
+  const Expr e = Expr::var("i") * Expr(1);
+  EXPECT_EQ(e.toString(), "i");
+}
+
+TEST(Simplify, MulZeroCollapses) {
+  const Expr e = Expr::var("i") * Expr(0);
+  EXPECT_TRUE(e.isConst(0));
+}
+
+TEST(Simplify, NestedSumsFlatten) {
+  const Expr e = (Expr::var("a") + Expr(1)) + (Expr::var("b") + Expr(2));
+  // One Add node with folded constant.
+  EXPECT_EQ(e.kind(), Kind::Add);
+  EXPECT_EQ(e.operands().size(), 3u);
+  EXPECT_TRUE(e.operands()[0].isConst(3));
+}
+
+TEST(Simplify, NestedProductsFlatten) {
+  const Expr e = (Expr(2) * Expr::var("a")) * (Expr(3) * Expr::var("b"));
+  EXPECT_EQ(e.kind(), Kind::Mul);
+  EXPECT_TRUE(e.operands()[0].isConst(6));
+}
+
+TEST(Simplify, SubtractionOfSelfViaEvaluate) {
+  const Expr e = Expr::var("x") - Expr::var("x");
+  // We do not cancel symbolically, but evaluation must give zero.
+  EXPECT_EQ(e.evaluate({{"x", 123}}), 0);
+}
+
+TEST(Simplify, DivByOne) {
+  EXPECT_EQ((Expr::var("n") / Expr(1)).toString(), "n");
+}
+
+TEST(Simplify, DivSelfIsOne) {
+  const Expr n = Expr::var("n");
+  EXPECT_TRUE((n / n).isConst(1));
+}
+
+TEST(Simplify, ModByOneIsZero) {
+  EXPECT_TRUE((Expr::var("n") % Expr(1)).isConst(0));
+}
+
+TEST(Simplify, ModSelfIsZero) {
+  const Expr n = Expr::var("n");
+  EXPECT_TRUE((n % n).isConst(0));
+}
+
+TEST(Simplify, ZeroDividedByNonzeroConst) {
+  EXPECT_TRUE((Expr(0) / Expr::var("n")).isConst(0));
+}
+
+TEST(Simplify, ConstantsSortFirstInSums) {
+  const Expr e = Expr::var("i") + Expr(7);
+  EXPECT_EQ(e.operands()[0].kind(), Kind::Const);
+}
+
+TEST(Simplify, CanonicalFormsPrintIdentically) {
+  const Expr a = (Expr::var("x") * Expr(2)) + Expr::var("y") + Expr(0);
+  const Expr b = Expr::var("y") + (Expr(2) * Expr::var("x"));
+  EXPECT_EQ(a.toString(), b.toString());
+}
+
+TEST(Simplify, PaperConcatOffsetShape) {
+  // The output view for the second Concat argument in Table I:
+  // index i1 offset by N0 — printed as a clean sum.
+  const Expr e = Expr::var("i1") + Expr::var("N0");
+  EXPECT_EQ(e.toString(), "(N0 + i1)");
+}
+
+TEST(Simplify, SlideCountExample) {
+  // (N + 2 - 3) / 1 + 1 == N for the classic pad(1,1)+slide(3,1) pipeline.
+  const Expr n = Expr::var("N");
+  const Expr count = (n + Expr(2) - Expr(3)) / Expr(1) + Expr(1);
+  EXPECT_EQ(count.evaluate({{"N", 100}}), 100);
+}
+
+TEST(Simplify, DivCancelsExactFactors) {
+  const Expr nx = Expr::var("nx");
+  const Expr ny = Expr::var("ny");
+  const Expr nz = Expr::var("nz");
+  // The Split-reshape chain of the Listing-6 kernel.
+  EXPECT_EQ(((nx * ny * nz) / nx / ny).toString(), "nz");
+  EXPECT_EQ(((nx * ny) / ny).toString(), "nx");
+}
+
+TEST(Simplify, ChainedDivisionsCombine) {
+  const Expr x = Expr::var("x");
+  // (x / a) / b == x / (a * b)
+  const Expr e = (x / Expr::var("a")) / Expr::var("b");
+  EXPECT_EQ(e.evaluate({{"x", 24}, {"a", 2}, {"b", 3}}), 4);
+  EXPECT_EQ(e.toString(), "(x / (a * b))");
+}
+
+TEST(Simplify, DivKeepsNonMatchingFactors) {
+  const Expr e = (Expr(4) * Expr::var("x")) / Expr(8);
+  // No exact factor match: stays a division (integer semantics preserved).
+  EXPECT_EQ(e.evaluate({{"x", 3}}), 1);  // 12/8 = 1
+  EXPECT_EQ(e.kind(), Kind::Div);
+}
+
+TEST(Simplify, DivPartialCancellation) {
+  const Expr nx = Expr::var("nx");
+  const Expr ny = Expr::var("ny");
+  const Expr e = (nx * ny * Expr::var("k")) / (nx * Expr::var("j"));
+  EXPECT_EQ(e.evaluate({{"nx", 4}, {"ny", 6}, {"k", 10}, {"j", 5}}), 12);
+}
+
+}  // namespace
+}  // namespace lifta::arith

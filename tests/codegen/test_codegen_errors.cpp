@@ -1,0 +1,117 @@
+// Negative-path tests: malformed or unsupported IR must fail loudly at
+// generation time with CodegenError/TypeError, never generate wrong code.
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_codegen.hpp"
+#include "common/error.hpp"
+#include "ir/typecheck.hpp"
+
+namespace lifta::codegen {
+namespace {
+
+using namespace lifta::ir;
+using memory::KernelDef;
+
+arith::Expr N() { return arith::Expr::var("N"); }
+
+TEST(CodegenErrors, SkipOutsideConcatRejected) {
+  KernelDef def;
+  def.name = "k";
+  auto n = param("n", Type::int_());
+  def.params = {n};
+  def.body = skip(Type::float_(), n);
+  EXPECT_THROW(generateKernel(def), CodegenError);
+}
+
+TEST(CodegenErrors, WriteToNonParamDestinationRejected) {
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  def.params = {a, nP};
+  // Destination is a computed map, not a parameter position.
+  auto m = mapSeq(lambda({x}, x), a);
+  def.body = writeTo(m, a);
+  EXPECT_THROW(generateKernel(def), CodegenError);
+}
+
+TEST(CodegenErrors, PrecisionMismatchRejected) {
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::double_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  def.params = {a, nP};
+  def.body = mapGlb(lambda({x}, x), a);
+  def.real = ScalarKind::Float;  // double data, float kernel
+  EXPECT_THROW(generateKernel(def), CodegenError);
+}
+
+TEST(CodegenErrors, TypeErrorsSurfaceFromBody) {
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::array(Type::float_(), arith::Expr::var("M")));
+  auto nP = param("N", Type::int_());
+  auto p = param("p", nullptr);
+  def.params = {a, b, nP};
+  def.body = mapGlb(lambda({p}, get(p, 0)), zip({a, b}));  // length mismatch
+  EXPECT_THROW(generateKernel(def), TypeError);
+}
+
+TEST(CodegenErrors, MapOverMapInputNeedsMaterialization) {
+  // A Map consuming another Map's output without a Let is not a lazy view.
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  auto y = param("y", nullptr);
+  auto w = param("w", nullptr);
+  auto acc = param("acc", nullptr);
+  auto e = param("e", nullptr);
+  // slide over a computed map: requires an intermediate buffer.
+  def.params = {a, nP};
+  def.body = mapGlb(
+      lambda({w}, reduceSeq(lambda({acc, e}, acc + e), litFloat(0.0f), w)),
+      slide(3, 1, mapSeq(lambda({y}, y * litFloat(2.0f)), a)));
+  (void)x;
+  EXPECT_THROW(generateKernel(def), CodegenError);
+}
+
+TEST(CodegenErrors, PrivateArrayWithDynamicExtentRejected) {
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto one = param("one", nullptr);
+  auto g = param("g", nullptr);
+  auto b = param("b", nullptr);
+  auto e = param("e", nullptr);
+  auto acc = param("acc", nullptr);
+  def.params = {a, nP};
+  // val g = MapSeq(...) over a *symbolically sized* array: private arrays
+  // need compile-time extents.
+  def.body = mapGlb(
+      lambda({one},
+             let(g, mapSeq(lambda({b}, b + litFloat(1.0f)), a),
+                 reduceSeq(lambda({acc, e}, acc + e), litFloat(0.0f), g))),
+      iota(1));
+  EXPECT_THROW(generateKernel(def), Error);
+}
+
+TEST(CodegenErrors, UnknownAliasParamRejected) {
+  KernelDef def;
+  def.name = "k";
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  def.params = {a, nP};
+  def.body = mapGlb(lambda({x}, x), a);
+  def.outAliasParam = "not_a_param";
+  EXPECT_THROW(generateKernel(def), CodegenError);
+}
+
+}  // namespace
+}  // namespace lifta::codegen

@@ -1,0 +1,66 @@
+#include "common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace lifta {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kBufferAlignment, 0u);
+}
+
+TEST(AlignedBuffer, ZeroFillsByDefault) {
+  AlignedBuffer b(256);
+  const auto* p = b.as<unsigned char>();
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(p[i], 0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  void* ptr = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_TRUE(a.empty());  // NOLINT: testing moved-from state
+}
+
+TEST(AlignedBuffer, ResetReplacesContents) {
+  AlignedBuffer b(16);
+  b.reset(1024);
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kBufferAlignment, 0u);
+}
+
+TEST(AlignedArray, TypedAccess) {
+  AlignedArray<double> a(10);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  double sum = 0;
+  for (double v : a) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 45.0);
+}
+
+TEST(AlignedArray, FillSetsEveryElement) {
+  AlignedArray<float> a(17);
+  a.fill(3.5f);
+  for (float v : a) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(AlignedArray, ZeroSizeIsSafe) {
+  AlignedArray<int> a(0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.begin(), a.end());
+}
+
+}  // namespace
+}  // namespace lifta

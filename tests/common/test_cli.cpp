@@ -1,0 +1,57 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta {
+namespace {
+
+CliArgs parseArgs(std::vector<const char*> argv) {
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  auto args = parseArgs({"prog", "--size=602", "--shape=dome"});
+  EXPECT_EQ(args.getInt("size", 0), 602);
+  EXPECT_EQ(args.getString("shape", ""), "dome");
+}
+
+TEST(Cli, ParsesKeySpaceValue) {
+  auto args = parseArgs({"prog", "--size", "336"});
+  EXPECT_EQ(args.getInt("size", 0), 336);
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  auto args = parseArgs({"prog", "--full", "--size=10"});
+  EXPECT_TRUE(args.getBool("full", false));
+  EXPECT_EQ(args.getInt("size", 0), 10);
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  auto args = parseArgs({"prog"});
+  EXPECT_EQ(args.getInt("iters", 42), 42);
+  EXPECT_EQ(args.getString("shape", "box"), "box");
+  EXPECT_FALSE(args.getBool("full", false));
+  EXPECT_DOUBLE_EQ(args.getDouble("beta", 0.5), 0.5);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  auto args = parseArgs({"prog", "input.txt", "--n=3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, DoubleParsing) {
+  auto args = parseArgs({"prog", "--beta=0.125"});
+  EXPECT_DOUBLE_EQ(args.getDouble("beta", 0), 0.125);
+}
+
+TEST(Cli, ConsecutiveFlagsAreBooleans) {
+  auto args = parseArgs({"prog", "--a", "--b", "--c=x"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_TRUE(args.getBool("b", false));
+  EXPECT_EQ(args.getString("c", ""), "x");
+}
+
+}  // namespace
+}  // namespace lifta

@@ -1,0 +1,58 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta {
+namespace {
+
+TEST(Stats, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, MedianEvenAverages) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianSingle) {
+  EXPECT_DOUBLE_EQ(median({7.5}), 7.5);
+}
+
+TEST(Stats, EmptySamples) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const SampleStats s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+}
+
+TEST(Stats, MedianRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 1000.0, 2.5}), 2.5);
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);  // sanity: reset did not go backwards
+}
+
+}  // namespace
+}  // namespace lifta

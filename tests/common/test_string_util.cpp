@@ -1,0 +1,56 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta {
+namespace {
+
+TEST(StringUtil, Strformat) {
+  EXPECT_EQ(strformat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(strformat("%s", "abc"), "abc");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtil, IndentAddsPrefixToNonEmptyLines) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(StringUtil, Contains) {
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+  EXPECT_FALSE(contains("hello", "z"));
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, CollapseWhitespace) {
+  EXPECT_EQ(collapseWhitespace("for (i=0;  i<N;\n  ++i)"), "for (i=0; i<N; ++i)");
+  EXPECT_EQ(collapseWhitespace("  x  "), "x");
+}
+
+}  // namespace
+}  // namespace lifta

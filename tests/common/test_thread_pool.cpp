@@ -1,0 +1,77 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lifta {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::vector<int> out(100, 0);
+  pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, ChunkedCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallelForChunked(12345, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 12345u);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallelFor(500, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 500L * 499 / 2);
+  }
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(10, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().threadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace lifta

@@ -1,0 +1,58 @@
+#include "common/wav.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace lifta {
+namespace {
+
+std::vector<unsigned char> readAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(f),
+                                    std::istreambuf_iterator<char>());
+}
+
+TEST(Wav, HeaderAndSizes) {
+  const std::string path = ::testing::TempDir() + "/lifta_test.wav";
+  writeWav(path, {0.0, 0.5, -0.5, 1.0}, 44100);
+  const auto bytes = readAll(path);
+  ASSERT_EQ(bytes.size(), 44u + 8u);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 4), "RIFF");
+  EXPECT_EQ(std::string(bytes.begin() + 8, bytes.begin() + 12), "WAVE");
+  EXPECT_EQ(std::string(bytes.begin() + 36, bytes.begin() + 40), "data");
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ClampsOutOfRangeSamples) {
+  const std::string path = ::testing::TempDir() + "/lifta_clamp.wav";
+  writeWav(path, {10.0, -10.0}, 8000);
+  const auto bytes = readAll(path);
+  // First sample: +32767 little-endian; second: -32767.
+  const int s0 = static_cast<int>(bytes[44]) | (static_cast<int>(bytes[45]) << 8);
+  EXPECT_EQ(s0, 32767);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ThrowsOnBadPath) {
+  EXPECT_THROW(writeWav("/nonexistent_dir_xyz/out.wav", {0.0}, 8000), Error);
+}
+
+TEST(Wav, NormalizeScalesPeak) {
+  const auto out = normalize({0.1, -0.2, 0.05}, 0.8);
+  EXPECT_NEAR(out[1], -0.8, 1e-12);
+  EXPECT_NEAR(out[0], 0.4, 1e-12);
+}
+
+TEST(Wav, NormalizeSilenceIsNoop) {
+  const auto out = normalize({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+}  // namespace
+}  // namespace lifta

@@ -1,0 +1,132 @@
+// Physics tests of the §VIII electromagnetic FDTD substrate.
+#include "geophys/fdtd2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lifta::geophys {
+namespace {
+
+TEST(Fdtd2d, CoefficientsLosslessCellIsExact) {
+  Scene s;
+  s.nx = 3;
+  s.ny = 3;
+  s.epsR.assign(9, 1.0);
+  s.sigma.assign(9, 0.0);
+  s.deriveCoefficients();
+  EXPECT_DOUBLE_EQ(s.ca[4], 1.0);
+  EXPECT_DOUBLE_EQ(s.cb[4], kCourant2D);
+}
+
+TEST(Fdtd2d, CoefficientsLossyCellAttenuates) {
+  Scene s;
+  s.nx = 3;
+  s.ny = 3;
+  s.epsR.assign(9, 2.0);
+  s.sigma.assign(9, 0.5);
+  s.deriveCoefficients();
+  EXPECT_LT(s.ca[0], 1.0);
+  EXPECT_GT(s.ca[0], 0.0);
+  EXPECT_LT(s.cb[0], kCourant2D / 2.0);
+}
+
+TEST(Fdtd2d, SceneFringeIsConductiveEdgesOnly) {
+  const Scene s = buildFreeSpaceScene(64, 48, 8);
+  EXPECT_GT(s.sigma[s.at(0, 24)], 0.0);
+  EXPECT_GT(s.sigma[s.at(63, 24)], 0.0);
+  EXPECT_DOUBLE_EQ(s.sigma[s.at(32, 24)], 0.0);
+  EXPECT_DOUBLE_EQ(s.epsR[s.at(32, 24)], 1.0);
+}
+
+TEST(Fdtd2d, GprSceneHasSoilAndObject) {
+  const Scene s = buildGprScene(80, 60, 8, 4.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(s.epsR[s.at(40, 5)], 1.0);    // air
+  EXPECT_DOUBLE_EQ(s.epsR[s.at(10, 50)], 4.0);   // soil
+  const int surfaceY = (60 * 2) / 5;
+  const int cy = surfaceY + (60 - surfaceY) / 2;
+  EXPECT_DOUBLE_EQ(s.epsR[s.at(40, cy)], 20.0);  // object center
+  EXPECT_GT(s.sigma[s.at(10, 50)], 0.0);         // lossy soil
+}
+
+TEST(Fdtd2d, PulsePropagatesOutward) {
+  Fdtd2d<double> sim(buildFreeSpaceScene(64, 64, 8));
+  sim.inject(32, 32, 1.0);
+  for (int i = 0; i < 12; ++i) sim.step();
+  // After 12 steps at S = 0.7 the front is ~8 cells out.
+  EXPECT_NE(sim.ez(40, 32), 0.0);
+  EXPECT_NE(sim.ez(32, 40), 0.0);
+  // Causality: nothing beyond ~13 cells.
+  EXPECT_DOUBLE_EQ(sim.ez(32 + 20, 32), 0.0);
+}
+
+TEST(Fdtd2d, FourfoldSymmetryPreserved) {
+  Fdtd2d<double> sim(buildFreeSpaceScene(65, 65, 8));
+  sim.inject(32, 32, 1.0);
+  for (int i = 0; i < 20; ++i) sim.step();
+  EXPECT_NEAR(sim.ez(32 + 7, 32), sim.ez(32 - 7, 32), 1e-12);
+  EXPECT_NEAR(sim.ez(32, 32 + 7), sim.ez(32, 32 - 7), 1e-12);
+  EXPECT_NEAR(sim.ez(32 + 5, 32), sim.ez(32, 32 + 5), 1e-12);
+}
+
+TEST(Fdtd2d, AbsorbingFringeRemovesEnergy) {
+  Fdtd2d<double> sim(buildFreeSpaceScene(72, 72, 10));
+  sim.inject(36, 36, 1.0);
+  for (int i = 0; i < 20; ++i) sim.step();
+  const double midway = sim.energy();
+  // By step 200 the pulse has crossed the fringe many times over.
+  for (int i = 0; i < 180; ++i) sim.step();
+  EXPECT_LT(sim.energy(), midway * 0.1);
+}
+
+TEST(Fdtd2d, StableOverManySteps) {
+  Fdtd2d<double> sim(buildGprScene(64, 56, 8));
+  sim.inject(32, 8, 1.0);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  EXPECT_TRUE(std::isfinite(sim.energy()));
+  double maxAbs = 0;
+  for (double v : sim.ezField()) maxAbs = std::max(maxAbs, std::fabs(v));
+  EXPECT_LT(maxAbs, 10.0);
+}
+
+TEST(Fdtd2d, BuriedObjectProducesAReflection) {
+  // Same source/receiver, scenes with and without the object: the recorded
+  // traces must diverge once the reflection returns to the surface.
+  const int nx = 96, ny = 72;
+  Fdtd2d<double> with(buildGprScene(nx, ny, 8, 4.0, 25.0, 6));
+  Scene empty = buildGprScene(nx, ny, 8, 4.0, 4.0, 6);  // object == soil
+  Fdtd2d<double> without(std::move(empty));
+
+  const int sx = nx / 2, sy = 12, rx = nx / 2 + 6, ry = 12;
+  double maxDiff = 0.0;
+  for (int t = 0; t < 260; ++t) {
+    const double src = std::exp(-0.5 * std::pow((t - 20.0) / 6.0, 2.0));
+    with.inject(sx, sy, src);
+    without.inject(sx, sy, src);
+    with.step();
+    without.step();
+    maxDiff = std::max(maxDiff, std::fabs(with.ez(rx, ry) - without.ez(rx, ry)));
+  }
+  EXPECT_GT(maxDiff, 1e-6);
+}
+
+TEST(Fdtd2d, FloatMatchesDoubleInitially) {
+  Fdtd2d<double> d(buildFreeSpaceScene(48, 48, 6));
+  Fdtd2d<float> f(buildFreeSpaceScene(48, 48, 6));
+  d.inject(24, 24, 1.0);
+  f.inject(24, 24, 1.0f);
+  for (int i = 0; i < 30; ++i) {
+    d.step();
+    f.step();
+  }
+  EXPECT_NEAR(static_cast<double>(f.ez(30, 24)), d.ez(30, 24), 1e-4);
+}
+
+TEST(Fdtd2d, TooSmallSceneRejected) {
+  EXPECT_THROW(buildFreeSpaceScene(10, 10, 10), Error);
+}
+
+}  // namespace
+}  // namespace lifta::geophys

@@ -1,0 +1,242 @@
+// §VIII in practice: the LIFT-generated electromagnetic kernels — including
+// the fused multi-output H kernel updating two whole-volume arrays in place
+// — must match the reference bitwise, per kernel and over coupled steps.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "geophys/fdtd2d.hpp"
+#include "geophys/lift_kernels.hpp"
+#include "harness/launcher.hpp"
+
+namespace lifta::geophys {
+namespace {
+
+using harness::ArgMap;
+
+ocl::Context& sharedContext() {
+  static ocl::Context ctx;
+  return ctx;
+}
+
+template <typename T>
+constexpr ir::ScalarKind realKind() {
+  return std::is_same_v<T, float> ? ir::ScalarKind::Float
+                                  : ir::ScalarKind::Double;
+}
+
+template <typename T>
+struct EmState {
+  Scene scene;
+  std::vector<T> ez, hx, hy, ca, cb;
+
+  explicit EmState(int nx = 22, int ny = 18) {
+    scene = buildGprScene(nx, ny, 4, 3.0, 12.0, 3);
+    Rng rng(77);
+    const std::size_t n = scene.cells();
+    ez.resize(n);
+    hx.resize(n);
+    hy.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ez[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+      hx[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+      hy[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+    }
+    ca.assign(scene.ca.begin(), scene.ca.end());
+    cb.assign(scene.cb.begin(), scene.cb.end());
+  }
+};
+
+template <typename T>
+void runEzComparison() {
+  EmState<T> s;
+  std::vector<T> refEz = s.ez;
+  refEzUpdate(refEz.data(), s.hx.data(), s.hy.data(), s.ca.data(),
+              s.cb.data(), s.scene.nx, s.scene.ny);
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen = codegen::generateKernel(liftEmEzKernel(realKind<T>()));
+  ASSERT_FALSE(gen.plan.hasOutBuffer);
+  ocl::Kernel k(ctx.buildProgram(gen.source), gen.name);
+  auto ezBuf = harness::upload(ctx, q, s.ez);
+  harness::bindKernelArgs(
+      k, gen.plan,
+      ArgMap{{"ez", ezBuf},
+             {"hx", harness::upload(ctx, q, s.hx)},
+             {"hy", harness::upload(ctx, q, s.hy)},
+             {"ca", harness::upload(ctx, q, s.ca)},
+             {"cb", harness::upload(ctx, q, s.cb)},
+             {"nx", s.scene.nx},
+             {"ny", s.scene.ny},
+             {"cells", static_cast<int>(s.scene.cells())}});
+  q.enqueueNDRange(k, harness::launchConfig(s.scene.cells(), 64));
+  const auto got = harness::download<T>(q, ezBuf, s.scene.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refEz[i]) << "cell " << i;
+  }
+}
+
+TEST(LiftEm, EzUpdateMatchesReferenceBitwiseDouble) {
+  runEzComparison<double>();
+}
+TEST(LiftEm, EzUpdateMatchesReferenceBitwiseFloat) { runEzComparison<float>(); }
+
+template <typename T>
+void runHComparison() {
+  EmState<T> s;
+  std::vector<T> refHx = s.hx;
+  std::vector<T> refHy = s.hy;
+  refHUpdate(refHx.data(), refHy.data(), s.ez.data(), s.scene.nx, s.scene.ny,
+             static_cast<T>(kCourant2D));
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen = codegen::generateKernel(liftEmHKernel(realKind<T>()));
+  ASSERT_FALSE(gen.plan.hasOutBuffer);  // two in-place outputs, no fresh one
+  ocl::Kernel k(ctx.buildProgram(gen.source), gen.name);
+  auto hxBuf = harness::upload(ctx, q, s.hx);
+  auto hyBuf = harness::upload(ctx, q, s.hy);
+  harness::bindKernelArgs(
+      k, gen.plan,
+      ArgMap{{"hx", hxBuf},
+             {"hy", hyBuf},
+             {"ez", harness::upload(ctx, q, s.ez)},
+             {"nx", s.scene.nx},
+             {"ny", s.scene.ny},
+             {"cells", static_cast<int>(s.scene.cells())},
+             {"S", static_cast<T>(kCourant2D)}});
+  q.enqueueNDRange(k, harness::launchConfig(s.scene.cells(), 64));
+  const auto gotHx = harness::download<T>(q, hxBuf, s.scene.cells());
+  const auto gotHy = harness::download<T>(q, hyBuf, s.scene.cells());
+  for (std::size_t i = 0; i < gotHx.size(); ++i) {
+    ASSERT_EQ(gotHx[i], refHx[i]) << "hx cell " << i;
+    ASSERT_EQ(gotHy[i], refHy[i]) << "hy cell " << i;
+  }
+}
+
+TEST(LiftEm, FusedHUpdateMatchesReferenceBitwiseDouble) {
+  runHComparison<double>();
+}
+TEST(LiftEm, FusedHUpdateMatchesReferenceBitwiseFloat) {
+  runHComparison<float>();
+}
+
+TEST(LiftEm, SplitHKernelsMatchFusedKernel) {
+  using T = double;
+  EmState<T> s;
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+
+  // Fused.
+  const auto fused = codegen::generateKernel(liftEmHKernel(realKind<T>()));
+  ocl::Kernel kF(ctx.buildProgram(fused.source), fused.name);
+  auto hxF = harness::upload(ctx, q, s.hx);
+  auto hyF = harness::upload(ctx, q, s.hy);
+  auto ezBuf = harness::upload(ctx, q, s.ez);
+  harness::bindKernelArgs(kF, fused.plan,
+                          ArgMap{{"hx", hxF},
+                                 {"hy", hyF},
+                                 {"ez", ezBuf},
+                                 {"nx", s.scene.nx},
+                                 {"ny", s.scene.ny},
+                                 {"cells", static_cast<int>(s.scene.cells())},
+                                 {"S", static_cast<T>(kCourant2D)}});
+  q.enqueueNDRange(kF, harness::launchConfig(s.scene.cells(), 64));
+
+  // Split.
+  const auto genHx = codegen::generateKernel(liftEmHxKernel(realKind<T>()));
+  const auto genHy = codegen::generateKernel(liftEmHyKernel(realKind<T>()));
+  ocl::Kernel kX(ctx.buildProgram(genHx.source), genHx.name);
+  ocl::Kernel kY(ctx.buildProgram(genHy.source), genHy.name);
+  auto hxS = harness::upload(ctx, q, s.hx);
+  auto hyS = harness::upload(ctx, q, s.hy);
+  harness::bindKernelArgs(kX, genHx.plan,
+                          ArgMap{{"hx", hxS},
+                                 {"ez", ezBuf},
+                                 {"nx", s.scene.nx},
+                                 {"ny", s.scene.ny},
+                                 {"cells", static_cast<int>(s.scene.cells())},
+                                 {"S", static_cast<T>(kCourant2D)}});
+  q.enqueueNDRange(kX, harness::launchConfig(s.scene.cells(), 64));
+  harness::bindKernelArgs(kY, genHy.plan,
+                          ArgMap{{"hy", hyS},
+                                 {"ez", ezBuf},
+                                 {"nx", s.scene.nx},
+                                 {"ny", s.scene.ny},
+                                 {"cells", static_cast<int>(s.scene.cells())},
+                                 {"S", static_cast<T>(kCourant2D)}});
+  q.enqueueNDRange(kY, harness::launchConfig(s.scene.cells(), 64));
+
+  const auto a = harness::download<T>(q, hxF, s.scene.cells());
+  const auto b = harness::download<T>(q, hxS, s.scene.cells());
+  const auto c = harness::download<T>(q, hyF, s.scene.cells());
+  const auto d = harness::download<T>(q, hyS, s.scene.cells());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "hx " << i;
+    ASSERT_EQ(c[i], d[i]) << "hy " << i;
+  }
+}
+
+TEST(LiftEm, GeneratedPipelineTracksReferenceOver50Steps) {
+  using T = double;
+  EmState<T> s(26, 20);
+  Fdtd2d<T> ref(s.scene);
+  // Seed the reference with the same initial fields.
+  std::vector<T> ez = s.ez, hx = s.hx, hy = s.hy;
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto genH = codegen::generateKernel(liftEmHKernel(realKind<T>()));
+  const auto genE = codegen::generateKernel(liftEmEzKernel(realKind<T>()));
+  ocl::Kernel kH(ctx.buildProgram(genH.source), genH.name);
+  ocl::Kernel kE(ctx.buildProgram(genE.source), genE.name);
+  auto ezBuf = harness::upload(ctx, q, ez);
+  auto hxBuf = harness::upload(ctx, q, hx);
+  auto hyBuf = harness::upload(ctx, q, hy);
+  const int cellsI = static_cast<int>(s.scene.cells());
+  harness::bindKernelArgs(kH, genH.plan,
+                          ArgMap{{"hx", hxBuf},
+                                 {"hy", hyBuf},
+                                 {"ez", ezBuf},
+                                 {"nx", s.scene.nx},
+                                 {"ny", s.scene.ny},
+                                 {"cells", cellsI},
+                                 {"S", static_cast<T>(kCourant2D)}});
+  harness::bindKernelArgs(kE, genE.plan,
+                          ArgMap{{"ez", ezBuf},
+                                 {"hx", hxBuf},
+                                 {"hy", hyBuf},
+                                 {"ca", harness::upload(ctx, q, s.ca)},
+                                 {"cb", harness::upload(ctx, q, s.cb)},
+                                 {"nx", s.scene.nx},
+                                 {"ny", s.scene.ny},
+                                 {"cells", cellsI}});
+
+  for (int t = 0; t < 50; ++t) {
+    refHUpdate(hx.data(), hy.data(), ez.data(), s.scene.nx, s.scene.ny,
+               static_cast<T>(kCourant2D));
+    refEzUpdate(ez.data(), hx.data(), hy.data(), s.ca.data(), s.cb.data(),
+                s.scene.nx, s.scene.ny);
+    q.enqueueNDRange(kH, harness::launchConfig(s.scene.cells(), 64));
+    q.enqueueNDRange(kE, harness::launchConfig(s.scene.cells(), 64));
+  }
+  const auto gotEz = harness::download<T>(q, ezBuf, s.scene.cells());
+  for (std::size_t i = 0; i < gotEz.size(); ++i) {
+    ASSERT_EQ(gotEz[i], ez[i]) << "cell " << i;
+  }
+}
+
+TEST(LiftEm, GeneratedSourceHasTwoInPlaceStores) {
+  const auto gen =
+      codegen::generateKernel(liftEmHKernel(ir::ScalarKind::Float));
+  const std::string body = collapseWhitespace(gen.body);
+  EXPECT_TRUE(contains(body, "hx[g_0] ="));
+  EXPECT_TRUE(contains(body, "hy[g_0] ="));
+  EXPECT_TRUE(contains(gen.body, "real* hx"));
+  EXPECT_TRUE(contains(gen.body, "real* hy"));
+  EXPECT_TRUE(contains(gen.body, "const real* ez"));
+}
+
+}  // namespace
+}  // namespace lifta::geophys

@@ -1,0 +1,61 @@
+#include "harness/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "harness/acoustic_bench.hpp"
+
+namespace lifta::harness {
+namespace {
+
+TEST(Autotune, PicksTheFastestCandidate) {
+  // Synthetic launcher where 64 is clearly fastest.
+  auto launch = [](std::size_t local) -> double {
+    return local == 64 ? 0.5 : 1.0 + static_cast<double>(local) * 0.001;
+  };
+  const auto r = autotuneWorkGroup(launch, {16, 32, 64, 128}, 3, 1);
+  EXPECT_EQ(r.bestLocalSize, 64u);
+  EXPECT_DOUBLE_EQ(r.bestMedianMs, 0.5);
+  EXPECT_EQ(r.samples.size(), 4u);
+}
+
+TEST(Autotune, SkipsFailingCandidates) {
+  auto launch = [](std::size_t local) -> double {
+    if (local > 64) throw Error("exceeds device limit");
+    return static_cast<double>(local);
+  };
+  const auto r = autotuneWorkGroup(launch, {32, 64, 128, 256});
+  EXPECT_EQ(r.bestLocalSize, 32u);
+  EXPECT_EQ(r.samples.size(), 2u);  // 128/256 skipped
+}
+
+TEST(Autotune, ThrowsWhenAllFail) {
+  auto launch = [](std::size_t) -> double { throw Error("no"); };
+  EXPECT_THROW(autotuneWorkGroup(launch, {16, 32}), Error);
+}
+
+TEST(Autotune, EmptyCandidatesRejected) {
+  auto launch = [](std::size_t) -> double { return 1.0; };
+  EXPECT_THROW(autotuneWorkGroup(launch, {}), Error);
+}
+
+TEST(Autotune, TunesARealKernelEndToEnd) {
+  // The §VI protocol against an actual generated kernel: all candidates
+  // run, a valid best is reported.
+  ocl::Context ctx;
+  acoustics::Room room{acoustics::RoomShape::Dome, 30, 26, 22};
+  AcousticBench<float> bench(ctx, room, 2, 0);
+  ocl::CommandQueue q(ctx);
+  const auto r = autotuneWorkGroup(
+      [&](std::size_t local) {
+        auto bound = bench.fiMm(Impl::Lift, local);
+        return bound.run(q).milliseconds;
+      },
+      {16, 64, 256}, 3, 1);
+  EXPECT_NE(r.bestLocalSize, 0u);
+  EXPECT_GT(r.bestMedianMs, 0.0);
+  EXPECT_EQ(r.samples.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lifta::harness

@@ -1,0 +1,104 @@
+#include "harness/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/typecheck.hpp"
+
+namespace lifta::harness {
+namespace {
+
+using namespace lifta::ir;
+
+codegen::GeneratedKernel tinyKernel() {
+  memory::KernelDef def;
+  def.name = "tiny";
+  auto a = param("A", Type::array(Type::float_(), arith::Expr::var("N")));
+  auto n = param("N", Type::int_());
+  auto s = param("scale", Type::float_());
+  auto x = param("x", nullptr);
+  def.params = {a, n, s};
+  def.body = mapGlb(lambda({x}, x * s), a);
+  return codegen::generateKernel(def);
+}
+
+TEST(Launcher, BindsByNameRegardlessOfOrder) {
+  const auto gen = tinyKernel();
+  ocl::Context ctx;
+  ocl::CommandQueue q(ctx);
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  std::vector<float> in{1, 2, 3, 4};
+  auto bufIn = upload(ctx, q, in);
+  auto bufOut = ctx.allocate(4 * sizeof(float));
+  // Deliberately scrambled map order.
+  bindKernelArgs(k, gen.plan,
+                 ArgMap{{"out", bufOut},
+                        {"scale", 10.0f},
+                        {"A", bufIn},
+                        {"N", 4}});
+  q.enqueueNDRange(k, ocl::NDRange::linear(4, 4));
+  const auto out = download<float>(q, bufOut, 4);
+  EXPECT_FLOAT_EQ(out[2], 30.0f);
+}
+
+TEST(Launcher, MissingArgumentThrows) {
+  const auto gen = tinyKernel();
+  ocl::Context ctx;
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  EXPECT_THROW(bindKernelArgs(k, gen.plan, ArgMap{{"A", 1}}), Error);
+}
+
+TEST(Launcher, ScalarKindMismatchThrows) {
+  const auto gen = tinyKernel();
+  ocl::Context ctx;
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  auto buf = ctx.allocate(16);
+  // scale must be float; passing double must be rejected (not converted).
+  EXPECT_THROW(bindKernelArgs(k, gen.plan,
+                              ArgMap{{"A", buf},
+                                     {"N", 4},
+                                     {"scale", 10.0},
+                                     {"out", buf}}),
+               Error);
+  // Buffer where scalar expected.
+  EXPECT_THROW(bindKernelArgs(k, gen.plan,
+                              ArgMap{{"A", buf},
+                                     {"N", buf},
+                                     {"scale", 1.0f},
+                                     {"out", buf}}),
+               Error);
+  // Scalar where buffer expected.
+  EXPECT_THROW(bindKernelArgs(k, gen.plan,
+                              ArgMap{{"A", 7},
+                                     {"N", 4},
+                                     {"scale", 1.0f},
+                                     {"out", buf}}),
+               Error);
+}
+
+TEST(Launcher, LaunchConfigRoundsAndCaps) {
+  auto r = launchConfig(100, 32);
+  EXPECT_EQ(r.global[0], 128u);
+  EXPECT_EQ(r.local[0], 32u);
+
+  r = launchConfig(1u << 20, 64, 1u << 14);
+  EXPECT_EQ(r.global[0], 1u << 14);
+
+  r = launchConfig(0, 16);
+  EXPECT_EQ(r.global[0], 16u);  // at least one work-group
+}
+
+TEST(Launcher, UploadDownloadRoundTrip) {
+  ocl::Context ctx;
+  ocl::CommandQueue q(ctx);
+  std::vector<double> data{1.5, -2.5, 3.25};
+  auto buf = upload(ctx, q, data);
+  const auto back = download<double>(q, buf, data.size());
+  EXPECT_EQ(back, data);
+}
+
+}  // namespace
+}  // namespace lifta::harness

@@ -1,0 +1,89 @@
+// Consistency checks over the transcribed appendix tables, including the
+// paper's own headline claims recomputed from its raw numbers.
+#include "harness/paper_data.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta::harness {
+namespace {
+
+TEST(PaperData, TableSizes) {
+  EXPECT_EQ(paperTable4().size(), 24u);  // 4 platforms x 3 sizes x 2 versions
+  EXPECT_EQ(paperTable5().size(), 48u);  // x 2 shapes
+  EXPECT_EQ(paperTable6().size(), 48u);
+}
+
+TEST(PaperData, EveryLiftRowHasAnOpenclCounterpart) {
+  for (const auto* table : {&paperTable4(), &paperTable5(), &paperTable6()}) {
+    for (const auto& row : *table) {
+      if (row.version != "LIFT") continue;
+      const auto cl =
+          findPaperRow(*table, row.platform, "OpenCL", row.size, row.shape);
+      ASSERT_TRUE(cl.has_value())
+          << row.platform << " " << row.size << " " << row.shape;
+    }
+  }
+}
+
+TEST(PaperData, AllTimesPositive) {
+  for (const auto* table : {&paperTable4(), &paperTable5(), &paperTable6()}) {
+    for (const auto& row : *table) {
+      EXPECT_GT(row.singleMs, 0.0);
+      EXPECT_GT(row.doubleMs, 0.0);
+      EXPECT_GE(row.doubleMs, row.singleMs * 0.8);  // double is never faster
+    }
+  }
+}
+
+TEST(PaperData, HeadlineClaimLiftOnParWithHandwritten) {
+  // §VII: "performance on par with manually tuned code" — the mean
+  // LIFT/OpenCL time ratio across each table is close to 1.
+  for (const auto* table : {&paperTable4(), &paperTable5(), &paperTable6()}) {
+    for (bool dbl : {false, true}) {
+      const double r = paperLiftOverOpenclRatio(*table, dbl);
+      EXPECT_GT(r, 0.80) << "dbl=" << dbl;
+      EXPECT_LT(r, 1.25) << "dbl=" << dbl;
+    }
+  }
+}
+
+TEST(PaperData, FdMmSlowerThanFiMmEverywhere) {
+  // §VII-B2: FD-MM does 45 memory accesses / 98 flops per update vs.
+  // FI-MM's 6/7 — every matched row must be slower.
+  for (const auto& fd : paperTable6()) {
+    const auto fi = findPaperRow(paperTable5(), fd.platform, fd.version,
+                                 fd.size, fd.shape);
+    ASSERT_TRUE(fi.has_value());
+    EXPECT_GE(fd.singleMs, fi->singleMs) << fd.platform << fd.size << fd.shape;
+    EXPECT_GE(fd.doubleMs, fi->doubleMs) << fd.platform << fd.size << fd.shape;
+  }
+}
+
+TEST(PaperData, The336DipInBoundaryThroughput) {
+  // §VII-B1: the uniform 336 room has lower boundary throughput than the
+  // elongated 602 room. Updates/ms = boundaryPoints / medianMs; compare
+  // the OpenCL rows on the Titan (the paper's discussion platform).
+  const double pts602 = 690624, pts336 = 376808;  // dome, Table II
+  const auto r602 = findPaperRow(paperTable5(), "NVIDIA TITAN Black",
+                                 "OpenCL", "602", "dome");
+  const auto r336 = findPaperRow(paperTable5(), "NVIDIA TITAN Black",
+                                 "OpenCL", "336", "dome");
+  ASSERT_TRUE(r602 && r336);
+  EXPECT_GT(pts602 / r602->singleMs, pts336 / r336->singleMs);
+}
+
+TEST(PaperData, FindPaperRowIgnoresShapeForTable4) {
+  const auto row = findPaperRow(paperTable4(), "NVIDIA GTX 780", "LIFT",
+                                "602", "whatever");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_DOUBLE_EQ(row->singleMs, 7.59);
+}
+
+TEST(PaperData, MissingRowReturnsNullopt) {
+  EXPECT_FALSE(findPaperRow(paperTable4(), "no such platform", "LIFT", "602",
+                            "")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace lifta::harness

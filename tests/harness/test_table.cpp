@@ -1,0 +1,47 @@
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace lifta::harness {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Platform", "ms"});
+  t.addRow({"GTX 780", "0.27"});
+  t.addRow({"TITAN Black", "0.30"});
+  const std::string out = t.render();
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  // Header, separator, two rows.
+  EXPECT_NE(lines[0].find("Platform"), std::string::npos);
+  EXPECT_NE(lines[1].find("---"), std::string::npos);
+  // Columns align: "ms" header column position equals values' position.
+  const auto msCol = lines[0].find("ms");
+  EXPECT_EQ(lines[2].find("0.27"), msCol);
+  EXPECT_EQ(lines[3].find("0.30"), msCol);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only one"}), Error);
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table t({"x"});
+  const auto lines = split(t.render(), '\n');
+  EXPECT_EQ(t.rows(), 0u);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "x");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmtMs(0.27345), "0.273");
+  EXPECT_EQ(fmtMups(181.8), "181.8 M");
+  EXPECT_EQ(fmtMups(12345.0), "12.35 G");
+}
+
+}  // namespace
+}  // namespace lifta::harness

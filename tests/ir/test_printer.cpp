@@ -1,0 +1,93 @@
+#include "ir/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.hpp"
+#include "ir/typecheck.hpp"
+
+namespace lifta::ir {
+namespace {
+
+TEST(Printer, MapRendersPaperStyle) {
+  auto in = param("A", Type::array(Type::float_(), arith::Expr::var("N")));
+  auto x = param("x", nullptr);
+  auto m = mapSeq(lambda({x}, x + litFloat(1.0f)), in);
+  typecheck(m);
+  const std::string s = printCompact(m);
+  EXPECT_TRUE(contains(s, "MapSeq"));
+  EXPECT_TRUE(contains(s, "<< A"));
+}
+
+TEST(Printer, ConcatSkipRendering) {
+  auto idx = param("idx", Type::int_());
+  auto c = concat({skip(Type::float_(), idx), arrayCons(litFloat(6), 1)});
+  const std::string s = printCompact(c);
+  EXPECT_TRUE(contains(s, "Concat("));
+  EXPECT_TRUE(contains(s, "Skip<Float>(idx)"));
+  EXPECT_TRUE(contains(s, "ArrayCons(6, 1)"));
+}
+
+TEST(Printer, WriteToRendering) {
+  auto a = param("a", Type::array(Type::float_(), 3));
+  auto x = param("x", nullptr);
+  auto w = writeTo(a, mapSeq(lambda({x}, x), a));
+  const std::string s = printCompact(w);
+  EXPECT_TRUE(contains(s, "WriteTo(a,"));
+}
+
+TEST(Printer, SlidePadRendering) {
+  auto in = param("A", Type::array(Type::float_(), arith::Expr::var("N")));
+  const std::string s = printCompact(slide(3, 1, pad(1, 1, PadMode::Zero, in)));
+  EXPECT_TRUE(contains(s, "Slide(3, 1)"));
+  EXPECT_TRUE(contains(s, "Pad(1, 1, 0)"));
+}
+
+TEST(Printer, ZipGetRendering) {
+  auto a = param("A", Type::array(Type::float_(), 3));
+  auto b = param("B", Type::array(Type::float_(), 3));
+  auto p = param("p", nullptr);
+  auto m = mapSeq(lambda({p}, get(p, 0) + get(p, 1)), zip({a, b}));
+  const std::string s = printCompact(m);
+  EXPECT_TRUE(contains(s, "Zip(A, B)"));
+  EXPECT_TRUE(contains(s, "Get(p, 0)"));
+}
+
+TEST(Printer, ReduceRendering) {
+  auto in = param("A", Type::array(Type::float_(), 8));
+  auto acc = param("acc", nullptr);
+  auto e = param("e", nullptr);
+  const std::string s =
+      printCompact(reduceSeq(lambda({acc, e}, acc + e), litFloat(0), in));
+  EXPECT_TRUE(contains(s, "ReduceSeq"));
+}
+
+TEST(Printer, SelectAndComparison) {
+  auto c = binary(BinOp::Lt, litInt(1), litInt(2));
+  const std::string s = printCompact(select(c, litInt(3), litInt(4)));
+  EXPECT_TRUE(contains(s, "(1 < 2)"));
+  EXPECT_TRUE(contains(s, "? 3 : 4"));
+}
+
+TEST(Printer, TransposeAndStencil3DRendering) {
+  auto flat = param("A", Type::array(Type::float_(),
+                                     arith::Expr::var("nx") *
+                                         arith::Expr::var("ny") *
+                                         arith::Expr::var("nz")));
+  auto g3 = splitN(arith::Expr::var("ny"),
+                   splitN(arith::Expr::var("nx"), flat));
+  const std::string s =
+      printCompact(slide3(3, 1, pad3(1, PadMode::Zero, g3)));
+  EXPECT_TRUE(contains(s, "Slide3(3, 1)"));
+  EXPECT_TRUE(contains(s, "Pad3(1, 0)"));
+  EXPECT_TRUE(contains(s, "Split(nx)"));
+
+  auto m2 = param("M", Type::array(Type::array(Type::float_(), 4), 6));
+  EXPECT_TRUE(contains(printCompact(transpose(m2)), "Transpose() << M"));
+}
+
+TEST(Printer, IotaRendering) {
+  EXPECT_EQ(printCompact(iota(arith::Expr::var("n"))), "Iota(n)");
+}
+
+}  // namespace
+}  // namespace lifta::ir

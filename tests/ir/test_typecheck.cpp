@@ -1,0 +1,197 @@
+#include "ir/typecheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lifta::ir {
+namespace {
+
+arith::Expr N() { return arith::Expr::var("N"); }
+
+TEST(Typecheck, MapOverArray) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto body = x + litFloat(1.0f);
+  auto m = mapSeq(lambda({x}, body), in);
+  const auto t = typecheck(m);
+  ASSERT_TRUE(t->isArray());
+  EXPECT_TRUE(typeEquals(t->elem(), Type::float_()));
+  EXPECT_EQ(t->size().toString(), "N");
+  // The lambda parameter received its type from the array element.
+  EXPECT_TRUE(typeEquals(x->type, Type::float_()));
+}
+
+TEST(Typecheck, ZipRequiresEqualLengths) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::array(Type::float_(), arith::Expr::var("M")));
+  EXPECT_THROW(typecheck(zip({a, b})), TypeError);
+}
+
+TEST(Typecheck, ZipProducesTupleElements) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::array(Type::int_(), N()));
+  const auto t = typecheck(zip({a, b}));
+  ASSERT_TRUE(t->isArray());
+  ASSERT_TRUE(t->elem()->isTuple());
+  EXPECT_EQ(t->elem()->elems()[1]->scalarKind(), ScalarKind::Int);
+}
+
+TEST(Typecheck, GetProjectsTuple) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::array(Type::int_(), N()));
+  auto p = param("p", nullptr);
+  auto body = get(p, 1);
+  const auto t = typecheck(mapSeq(lambda({p}, body), zip({a, b})));
+  EXPECT_TRUE(typeEquals(t->elem(), Type::int_()));
+}
+
+TEST(Typecheck, GetOutOfRangeThrows) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::int_());
+  auto t = makeTuple({b});
+  EXPECT_THROW(typecheck(get(t, 3)), TypeError);
+  (void)a;
+}
+
+TEST(Typecheck, ReduceToScalar) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto acc = param("acc", nullptr);
+  auto e = param("e", nullptr);
+  auto r = reduceSeq(lambda({acc, e}, acc + e), litFloat(0.0f), in);
+  EXPECT_TRUE(typeEquals(typecheck(r), Type::float_()));
+}
+
+TEST(Typecheck, SlideTypeCount) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  const auto t = typecheck(slide(3, 1, in));
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->elem()->size().toString(), "3");
+  EXPECT_EQ(t->size().evaluate({{"N", 10}}), 8);
+}
+
+TEST(Typecheck, PadGrowsArray) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  const auto t = typecheck(pad(1, 1, PadMode::Zero, in));
+  EXPECT_EQ(t->size().evaluate({{"N", 10}}), 12);
+}
+
+TEST(Typecheck, PadThenSlidePreservesCount) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  const auto t = typecheck(slide(3, 1, pad(1, 1, PadMode::Zero, in)));
+  EXPECT_EQ(t->size().evaluate({{"N", 77}}), 77);
+}
+
+TEST(Typecheck, SplitJoinRoundTrip) {
+  auto in = param("A", Type::array(Type::float_(), 12));
+  const auto t = typecheck(joinA(splitN(4, in)));
+  EXPECT_TRUE(t->isArray());
+  EXPECT_EQ(t->size().evaluate({}), 12);
+}
+
+TEST(Typecheck, ArrayAccessYieldsElement) {
+  auto in = param("A", Type::array(Type::double_(), N()));
+  auto idx = param("i", Type::int_());
+  EXPECT_TRUE(typeEquals(typecheck(arrayAccess(in, idx)), Type::double_()));
+}
+
+TEST(Typecheck, ArrayAccessRequiresIntIndex) {
+  auto in = param("A", Type::array(Type::double_(), N()));
+  EXPECT_THROW(typecheck(arrayAccess(in, litFloat(1.0))), TypeError);
+}
+
+TEST(Typecheck, ArithmeticKindMismatchThrows) {
+  EXPECT_THROW(typecheck(litFloat(1.0f) + litInt(1)), TypeError);
+}
+
+TEST(Typecheck, SelectBranchesMustAgree) {
+  auto c = binary(BinOp::Lt, litInt(1), litInt(2));
+  EXPECT_THROW(typecheck(select(c, litFloat(1.0f), litInt(1))), TypeError);
+  auto c2 = binary(BinOp::Lt, litInt(1), litInt(2));
+  EXPECT_TRUE(
+      typeEquals(typecheck(select(c2, litInt(1), litInt(2))), Type::int_()));
+}
+
+TEST(Typecheck, LetBinderTakesValueType) {
+  auto p = param("idx", nullptr);
+  auto l = let(p, litInt(5), p + litInt(1));
+  EXPECT_TRUE(typeEquals(typecheck(l), Type::int_()));
+  EXPECT_TRUE(typeEquals(p->type, Type::int_()));
+}
+
+// --- the paper's new primitives (Table I) ---
+
+TEST(Typecheck, SkipHasSymbolicLength) {
+  auto idx = param("idx", Type::int_());
+  const auto t = typecheck(skip(Type::float_(), idx));
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->size().toString(), "idx");
+}
+
+TEST(Typecheck, ConcatSkipValueSkipHasOriginalLength) {
+  // The FI-MM in-place pattern: Concat(Skip(idx), [v], Skip(N-1-idx))
+  // must *type* as an array of length N (paper §IV-B2).
+  auto idx = param("idx", Type::int_());
+  auto nMinus = param("N", Type::int_());
+  auto v = litFloat(2.0f);
+  auto c = concat({skip(Type::float_(), idx), arrayCons(v, 1),
+                   skip(Type::float_(), nMinus - litInt(1) - idx)});
+  const auto t = typecheck(c);
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->size().evaluate({{"idx", 3}, {"N", 42}}), 42);
+}
+
+TEST(Typecheck, ConcatElementMismatchThrows) {
+  auto a = param("A", Type::array(Type::float_(), 3));
+  auto b = param("B", Type::array(Type::int_(), 3));
+  EXPECT_THROW(typecheck(concat({a, b})), TypeError);
+}
+
+TEST(Typecheck, ArrayConsType) {
+  const auto t = typecheck(arrayCons(litInt(6), 3));
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->size().evaluate({}), 3);
+  EXPECT_TRUE(typeEquals(t->elem(), Type::int_()));
+}
+
+TEST(Typecheck, WriteToScalarDestination) {
+  auto nextArr = param("next", Type::array(Type::float_(), N()));
+  auto idx = param("idx", Type::int_());
+  auto dest = arrayAccess(nextArr, idx);
+  auto w = writeTo(dest, litFloat(1.0f));
+  EXPECT_TRUE(typeEquals(typecheck(w), Type::float_()));
+}
+
+TEST(Typecheck, WriteToArrayDestination) {
+  auto g1 = param("g1", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto w = writeTo(g1, mapSeq(lambda({x}, x + litFloat(1.0f)), g1));
+  const auto t = typecheck(w);
+  ASSERT_TRUE(t->isArray());
+}
+
+TEST(Typecheck, WriteToMismatchThrows) {
+  auto g1 = param("g1", Type::array(Type::float_(), N()));
+  EXPECT_THROW(typecheck(writeTo(g1, litInt(1))), TypeError);
+}
+
+TEST(Typecheck, IotaIsIntArray) {
+  const auto t = typecheck(iota(arith::Expr(4)));
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->elem()->scalarKind(), ScalarKind::Int);
+}
+
+TEST(Typecheck, ToArithRejectsFloat) {
+  EXPECT_THROW(toArith(litFloat(1.5)), TypeError);
+}
+
+TEST(Typecheck, UserFunChecksArgumentTypes) {
+  auto fn = std::make_shared<UserFun>(UserFun{
+      "add2", {"a"}, {Type::float_()}, Type::float_(), "return a + 2.0f;"});
+  EXPECT_TRUE(typeEquals(typecheck(call(fn, {litFloat(1.0f)})), Type::float_()));
+  EXPECT_THROW(typecheck(call(fn, {litInt(1)})), TypeError);
+  EXPECT_THROW(typecheck(call(fn, {litFloat(1.0f), litFloat(2.0f)})), TypeError);
+}
+
+}  // namespace
+}  // namespace lifta::ir

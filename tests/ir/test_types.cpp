@@ -1,0 +1,62 @@
+#include "ir/type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lifta::ir {
+namespace {
+
+TEST(Types, ScalarSingletons) {
+  EXPECT_TRUE(Type::float_()->isScalar());
+  EXPECT_EQ(Type::float_()->scalarKind(), ScalarKind::Float);
+  EXPECT_EQ(Type::double_()->scalarKind(), ScalarKind::Double);
+  EXPECT_EQ(Type::int_()->scalarKind(), ScalarKind::Int);
+}
+
+TEST(Types, ArrayType) {
+  const auto t = Type::array(Type::float_(), arith::Expr::var("N"));
+  EXPECT_TRUE(t->isArray());
+  EXPECT_TRUE(t->elem()->isScalar());
+  EXPECT_EQ(t->size().toString(), "N");
+}
+
+TEST(Types, NestedArrayToString) {
+  const auto t = Type::array(Type::array(Type::float_(), 3), arith::Expr::var("N"));
+  EXPECT_EQ(t->toString(), "[[Float]_3]_N");
+}
+
+TEST(Types, TupleType) {
+  const auto t = Type::tuple({Type::float_(), Type::int_()});
+  EXPECT_TRUE(t->isTuple());
+  EXPECT_EQ(t->elems().size(), 2u);
+  EXPECT_EQ(t->toString(), "(Float, Int)");
+}
+
+TEST(Types, StructuralEquality) {
+  const auto a = Type::array(Type::float_(), arith::Expr::var("N"));
+  const auto b = Type::array(Type::float_(), arith::Expr::var("N"));
+  const auto c = Type::array(Type::float_(), arith::Expr::var("M"));
+  const auto d = Type::array(Type::double_(), arith::Expr::var("N"));
+  EXPECT_TRUE(typeEquals(a, b));
+  EXPECT_FALSE(typeEquals(a, c));
+  EXPECT_FALSE(typeEquals(a, d));
+}
+
+TEST(Types, FlatCount) {
+  const auto t = Type::array(Type::array(Type::float_(), 4), arith::Expr::var("N"));
+  EXPECT_EQ(t->flatCount().toString(), "(4 * N)");
+}
+
+TEST(Types, ScalarElemOfNestedArray) {
+  const auto t = Type::array(Type::array(Type::double_(), 2), 5);
+  EXPECT_EQ(t->scalarElem()->scalarKind(), ScalarKind::Double);
+}
+
+TEST(Types, CTypeNames) {
+  EXPECT_EQ(cTypeName(ScalarKind::Float), "real");
+  EXPECT_EQ(cTypeName(ScalarKind::Double), "real");
+  EXPECT_EQ(cTypeName(ScalarKind::Float, "float"), "float");
+  EXPECT_EQ(cTypeName(ScalarKind::Int), "int");
+}
+
+}  // namespace
+}  // namespace lifta::ir

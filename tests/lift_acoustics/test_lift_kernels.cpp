@@ -1,0 +1,424 @@
+// The paper's core claim, as tests: LIFT-generated kernels compute exactly
+// what the hand-written baselines and the portable C++ reference compute —
+// for the volume kernel, the fused FI kernel, the FI-MM in-place boundary
+// kernel and the FD-MM multi-state boundary kernel, in both precisions.
+#include "lift_acoustics/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "acoustics/cl_kernels.hpp"
+#include "acoustics/geometry.hpp"
+#include "acoustics/materials.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "acoustics/sim_params.hpp"
+#include "codegen/kernel_codegen.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "harness/launcher.hpp"
+
+namespace lifta::lift_acoustics {
+namespace {
+
+using namespace lifta::acoustics;
+using harness::ArgMap;
+using harness::download;
+using harness::upload;
+
+ocl::Context& sharedContext() {
+  static ocl::Context ctx;
+  return ctx;
+}
+
+template <typename T>
+constexpr ir::ScalarKind realKind() {
+  return std::is_same_v<T, float> ? ir::ScalarKind::Float
+                                  : ir::ScalarKind::Double;
+}
+
+/// Shared deterministic test state for one room + material set.
+template <typename T>
+struct TestState {
+  RoomGrid grid;
+  SimParams params;
+  std::vector<Material> mats;
+  FdCoeffs fd;
+  int numBranches = 0;
+
+  std::vector<T> prev, curr, next;
+  std::vector<T> beta, bi, d, di, f;
+  std::vector<T> g1, v1, v2;
+
+  explicit TestState(RoomShape shape = RoomShape::Dome, int numMaterials = 3,
+                 int branches = 0) {
+    Room room{shape, 18, 16, 14};
+    grid = voxelize(room, numMaterials);
+    numBranches = branches;
+    mats = defaultMaterials(numMaterials, branches);
+    fd = deriveFdCoeffs(mats, branches, params.Ts());
+    for (const auto& m : mats) beta.push_back(static_cast<T>(m.beta));
+    for (double v : fd.BI) bi.push_back(static_cast<T>(v));
+    for (double v : fd.D) d.push_back(static_cast<T>(v));
+    for (double v : fd.DI) di.push_back(static_cast<T>(v));
+    for (double v : fd.F) f.push_back(static_cast<T>(v));
+
+    Rng rng(42);
+    const std::size_t cells = grid.cells();
+    prev.assign(cells, T(0));
+    curr.assign(cells, T(0));
+    next.assign(cells, T(0));
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (grid.nbrs[i] > 0) {
+        prev[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+        curr[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+      }
+    }
+    const std::size_t stateLen =
+        static_cast<std::size_t>(branches) * grid.boundaryPoints();
+    g1.assign(stateLen, T(0));
+    v1.assign(stateLen, T(0));
+    v2.assign(stateLen, T(0));
+    for (std::size_t i = 0; i < stateLen; ++i) {
+      g1[i] = static_cast<T>(rng.uniform(-0.01, 0.01));
+      v2[i] = static_cast<T>(rng.uniform(-0.01, 0.01));
+    }
+  }
+
+  int nx() const { return grid.nx; }
+  int nxny() const { return grid.nx * grid.ny; }
+  int cellsI() const { return static_cast<int>(grid.cells()); }
+  int numB() const { return static_cast<int>(grid.boundaryPoints()); }
+  T l() const { return static_cast<T>(params.l()); }
+  T l2() const { return static_cast<T>(params.l2()); }
+};
+
+// --- LIFT volume kernel -----------------------------------------------------
+
+template <typename T>
+void runVolumeComparison() {
+  TestState<T> s;
+  // Reference result.
+  std::vector<T> refNext = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), refNext.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, s.l2());
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen = codegen::generateKernel(liftVolumeKernel(realKind<T>()));
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  ArgMap args{
+      {"prev", upload(ctx, q, s.prev)},
+      {"curr", upload(ctx, q, s.curr)},
+      {"nbrs", upload(ctx, q, s.grid.nbrs)},
+      {"nx", s.nx()},
+      {"nxny", s.nxny()},
+      {"cells", s.cellsI()},
+      {"l2", s.l2()},
+      {"out", upload(ctx, q, s.next)},
+  };
+  harness::bindKernelArgs(k, gen.plan, args);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.cells(), 64));
+  const auto got =
+      download<T>(q, std::get<ocl::BufferPtr>(args["out"]), s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(LiftVolume, MatchesReferenceBitwiseDouble) {
+  runVolumeComparison<double>();
+}
+TEST(LiftVolume, MatchesReferenceBitwiseFloat) { runVolumeComparison<float>(); }
+
+// --- LIFT fused FI kernel ----------------------------------------------------
+
+template <typename T>
+void runFusedComparison() {
+  TestState<T> s(RoomShape::Box, 1, 0);
+  std::vector<T> refNext = s.next;
+  refFusedFiLookup(s.grid.nbrs.data(), s.prev.data(), s.curr.data(),
+                   refNext.data(), s.grid.nx, s.grid.ny, s.grid.nz, s.l(),
+                   s.l2(), s.beta[0]);
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen = codegen::generateKernel(liftFusedFiKernel(realKind<T>()));
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  ArgMap args{
+      {"prev", upload(ctx, q, s.prev)},   {"curr", upload(ctx, q, s.curr)},
+      {"nbrs", upload(ctx, q, s.grid.nbrs)}, {"nx", s.nx()},
+      {"nxny", s.nxny()},                 {"cells", s.cellsI()},
+      {"l", s.l()},                       {"l2", s.l2()},
+      {"beta", s.beta[0]},                {"out", upload(ctx, q, s.next)},
+  };
+  harness::bindKernelArgs(k, gen.plan, args);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.cells(), 64));
+  const auto got =
+      download<T>(q, std::get<ocl::BufferPtr>(args["out"]), s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(LiftFusedFi, MatchesReferenceBitwiseDouble) {
+  runFusedComparison<double>();
+}
+TEST(LiftFusedFi, MatchesReferenceBitwiseFloat) { runFusedComparison<float>(); }
+
+TEST(LiftFusedFi, LookupVariantHandlesDomeRooms) {
+  // The lookup-based fused kernel supports arbitrary shapes (§II-B); check
+  // it against the reference on a dome.
+  using T = double;
+  TestState<T> s(RoomShape::Dome, 1, 0);
+  std::vector<T> refNext = s.next;
+  refFusedFiLookup(s.grid.nbrs.data(), s.prev.data(), s.curr.data(),
+                   refNext.data(), s.grid.nx, s.grid.ny, s.grid.nz, s.l(),
+                   s.l2(), s.beta[0]);
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen =
+      codegen::generateKernel(liftFusedFiKernel(ir::ScalarKind::Double));
+  ocl::Kernel k(ctx.buildProgram(gen.source), gen.name);
+  auto out = upload(ctx, q, s.next);
+  harness::bindKernelArgs(k, gen.plan,
+                          ArgMap{{"prev", upload(ctx, q, s.prev)},
+                                 {"curr", upload(ctx, q, s.curr)},
+                                 {"nbrs", upload(ctx, q, s.grid.nbrs)},
+                                 {"nx", s.nx()},
+                                 {"nxny", s.nxny()},
+                                 {"cells", s.cellsI()},
+                                 {"l", s.l()},
+                                 {"l2", s.l2()},
+                                 {"beta", s.beta[0]},
+                                 {"out", out}});
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.cells(), 64));
+  const auto got = download<T>(q, out, s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+// --- LIFT FI-MM boundary kernel (in-place) -------------------------------------
+
+template <typename T>
+void runFiMmComparison(RoomShape shape) {
+  TestState<T> s(shape, 3, 0);
+  // Start from a post-volume-kernel state so the in-place update is
+  // realistic.
+  std::vector<T> next = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), next.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, s.l2());
+  std::vector<T> refNext = next;
+  refFiMmBoundary(s.grid.boundaryIndices.data(), s.grid.nbrs.data(),
+                  s.grid.material.data(), s.beta.data(), s.prev.data(),
+                  refNext.data(), s.numB(), s.l());
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen = codegen::generateKernel(liftFiMmKernel(realKind<T>()));
+  // In-place: no fresh output buffer may be allocated (paper §IV-B).
+  ASSERT_FALSE(gen.plan.hasOutBuffer);
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  auto nextBuf = upload(ctx, q, next);
+  ArgMap args{
+      {"boundaryIndices", upload(ctx, q, s.grid.boundaryIndices)},
+      {"material", upload(ctx, q, s.grid.material)},
+      {"nbrs", upload(ctx, q, s.grid.nbrs)},
+      {"beta", upload(ctx, q, s.beta)},
+      {"next", nextBuf},
+      {"prev", upload(ctx, q, s.prev)},
+      {"cells", s.cellsI()},
+      {"numB", s.numB()},
+      {"M", 3},
+      {"l", s.l()},
+  };
+  harness::bindKernelArgs(k, gen.plan, args);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.boundaryPoints(), 64));
+  const auto got = download<T>(q, nextBuf, s.grid.cells());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+  // Non-boundary cells are untouched by the kernel: verify the in-place
+  // update wrote *only* at boundaryIndices.
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != next[i]) ++touched;
+  }
+  EXPECT_LE(touched, s.grid.boundaryPoints());
+}
+
+TEST(LiftFiMm, MatchesReferenceBitwiseDoubleDome) {
+  runFiMmComparison<double>(RoomShape::Dome);
+}
+TEST(LiftFiMm, MatchesReferenceBitwiseFloatDome) {
+  runFiMmComparison<float>(RoomShape::Dome);
+}
+TEST(LiftFiMm, MatchesReferenceBitwiseDoubleBox) {
+  runFiMmComparison<double>(RoomShape::Box);
+}
+
+// --- LIFT FD-MM boundary kernel --------------------------------------------------
+
+template <typename T>
+void runFdMmComparison(int branches) {
+  TestState<T> s(RoomShape::Dome, 3, branches);
+  std::vector<T> next = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), next.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, s.l2());
+  std::vector<T> refNext = next;
+  std::vector<T> refG1 = s.g1;
+  std::vector<T> refV1 = s.v1;
+  refFdMmBoundary(s.grid.boundaryIndices.data(), s.grid.nbrs.data(),
+                  s.grid.material.data(), s.beta.data(), s.bi.data(),
+                  s.d.data(), s.di.data(), s.f.data(), branches,
+                  s.prev.data(), refNext.data(), refG1.data(), refV1.data(),
+                  s.v2.data(), s.numB(), s.l());
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+  const auto gen =
+      codegen::generateKernel(liftFdMmKernel(realKind<T>(), branches));
+  ASSERT_FALSE(gen.plan.hasOutBuffer);  // all three outputs are in-place
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  auto nextBuf = upload(ctx, q, next);
+  auto g1Buf = upload(ctx, q, s.g1);
+  auto v1Buf = upload(ctx, q, s.v1);
+  ArgMap args{
+      {"boundaryIndices", upload(ctx, q, s.grid.boundaryIndices)},
+      {"material", upload(ctx, q, s.grid.material)},
+      {"nbrs", upload(ctx, q, s.grid.nbrs)},
+      {"beta", upload(ctx, q, s.beta)},
+      {"BI", upload(ctx, q, s.bi)},
+      {"D", upload(ctx, q, s.d)},
+      {"DI", upload(ctx, q, s.di)},
+      {"F", upload(ctx, q, s.f)},
+      {"next", nextBuf},
+      {"prev", upload(ctx, q, s.prev)},
+      {"g1", g1Buf},
+      {"v1", v1Buf},
+      {"v2", upload(ctx, q, s.v2)},
+      {"cells", s.cellsI()},
+      {"numB", s.numB()},
+      {"M", 3},
+      {"l", s.l()},
+  };
+  harness::bindKernelArgs(k, gen.plan, args);
+  q.enqueueNDRange(k, harness::launchConfig(s.grid.boundaryPoints(), 64));
+
+  const auto gotNext = download<T>(q, nextBuf, s.grid.cells());
+  const auto gotG1 = download<T>(q, g1Buf, s.g1.size());
+  const auto gotV1 = download<T>(q, v1Buf, s.v1.size());
+  for (std::size_t i = 0; i < gotNext.size(); ++i) {
+    ASSERT_EQ(gotNext[i], refNext[i]) << "next cell " << i;
+  }
+  for (std::size_t i = 0; i < gotG1.size(); ++i) {
+    ASSERT_EQ(gotG1[i], refG1[i]) << "g1 " << i;
+    ASSERT_EQ(gotV1[i], refV1[i]) << "v1 " << i;
+  }
+}
+
+TEST(LiftFdMm, MatchesReferenceBitwiseDoubleMb3) {
+  runFdMmComparison<double>(3);
+}
+TEST(LiftFdMm, MatchesReferenceBitwiseFloatMb3) { runFdMmComparison<float>(3); }
+TEST(LiftFdMm, MatchesReferenceBitwiseDoubleMb1) {
+  runFdMmComparison<double>(1);
+}
+
+// --- LIFT vs. hand-written OpenCL baseline ------------------------------------
+
+TEST(LiftVsHandwritten, FiMmBitwiseIdentical) {
+  using T = double;
+  TestState<T> s(RoomShape::Dome, 3, 0);
+  std::vector<T> next = s.next;
+  refVolume(s.grid.nbrs.data(), s.prev.data(), s.curr.data(), next.data(),
+            s.grid.nx, s.grid.ny, s.grid.nz, s.l2());
+
+  auto& ctx = sharedContext();
+  ocl::CommandQueue q(ctx);
+
+  // Hand-written baseline (positional ABI, see cl_kernels.hpp).
+  auto clProgram =
+      ctx.buildProgram(clFiMmBoundarySource(ir::ScalarKind::Double));
+  ocl::Kernel clK(clProgram, "fimm_boundary");
+  auto clNext = upload(ctx, q, next);
+  clK.setArg(0, clNext);
+  clK.setArg(1, upload(ctx, q, s.prev));
+  clK.setArg(2, upload(ctx, q, s.grid.boundaryIndices));
+  clK.setArg(3, upload(ctx, q, s.grid.nbrs));
+  clK.setArg(4, upload(ctx, q, s.grid.material));
+  clK.setArg(5, upload(ctx, q, s.beta));
+  clK.setArg(6, s.numB());
+  clK.setArg(7, s.l());
+  q.enqueueNDRange(clK, harness::launchConfig(s.grid.boundaryPoints(), 64));
+
+  // LIFT-generated kernel.
+  const auto gen =
+      codegen::generateKernel(liftFiMmKernel(ir::ScalarKind::Double));
+  auto liftProgram = ctx.buildProgram(gen.source);
+  ocl::Kernel liftK(liftProgram, gen.name);
+  auto liftNext = upload(ctx, q, next);
+  ArgMap args{
+      {"boundaryIndices", upload(ctx, q, s.grid.boundaryIndices)},
+      {"material", upload(ctx, q, s.grid.material)},
+      {"nbrs", upload(ctx, q, s.grid.nbrs)},
+      {"beta", upload(ctx, q, s.beta)},
+      {"next", liftNext},
+      {"prev", upload(ctx, q, s.prev)},
+      {"cells", s.cellsI()},
+      {"numB", s.numB()},
+      {"M", 3},
+      {"l", s.l()},
+  };
+  harness::bindKernelArgs(liftK, gen.plan, args);
+  q.enqueueNDRange(liftK, harness::launchConfig(s.grid.boundaryPoints(), 64));
+
+  const auto a = download<T>(q, clNext, s.grid.cells());
+  const auto b = download<T>(q, liftNext, s.grid.cells());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "cell " << i;
+  }
+}
+
+// --- structural checks on the generated sources ---------------------------------
+
+TEST(LiftKernelSource, FiMmGeneratesSingleInPlaceStore) {
+  const auto gen =
+      codegen::generateKernel(liftFiMmKernel(ir::ScalarKind::Float));
+  const std::string body = collapseWhitespace(gen.body);
+  // The Concat(Skip, [v], Skip) collapses to exactly one store at idx.
+  EXPECT_TRUE(contains(body, "next[idx] = boundaryUpdate;"));
+  EXPECT_TRUE(contains(body, "const int idx = boundaryIndices[g_0];"));
+  // Skips generate no loops over their lengths.
+  EXPECT_FALSE(contains(body, "< idx;"));
+  // next is writable, prev is const.
+  EXPECT_TRUE(contains(gen.body, "real* next"));
+  EXPECT_TRUE(contains(gen.body, "const real* prev"));
+}
+
+TEST(LiftKernelSource, FdMmWritesAllThreeArrays) {
+  const auto gen =
+      codegen::generateKernel(liftFdMmKernel(ir::ScalarKind::Float, 3));
+  const std::string body = collapseWhitespace(gen.body);
+  EXPECT_TRUE(contains(body, "next[idx] = _next;"));
+  EXPECT_TRUE(contains(body, "_g1[3];") || contains(body, "real _g1[3]"));
+  EXPECT_TRUE(contains(gen.body, "real* g1"));
+  EXPECT_TRUE(contains(gen.body, "real* v1"));
+  EXPECT_TRUE(contains(gen.body, "const real* v2"));
+}
+
+TEST(LiftKernelSource, VolumeUsesGridStrideLoop) {
+  const auto gen =
+      codegen::generateKernel(liftVolumeKernel(ir::ScalarKind::Double));
+  EXPECT_TRUE(contains(gen.body, "get_global_id(ctx, 0)"));
+  EXPECT_TRUE(contains(gen.body, "get_global_size(ctx, 0)"));
+  EXPECT_TRUE(contains(gen.source, "typedef double real;"));
+}
+
+}  // namespace
+}  // namespace lifta::lift_acoustics

@@ -1,0 +1,155 @@
+// The Listing-6 form of the volume kernel (slide3/pad3 over a Split-reshaped
+// 3D view) must compute exactly what the flat-index volume kernel and the
+// C++ reference compute.
+#include <gtest/gtest.h>
+
+#include "acoustics/geometry.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "acoustics/sim_params.hpp"
+#include "codegen/kernel_codegen.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "harness/launcher.hpp"
+#include "lift_acoustics/kernels.hpp"
+
+namespace lifta::lift_acoustics {
+namespace {
+
+using namespace lifta::acoustics;
+using harness::ArgMap;
+
+template <typename T>
+void runStencil3DComparison(RoomShape shape) {
+  Room room{shape, 14, 12, 10};
+  const RoomGrid grid = voxelize(room, 1);
+  SimParams params;
+  Rng rng(99);
+  const std::size_t cells = grid.cells();
+  std::vector<T> prev(cells, T(0)), curr(cells, T(0)), next(cells, T(0));
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (grid.nbrs[i] > 0) {
+      prev[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+      curr[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+    }
+  }
+  std::vector<T> refNext = next;
+  refVolume(grid.nbrs.data(), prev.data(), curr.data(), refNext.data(),
+            grid.nx, grid.ny, grid.nz, static_cast<T>(params.l2()));
+
+  constexpr auto rk = std::is_same_v<T, float> ? ir::ScalarKind::Float
+                                               : ir::ScalarKind::Double;
+  const auto gen = codegen::generateKernel(liftVolumeStencil3DKernel(rk));
+  ocl::Context ctx;
+  ocl::CommandQueue q(ctx);
+  auto program = ctx.buildProgram(gen.source);
+  ocl::Kernel k(program, gen.name);
+  auto out = harness::upload(ctx, q, next);
+  harness::bindKernelArgs(
+      k, gen.plan,
+      ArgMap{{"prev", harness::upload(ctx, q, prev)},
+             {"curr", harness::upload(ctx, q, curr)},
+             {"nbrs", harness::upload(ctx, q, grid.nbrs)},
+             {"nx", grid.nx},
+             {"ny", grid.ny},
+             {"nz", grid.nz},
+             {"cells", static_cast<int>(cells)},
+             {"l2", static_cast<T>(params.l2())},
+             {"out", out}});
+  // The outer map runs over nz planes.
+  q.enqueueNDRange(k, harness::launchConfig(static_cast<std::size_t>(grid.nz), 2));
+  const auto got = harness::download<T>(q, out, cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    ASSERT_EQ(got[i], refNext[i]) << "cell " << i;
+  }
+}
+
+TEST(Stencil3D, MatchesReferenceBitwiseDoubleBox) {
+  runStencil3DComparison<double>(RoomShape::Box);
+}
+
+TEST(Stencil3D, MatchesReferenceBitwiseFloatBox) {
+  runStencil3DComparison<float>(RoomShape::Box);
+}
+
+TEST(Stencil3D, MatchesReferenceBitwiseDoubleDome) {
+  runStencil3DComparison<double>(RoomShape::Dome);
+}
+
+TEST(Stencil3D, GeneratedSourceUsesNestedLoopsAndGuards) {
+  const auto gen = codegen::generateKernel(
+      liftVolumeStencil3DKernel(ir::ScalarKind::Float));
+  // Three nested loops: one parallel (z) plus two sequential (y, x).
+  EXPECT_TRUE(contains(gen.body, "get_global_id(ctx, 0)"));
+  const std::string flatBody = collapseWhitespace(gen.body);
+  int seqLoops = 0;
+  for (std::size_t pos = 0;
+       (pos = flatBody.find("for (long i_", pos)) != std::string::npos;
+       ++pos) {
+    ++seqLoops;
+  }
+  EXPECT_EQ(seqLoops, 2);
+  // The pad3 guards appear in the neighbor loads.
+  EXPECT_TRUE(contains(gen.body, "0 <= "));
+}
+
+TEST(Stencil3D, MatchesFlatVolumeKernelBitwise) {
+  // The two LIFT formulations (flat ArrayAccess vs. Split+slide3/pad3)
+  // must generate identical arithmetic.
+  using T = double;
+  Room room{RoomShape::Dome, 12, 11, 9};
+  const RoomGrid grid = voxelize(room, 1);
+  SimParams params;
+  Rng rng(5);
+  const std::size_t cells = grid.cells();
+  std::vector<T> prev(cells, 0), curr(cells, 0), zero(cells, 0);
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (grid.nbrs[i] > 0) {
+      prev[i] = rng.uniform(-1, 1);
+      curr[i] = rng.uniform(-1, 1);
+    }
+  }
+  ocl::Context ctx;
+  ocl::CommandQueue q(ctx);
+
+  const auto genFlat =
+      codegen::generateKernel(liftVolumeKernel(ir::ScalarKind::Double));
+  ocl::Kernel kFlat(ctx.buildProgram(genFlat.source), genFlat.name);
+  auto outFlat = harness::upload(ctx, q, zero);
+  harness::bindKernelArgs(
+      kFlat, genFlat.plan,
+      ArgMap{{"prev", harness::upload(ctx, q, prev)},
+             {"curr", harness::upload(ctx, q, curr)},
+             {"nbrs", harness::upload(ctx, q, grid.nbrs)},
+             {"nx", grid.nx},
+             {"nxny", grid.nx * grid.ny},
+             {"cells", static_cast<int>(cells)},
+             {"l2", params.l2()},
+             {"out", outFlat}});
+  q.enqueueNDRange(kFlat, harness::launchConfig(cells, 64));
+
+  const auto gen3d = codegen::generateKernel(
+      liftVolumeStencil3DKernel(ir::ScalarKind::Double));
+  ocl::Kernel k3d(ctx.buildProgram(gen3d.source), gen3d.name);
+  auto out3d = harness::upload(ctx, q, zero);
+  harness::bindKernelArgs(
+      k3d, gen3d.plan,
+      ArgMap{{"prev", harness::upload(ctx, q, prev)},
+             {"curr", harness::upload(ctx, q, curr)},
+             {"nbrs", harness::upload(ctx, q, grid.nbrs)},
+             {"nx", grid.nx},
+             {"ny", grid.ny},
+             {"nz", grid.nz},
+             {"cells", static_cast<int>(cells)},
+             {"l2", params.l2()},
+             {"out", out3d}});
+  q.enqueueNDRange(k3d, harness::launchConfig(static_cast<std::size_t>(grid.nz), 3));
+
+  const auto a = harness::download<T>(q, outFlat, cells);
+  const auto b = harness::download<T>(q, out3d, cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    ASSERT_EQ(a[i], b[i]) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lifta::lift_acoustics

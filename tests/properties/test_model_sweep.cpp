@@ -1,0 +1,84 @@
+// Parameterized sweep over room shapes, boundary models, material counts
+// and branch counts: for every combination the LIFT-generated device
+// pipeline must track the reference CPU simulation exactly over 40 steps.
+// This is the property-style closure over the pointwise equivalence tests.
+#include <gtest/gtest.h>
+
+#include "acoustics/simulation.hpp"
+#include "lift_acoustics/device_simulation.hpp"
+
+namespace lifta::lift_acoustics {
+namespace {
+
+using namespace lifta::acoustics;
+
+struct SweepCase {
+  RoomShape shape;
+  DeviceModel model;
+  int numMaterials;
+  int numBranches;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& p = info.param;
+  std::string s = shapeName(p.shape);
+  s += p.model == DeviceModel::FiMm ? "_FiMm" : "_FdMm";
+  s += "_m" + std::to_string(p.numMaterials);
+  s += "_b" + std::to_string(p.numBranches);
+  return s;
+}
+
+class ModelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+ocl::Context& sharedContext() {
+  static ocl::Context ctx;
+  return ctx;
+}
+
+TEST_P(ModelSweep, LiftPipelineTracksReference) {
+  const SweepCase& p = GetParam();
+  const Room room{p.shape, 15, 13, 11};
+
+  Simulation<double>::Config refCfg;
+  refCfg.room = room;
+  refCfg.model = p.model == DeviceModel::FiMm ? BoundaryModel::FiMm
+                                              : BoundaryModel::FdMm;
+  refCfg.numMaterials = p.numMaterials;
+  refCfg.numBranches = p.numBranches;
+  Simulation<double> ref(refCfg);
+  ref.addImpulse(7, 6, 5, 1.0);
+  ref.addImpulse(5, 5, 5, -0.5);
+  const auto refRec = ref.record(40, 4, 4, 4);
+
+  DeviceSimulation::Config devCfg;
+  devCfg.room = room;
+  devCfg.model = p.model;
+  devCfg.numMaterials = p.numMaterials;
+  devCfg.numBranches = p.numBranches;
+  DeviceSimulation dev(sharedContext(), devCfg);
+  dev.addImpulse(7, 6, 5, 1.0);
+  dev.addImpulse(5, 5, 5, -0.5);
+  const auto devRec = dev.record(40, 4, 4, 4);
+
+  for (std::size_t i = 0; i < refRec.size(); ++i) {
+    ASSERT_EQ(devRec[i], refRec[i]) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndModels, ModelSweep,
+    ::testing::Values(
+        SweepCase{RoomShape::Box, DeviceModel::FiMm, 1, 0},
+        SweepCase{RoomShape::Box, DeviceModel::FiMm, 3, 0},
+        SweepCase{RoomShape::Box, DeviceModel::FdMm, 2, 1},
+        SweepCase{RoomShape::Box, DeviceModel::FdMm, 3, 3},
+        SweepCase{RoomShape::Dome, DeviceModel::FiMm, 2, 0},
+        SweepCase{RoomShape::Dome, DeviceModel::FdMm, 3, 2},
+        SweepCase{RoomShape::LShape, DeviceModel::FiMm, 3, 0},
+        SweepCase{RoomShape::LShape, DeviceModel::FdMm, 2, 3},
+        SweepCase{RoomShape::Cylinder, DeviceModel::FiMm, 1, 0},
+        SweepCase{RoomShape::Cylinder, DeviceModel::FdMm, 4, 2}),
+    caseName);
+
+}  // namespace
+}  // namespace lifta::lift_acoustics

@@ -1,0 +1,215 @@
+// Rewrite-rule tests: each rule must preserve types and, where we execute
+// the result, values — the "semantic-preserving" property of §III.
+#include "rewrite/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_codegen.hpp"
+#include "common/string_util.hpp"
+#include "ir/printer.hpp"
+#include "ir/typecheck.hpp"
+
+namespace lifta::rewrite {
+namespace {
+
+using namespace lifta::ir;
+
+arith::Expr N() { return arith::Expr::var("N"); }
+
+TEST(Rewrite, SubstituteParamReplacesAllUses) {
+  auto p = param("x", Type::float_());
+  auto body = p + p * litFloat(2.0f);
+  auto q = param("y", Type::float_());
+  auto out = substituteParam(body, p, q);
+  const std::string s = printCompact(out);
+  EXPECT_TRUE(contains(s, "y"));
+  EXPECT_FALSE(contains(s, "x"));
+}
+
+TEST(Rewrite, SubstituteSharesUntouchedSubtrees) {
+  auto p = param("x", Type::float_());
+  auto untouched = litFloat(1.0f) + litFloat(2.0f);
+  auto body = makeTuple({untouched, p});
+  auto q = param("y", Type::float_());
+  auto out = substituteParam(body, p, q);
+  // The untouched component must be the same node (shared).
+  EXPECT_EQ(out->args[0], untouched);
+  EXPECT_EQ(out->args[1], q);
+}
+
+TEST(Rewrite, MapFusionComposesBodies) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto y = param("y", nullptr);
+  auto inner = mapSeq(lambda({x}, x + litFloat(1.0f)), in);
+  auto outer = mapSeq(lambda({y}, y * litFloat(3.0f)), inner);
+  auto fused = mapFusion(outer);
+  ASSERT_TRUE(fused.has_value());
+  const auto t = typecheck(*fused);
+  EXPECT_TRUE(t->isArray());
+  // Fused body computes (x+1)*3 in one traversal; no nested Map remains.
+  EXPECT_EQ((*fused)->args[0], in);
+  const std::string s = printCompact(*fused);
+  EXPECT_TRUE(contains(s, "+ 1"));
+  EXPECT_TRUE(contains(s, "* 3"));
+}
+
+TEST(Rewrite, MapFusionPreservesValues) {
+  // Execute both versions through codegen and compare generated statements:
+  // the fused kernel writes ((A[i] + 1) * 3) directly.
+  memory::KernelDef def;
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  auto y = param("y", nullptr);
+  auto inner = mapSeq(lambda({x}, x + litFloat(1.0f)), in);
+  auto outer = map(MapKind::Glb, 0, lambda({y}, y * litFloat(3.0f)), inner);
+  auto fused = mapFusion(outer);
+  ASSERT_TRUE(fused.has_value());
+  def.name = "fusedk";
+  def.params = {in, nP};
+  def.body = *fused;
+  const auto gen = codegen::generateKernel(def);
+  EXPECT_TRUE(
+      contains(collapseWhitespace(gen.body), "out[g_0] = ((A[g_0] + 1.0f) * 3.0f);"));
+}
+
+TEST(Rewrite, MapFusionKeepsOuterParallelism) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto y = param("y", nullptr);
+  auto inner = mapSeq(lambda({x}, x), in);
+  auto outer = map(MapKind::Glb, 0, lambda({y}, y), inner);
+  auto fused = mapFusion(outer);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ((*fused)->mapKind, MapKind::Glb);
+}
+
+TEST(Rewrite, MapFusionRejectsMismatchedParallelMaps) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto y = param("y", nullptr);
+  auto inner = map(MapKind::Glb, 1, lambda({x}, x), in);
+  auto outer = map(MapKind::Glb, 0, lambda({y}, y), inner);
+  EXPECT_FALSE(mapFusion(outer).has_value());
+}
+
+TEST(Rewrite, MapFusionNotApplicableToLeaf) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  EXPECT_FALSE(mapFusion(mapSeq(lambda({x}, x), in)).has_value());
+}
+
+TEST(Rewrite, JoinSplitIdentity) {
+  auto in = param("A", Type::array(Type::float_(), 12));
+  auto e = joinA(splitN(4, in));
+  typecheck(e);
+  auto out = splitJoinIdentity(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(Rewrite, SplitJoinIdentityNeedsMatchingWidth) {
+  auto in = param("A", Type::array(Type::array(Type::float_(), 4), 3));
+  auto e = splitN(4, joinA(in));
+  typecheck(e);
+  auto out = splitJoinIdentity(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+
+  auto e2 = splitN(6, joinA(in));
+  typecheck(e2);
+  EXPECT_FALSE(splitJoinIdentity(e2).has_value());
+}
+
+TEST(Rewrite, NormalizeReachesFixpoint) {
+  auto in = param("A", Type::array(Type::float_(), 12));
+  // join(split(join(split(A)))) normalizes to A.
+  auto e = joinA(splitN(4, joinA(splitN(4, in))));
+  typecheck(e);
+  const auto out = normalize(e);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Rewrite, LowerOuterMapToGlb) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto e = mapSeq(lambda({x}, x), in);
+  auto lowered = lowerOuterMapToGlb(e, 0);
+  ASSERT_TRUE(lowered.has_value());
+  EXPECT_EQ((*lowered)->mapKind, MapKind::Glb);
+  EXPECT_EQ((*lowered)->mapDim, 0);
+  // Original is untouched (rules are non-mutating).
+  EXPECT_EQ(e->mapKind, MapKind::Seq);
+}
+
+TEST(Rewrite, LowerRejectsNonSeqOutermost) {
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto x = param("x", nullptr);
+  auto e = mapGlb(lambda({x}, x), in);
+  EXPECT_FALSE(lowerOuterMapToGlb(e).has_value());
+}
+
+TEST(Rewrite, ApplyBottomUpCountsRewrites) {
+  auto in = param("A", Type::array(Type::float_(), 12));
+  auto e = joinA(splitN(4, joinA(splitN(4, in))));
+  typecheck(e);
+  auto [out, count] = applyBottomUp(splitJoinIdentity, e);
+  // Inner identity collapses; outer then matches in the next pass.
+  EXPECT_GE(count, 1);
+  const auto norm = normalize(e);
+  EXPECT_EQ(norm, in);
+  (void)out;
+}
+
+TEST(Rewrite, BottomUpRewritesInsideLambdas) {
+  auto in = param("A", Type::array(Type::array(Type::float_(), 12), N()));
+  auto row = param("row", nullptr);
+  auto e = mapSeq(lambda({row}, joinA(splitN(3, row))), in);
+  typecheck(e);
+  auto [out, count] = applyBottomUp(splitJoinIdentity, e);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(out->lambda->body, row);
+}
+
+TEST(Rewrite, FusedPipelineStillTypechecks) {
+  // Triple map chain fuses twice and remains well-typed.
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto a = param("a", nullptr);
+  auto b = param("b", nullptr);
+  auto c = param("c", nullptr);
+  auto e = mapSeq(lambda({c}, c - litFloat(4.0f)),
+                  mapSeq(lambda({b}, b * litFloat(2.0f)),
+                         mapSeq(lambda({a}, a + litFloat(1.0f)), in)));
+  auto once = mapFusion(e);
+  ASSERT_TRUE(once.has_value());
+  auto twice = mapFusion(*once);
+  ASSERT_TRUE(twice.has_value());
+  const auto t = typecheck(*twice);
+  EXPECT_TRUE(t->isArray());
+  EXPECT_EQ((*twice)->args[0], in);
+}
+
+TEST(Rewrite, LoweredKernelGeneratesParallelLoop) {
+  // The full lowering story: author the kernel body with a declarative
+  // MapSeq, lower it with the rewrite rule, and generate — the result is
+  // the same grid-stride parallel loop the hand-lowered builders produce.
+  auto in = param("A", Type::array(Type::float_(), N()));
+  auto nP = param("N", Type::int_());
+  auto x = param("x", nullptr);
+  auto declarative = mapSeq(lambda({x}, x * litFloat(2.0f)), in);
+  auto lowered = lowerOuterMapToGlb(declarative, 0);
+  ASSERT_TRUE(lowered.has_value());
+
+  memory::KernelDef def;
+  def.name = "lowered";
+  def.params = {in, nP};
+  def.body = *lowered;
+  const auto gen = codegen::generateKernel(def);
+  EXPECT_TRUE(contains(gen.body, "get_global_id(ctx, 0)"));
+  EXPECT_TRUE(contains(collapseWhitespace(gen.body),
+                       "out[g_0] = (A[g_0] * 2.0f);"));
+}
+
+}  // namespace
+}  // namespace lifta::rewrite

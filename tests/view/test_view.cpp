@@ -1,0 +1,160 @@
+// View construction and resolution — the mechanism of §III-A and §IV-B.
+#include "view/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace lifta::view {
+namespace {
+
+using arith::Expr;
+using ir::Type;
+
+ir::TypePtr floatArr(const char* n) {
+  return Type::array(Type::float_(), Expr::var(n));
+}
+
+TEST(View, MemAccessResolvesToSubscript) {
+  const auto v = accessView(memView("A", floatArr("N")), Expr::var("i"));
+  EXPECT_EQ(resolveLoad(v, "(real)0"), "A[i]");
+  EXPECT_EQ(resolveStore(v), "A[i]");
+}
+
+TEST(View, TwoDimensionalMemLinearizes) {
+  const auto t = Type::array(Type::array(Type::float_(), Expr::var("M")),
+                             Expr::var("N"));
+  const auto row = accessView(memView("A", t), Expr::var("i"));
+  const auto elem = accessView(row, Expr::var("j"));
+  EXPECT_EQ(resolveLoad(elem, "(real)0"), "A[(j + (M * i))]");
+}
+
+TEST(View, ZipTupleComponentSelectsBuffer) {
+  // The paper's worked example: inputView(p.get(0)) =
+  //   TupleAccessView(0, ArrayAccessView(i, ZipView(MemView(A), MemView(B))))
+  const auto a = memView("A", floatArr("N"));
+  const auto b = memView("B", floatArr("N"));
+  const auto zipped = zipView(
+      {a, b},
+      Type::array(Type::tuple({Type::float_(), Type::float_()}), Expr::var("N")));
+  const auto elem = accessView(zipped, Expr::var("i"));
+  const auto first = tupleComponentView(elem, 0);
+  const auto second = tupleComponentView(elem, 1);
+  EXPECT_EQ(resolveLoad(first, "0"), "A[i]");
+  EXPECT_EQ(resolveLoad(second, "0"), "B[i]");
+  EXPECT_EQ(describe(first),
+            "TupleAccessView(0, ArrayAccessView(i, ZipView(MemView(A), "
+            "MemView(B))))");
+}
+
+TEST(View, SlideComputesWindowedIndex) {
+  const auto s = slideView(memView("A", floatArr("N")), 3, 1);
+  const auto window = accessView(s, Expr::var("w"));
+  const auto elem = accessView(window, Expr::var("u"));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[(u + w)]");
+}
+
+TEST(View, SlideWithStepTwo) {
+  const auto s = slideView(memView("A", floatArr("N")), 3, 2);
+  const auto elem = accessView(accessView(s, Expr::var("w")), Expr::var("u"));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[(u + (2 * w))]");
+}
+
+TEST(View, PadZeroGuardsLoad) {
+  const auto p = padView(memView("A", floatArr("N")), 1, 1, ir::PadMode::Zero);
+  const auto elem = accessView(p, Expr::var("i"));
+  const std::string code = resolveLoad(elem, "(real)0");
+  EXPECT_EQ(code,
+            "((0 <= (-1 + i) && (-1 + i) < N) ? A[(-1 + i)] : (real)0)");
+}
+
+TEST(View, PadClampUsesMinMax) {
+  const auto p = padView(memView("A", floatArr("N")), 1, 1, ir::PadMode::Clamp);
+  const auto elem = accessView(p, Expr::var("i"));
+  const std::string code = resolveLoad(elem, "0");
+  EXPECT_EQ(code, "A[min(max((-1 + i), 0), (-1 + N))]");
+}
+
+TEST(View, PadCannotBeStored) {
+  const auto p = padView(memView("A", floatArr("N")), 1, 1, ir::PadMode::Zero);
+  const auto elem = accessView(p, Expr::var("i"));
+  EXPECT_THROW(resolveStore(elem), CodegenError);
+}
+
+TEST(View, SplitLinearizes) {
+  const auto s = splitView(memView("A", floatArr("N")), 4);
+  const auto elem = accessView(accessView(s, Expr::var("i")), Expr::var("j"));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[(j + (4 * i))]");
+}
+
+TEST(View, JoinSplitsIndex) {
+  const auto inner = Type::array(Type::array(Type::float_(), 4), Expr::var("N"));
+  const auto j = joinView(memView("A", inner));
+  const auto elem = accessView(j, Expr::var("k"));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[((4 * (k / 4)) + (k % 4))]");
+}
+
+TEST(View, SplitOfJoinIsIdentityNumerically) {
+  // split_4(join(A)) accessed at (i, j) must address A[i][j].
+  const auto inner = Type::array(Type::array(Type::float_(), 4), 8);
+  const auto v = splitView(joinView(memView("A", inner)), 4);
+  const auto elem = accessView(accessView(v, Expr(3)), Expr(2));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[14]");
+}
+
+TEST(View, OffsetShiftsWrites) {
+  // Table I: output view of the second Concat argument is
+  // ViewAccess(i1, ViewOffset(N0, ViewMem(out))).
+  const auto dest = offsetView(memView("out", floatArr("N")), Expr::var("N0"));
+  const auto slot = accessView(dest, Expr::var("i1"));
+  EXPECT_EQ(resolveStore(slot), "out[(N0 + i1)]");
+  EXPECT_EQ(describe(slot),
+            "ArrayAccessView(i1, ViewOffset(N0, MemView(out)))");
+}
+
+TEST(View, OffsetZeroDisappears) {
+  const auto dest = offsetView(memView("out", floatArr("N")), 0);
+  const auto slot = accessView(dest, Expr::var("i"));
+  EXPECT_EQ(resolveStore(slot), "out[i]");
+}
+
+TEST(View, IotaResolvesToIndex) {
+  const auto v = accessView(iotaView(Expr::var("n")), Expr::var("i"));
+  EXPECT_EQ(resolveLoad(v, "0"), "((int)(i))");
+}
+
+TEST(View, ConstantIgnoresIndex) {
+  const auto c = constantView("boundaryUpdate",
+                              Type::array(Type::float_(), 1));
+  const auto v = accessView(c, Expr(0));
+  EXPECT_EQ(resolveLoad(v, "0"), "boundaryUpdate");
+}
+
+TEST(View, ConstantCannotBeStored) {
+  const auto c = constantView("x", Type::array(Type::float_(), 1));
+  EXPECT_THROW(resolveStore(accessView(c, Expr(0))), CodegenError);
+}
+
+TEST(View, PadOverSlideComposition) {
+  // The classic stencil chain: slide(3,1, pad(1,1, A)) accessed at (w, u).
+  const auto chain = slideView(
+      padView(memView("A", floatArr("N")), 1, 1, ir::PadMode::Zero), 3, 1);
+  const auto elem =
+      accessView(accessView(chain, Expr::var("w")), Expr::var("u"));
+  const std::string code = resolveLoad(elem, "(real)0");
+  // Combined index: (w + u) - 1 with a bounds guard.
+  EXPECT_EQ(code,
+            "((0 <= (-1 + u + w) && (-1 + u + w) < N) ? A[(-1 + u + w)] : "
+            "(real)0)");
+}
+
+TEST(View, NestedOffsetsAccumulate) {
+  const auto dest = offsetView(
+      offsetView(memView("out", floatArr("N")), Expr::var("a")),
+      Expr::var("b"));
+  const auto slot = accessView(dest, Expr(0));
+  EXPECT_EQ(resolveStore(slot), "out[(a + b)]");
+}
+
+}  // namespace
+}  // namespace lifta::view

@@ -1,0 +1,148 @@
+// Transpose / Slide3 / Pad3 view tests — the machinery behind Listing 6's
+// slide3/pad3 stencil pipeline.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "view/view.hpp"
+
+namespace lifta::view {
+namespace {
+
+using arith::Expr;
+using ir::Type;
+
+TEST(View3D, TransposeSwapsIndices) {
+  const auto t =
+      Type::array(Type::array(Type::float_(), Expr::var("M")), Expr::var("N"));
+  const auto v = transposeView(memView("A", t));
+  // transposed has type [[T]_N]_M.
+  EXPECT_EQ(v->type->size().toString(), "M");
+  EXPECT_EQ(v->type->elem()->size().toString(), "N");
+  const auto elem =
+      accessView(accessView(v, Expr::var("i")), Expr::var("j"));
+  // transposed[i][j] == A[j][i] == A[j*M + i].
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[(i + (M * j))]");
+}
+
+TEST(View3D, DoubleTransposeIsIdentity) {
+  const auto t = Type::array(Type::array(Type::float_(), 4), 6);
+  const auto v = transposeView(transposeView(memView("A", t)));
+  const auto elem = accessView(accessView(v, Expr(2)), Expr(3));
+  EXPECT_EQ(resolveLoad(elem, "0"), "A[11]");  // 2*4 + 3
+}
+
+TEST(View3D, TransposeRejectsNon2D) {
+  const auto t = Type::array(Type::float_(), 4);
+  EXPECT_THROW(transposeView(memView("A", t)), Error);
+}
+
+ir::TypePtr grid3(const char* x, const char* y, const char* z) {
+  return Type::array(
+      Type::array(Type::array(Type::float_(), Expr::var(x)), Expr::var(y)),
+      Expr::var(z));
+}
+
+TEST(View3D, Slide3CombinesPositionAndOffset) {
+  const auto v = slide3View(memView("A", grid3("nx", "ny", "nz")), 3, 1);
+  // m[z][y][x][dz][dy][dx]
+  auto elem = accessView(
+      accessView(
+          accessView(accessView(accessView(accessView(v, Expr::var("z")),
+                                           Expr::var("y")),
+                                Expr::var("x")),
+                     Expr(0)),
+          Expr(1)),
+      Expr(2));
+  // A[2 + x + nx*(1 + y) + nx*ny*z] — the sum flattens, the per-dimension
+  // products stay intact.
+  const std::string code = resolveLoad(elem, "0");
+  EXPECT_NE(code.find("2 + x"), std::string::npos);
+  EXPECT_NE(code.find("(1 + y)"), std::string::npos);
+  EXPECT_NE(code.find("z"), std::string::npos);
+}
+
+TEST(View3D, Slide3TypeShape) {
+  const auto v = slide3View(memView("A", grid3("nx", "ny", "nz")), 3, 1);
+  // [[[win]_{nx-2}]_{ny-2}]_{nz-2} with win = [[[T]_3]_3]_3.
+  EXPECT_EQ(v->type->size().evaluate({{"nz", 10}}), 8);
+  EXPECT_EQ(v->type->elem()->size().evaluate({{"ny", 7}}), 5);
+  const auto win = v->type->elem()->elem()->elem();
+  EXPECT_EQ(win->size().evaluate({}), 3);
+  EXPECT_EQ(win->elem()->elem()->size().evaluate({}), 3);
+}
+
+TEST(View3D, Pad3GuardsEveryDimension) {
+  const auto v =
+      pad3View(memView("A", grid3("nx", "ny", "nz")), 1, ir::PadMode::Zero);
+  const auto elem = accessView(
+      accessView(accessView(v, Expr::var("z")), Expr::var("y")),
+      Expr::var("x"));
+  const std::string code = resolveLoad(elem, "(real)0");
+  // Three guards, one per dimension.
+  EXPECT_NE(code.find("< nz"), std::string::npos);
+  EXPECT_NE(code.find("< ny"), std::string::npos);
+  EXPECT_NE(code.find("< nx"), std::string::npos);
+  EXPECT_NE(code.find("(-1 + z)"), std::string::npos);
+}
+
+TEST(View3D, Pad3ClampHasNoGuards) {
+  const auto v =
+      pad3View(memView("A", grid3("nx", "ny", "nz")), 1, ir::PadMode::Clamp);
+  const auto elem = accessView(
+      accessView(accessView(v, Expr(0)), Expr(0)), Expr(0));
+  const std::string code = resolveLoad(elem, "0");
+  EXPECT_EQ(code.find('?'), std::string::npos);  // no ternary
+  EXPECT_NE(code.find("min("), std::string::npos);
+}
+
+TEST(View3D, Pad3CannotBeStored) {
+  const auto v =
+      pad3View(memView("A", grid3("nx", "ny", "nz")), 1, ir::PadMode::Zero);
+  const auto elem = accessView(
+      accessView(accessView(v, Expr(1)), Expr(1)), Expr(1));
+  EXPECT_THROW(resolveStore(elem), CodegenError);
+}
+
+TEST(View3D, Slide3OverPad3CenterIsIdentity) {
+  // The window center of slide3(3,1, pad3(1, A)) at (z,y,x) is A[z][y][x]:
+  // offsets +1 (center) and -1 (pad) cancel symbolically, leaving an
+  // unguarded... well, guarded-but-trivial load of the original element.
+  const auto chain = slide3View(
+      pad3View(memView("A", grid3("nx", "ny", "nz")), 1, ir::PadMode::Zero),
+      3, 1);
+  auto elem = accessView(
+      accessView(accessView(accessView(accessView(accessView(chain, Expr::var("z")),
+                                                  Expr::var("y")),
+                                       Expr::var("x")),
+                            Expr(1)),
+                 Expr(1)),
+      Expr(1));
+  const std::string code = resolveLoad(elem, "0");
+  // The combined index contains the plain x/y/z terms (offsets cancelled).
+  EXPECT_NE(code.find("0 <= z && z < nz"), std::string::npos);
+  EXPECT_NE(code.find("0 <= x && x < nx"), std::string::npos);
+}
+
+TEST(View3D, SplitSplitBuildsA3DViewOfFlatMemory) {
+  // The reshaping used by the Listing-6 kernel: split(ny, split(nx, flat)).
+  const auto flat = Type::array(Type::float_(),
+                                Expr::var("nx") * Expr::var("ny") * Expr::var("nz"));
+  const auto v3 =
+      splitView(splitView(memView("A", flat), Expr::var("nx")), Expr::var("ny"));
+  const auto elem = accessView(
+      accessView(accessView(v3, Expr::var("z")), Expr::var("y")),
+      Expr::var("x"));
+  const std::string code = resolveLoad(elem, "0");
+  // Linearizes to x + nx*(y + ny*z) in some arithmetic arrangement.
+  EXPECT_EQ(elem->type->isScalar(), true);
+  const auto addr = code.substr(2, code.size() - 3);  // strip "A[ ]"
+  arith::Expr probe = arith::Expr::var("probe");
+  (void)probe;
+  // Evaluate the printed index numerically via re-parsing is overkill;
+  // instead check the dimensional strides appear.
+  EXPECT_NE(code.find("x"), std::string::npos);
+  EXPECT_NE(code.find("nx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lifta::view
