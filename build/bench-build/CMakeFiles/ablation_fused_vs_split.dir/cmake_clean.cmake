@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fused_vs_split"
+  "../bench/ablation_fused_vs_split.pdb"
+  "CMakeFiles/ablation_fused_vs_split.dir/ablation_fused_vs_split.cpp.o"
+  "CMakeFiles/ablation_fused_vs_split.dir/ablation_fused_vs_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fused_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

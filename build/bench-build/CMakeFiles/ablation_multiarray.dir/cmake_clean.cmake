@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiarray"
+  "../bench/ablation_multiarray.pdb"
+  "CMakeFiles/ablation_multiarray.dir/ablation_multiarray.cpp.o"
+  "CMakeFiles/ablation_multiarray.dir/ablation_multiarray.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

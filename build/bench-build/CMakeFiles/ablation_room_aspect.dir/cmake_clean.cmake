@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_room_aspect"
+  "../bench/ablation_room_aspect.pdb"
+  "CMakeFiles/ablation_room_aspect.dir/ablation_room_aspect.cpp.o"
+  "CMakeFiles/ablation_room_aspect.dir/ablation_room_aspect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_room_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_boundary_fraction"
+  "../bench/fig2_boundary_fraction.pdb"
+  "CMakeFiles/fig2_boundary_fraction.dir/fig2_boundary_fraction.cpp.o"
+  "CMakeFiles/fig2_boundary_fraction.dir/fig2_boundary_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_boundary_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

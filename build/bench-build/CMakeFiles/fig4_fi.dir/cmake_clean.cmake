@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fi"
+  "../bench/fig4_fi.pdb"
+  "CMakeFiles/fig4_fi.dir/fig4_fi.cpp.o"
+  "CMakeFiles/fig4_fi.dir/fig4_fi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_fimm"
+  "../bench/fig5_fimm.pdb"
+  "CMakeFiles/fig5_fimm.dir/fig5_fimm.cpp.o"
+  "CMakeFiles/fig5_fimm.dir/fig5_fimm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

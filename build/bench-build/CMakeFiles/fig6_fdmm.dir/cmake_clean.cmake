@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fdmm"
+  "../bench/fig6_fdmm.pdb"
+  "CMakeFiles/fig6_fdmm.dir/fig6_fdmm.cpp.o"
+  "CMakeFiles/fig6_fdmm.dir/fig6_fdmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fdmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

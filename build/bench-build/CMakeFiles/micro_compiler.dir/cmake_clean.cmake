@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_compiler"
+  "../bench/micro_compiler.pdb"
+  "CMakeFiles/micro_compiler.dir/micro_compiler.cpp.o"
+  "CMakeFiles/micro_compiler.dir/micro_compiler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_explore.dir/codegen_explore.cpp.o"
+  "CMakeFiles/codegen_explore.dir/codegen_explore.cpp.o.d"
+  "codegen_explore"
+  "codegen_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concert_hall.dir/concert_hall.cpp.o"
+  "CMakeFiles/concert_hall.dir/concert_hall.cpp.o.d"
+  "concert_hall"
+  "concert_hall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concert_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

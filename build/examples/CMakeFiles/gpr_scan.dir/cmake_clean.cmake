@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_scan.dir/gpr_scan.cpp.o"
+  "CMakeFiles/gpr_scan.dir/gpr_scan.cpp.o.d"
+  "gpr_scan"
+  "gpr_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arith")
+subdirs("ir")
+subdirs("memory")
+subdirs("view")
+subdirs("rewrite")
+subdirs("codegen")
+subdirs("ocl")
+subdirs("host")
+subdirs("acoustics")
+subdirs("geophys")
+subdirs("lift_acoustics")
+subdirs("harness")

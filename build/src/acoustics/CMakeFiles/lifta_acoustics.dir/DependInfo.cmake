@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acoustics/analysis.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/analysis.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/analysis.cpp.o.d"
+  "/root/repo/src/acoustics/cl_kernels.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/cl_kernels.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/cl_kernels.cpp.o.d"
+  "/root/repo/src/acoustics/geometry.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/geometry.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/geometry.cpp.o.d"
+  "/root/repo/src/acoustics/materials.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/materials.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/materials.cpp.o.d"
+  "/root/repo/src/acoustics/reference_kernels.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o.d"
+  "/root/repo/src/acoustics/simulation.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/simulation.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lifta_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lifta_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/lifta_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lifta_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_acoustics.dir/analysis.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/analysis.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/cl_kernels.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/cl_kernels.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/geometry.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/geometry.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/materials.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/materials.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/simulation.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/simulation.cpp.o.d"
+  "liblifta_acoustics.a"
+  "liblifta_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_arith.dir/expr.cpp.o"
+  "CMakeFiles/lifta_arith.dir/expr.cpp.o.d"
+  "liblifta_arith.a"
+  "liblifta_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_codegen.dir/kernel_codegen.cpp.o"
+  "CMakeFiles/lifta_codegen.dir/kernel_codegen.cpp.o.d"
+  "liblifta_codegen.a"
+  "liblifta_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

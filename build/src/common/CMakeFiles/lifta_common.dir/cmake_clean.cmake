@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_common.dir/aligned_buffer.cpp.o"
+  "CMakeFiles/lifta_common.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/lifta_common.dir/cli.cpp.o"
+  "CMakeFiles/lifta_common.dir/cli.cpp.o.d"
+  "CMakeFiles/lifta_common.dir/stats.cpp.o"
+  "CMakeFiles/lifta_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lifta_common.dir/string_util.cpp.o"
+  "CMakeFiles/lifta_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/lifta_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lifta_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lifta_common.dir/wav.cpp.o"
+  "CMakeFiles/lifta_common.dir/wav.cpp.o.d"
+  "liblifta_common.a"
+  "liblifta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_geophys.dir/fdtd2d.cpp.o"
+  "CMakeFiles/lifta_geophys.dir/fdtd2d.cpp.o.d"
+  "CMakeFiles/lifta_geophys.dir/lift_kernels.cpp.o"
+  "CMakeFiles/lifta_geophys.dir/lift_kernels.cpp.o.d"
+  "liblifta_geophys.a"
+  "liblifta_geophys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_geophys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

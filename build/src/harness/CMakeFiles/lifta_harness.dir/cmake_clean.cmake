@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_harness.dir/autotune.cpp.o"
+  "CMakeFiles/lifta_harness.dir/autotune.cpp.o.d"
+  "CMakeFiles/lifta_harness.dir/bench_common.cpp.o"
+  "CMakeFiles/lifta_harness.dir/bench_common.cpp.o.d"
+  "CMakeFiles/lifta_harness.dir/launcher.cpp.o"
+  "CMakeFiles/lifta_harness.dir/launcher.cpp.o.d"
+  "CMakeFiles/lifta_harness.dir/paper_data.cpp.o"
+  "CMakeFiles/lifta_harness.dir/paper_data.cpp.o.d"
+  "CMakeFiles/lifta_harness.dir/table.cpp.o"
+  "CMakeFiles/lifta_harness.dir/table.cpp.o.d"
+  "liblifta_harness.a"
+  "liblifta_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

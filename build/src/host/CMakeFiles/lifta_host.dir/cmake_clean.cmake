@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_host.dir/host_program.cpp.o"
+  "CMakeFiles/lifta_host.dir/host_program.cpp.o.d"
+  "liblifta_host.a"
+  "liblifta_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

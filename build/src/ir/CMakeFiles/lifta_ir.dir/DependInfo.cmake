@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/lifta_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/lifta_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/lifta_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/lifta_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/lifta_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/lifta_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/typecheck.cpp" "src/ir/CMakeFiles/lifta_ir.dir/typecheck.cpp.o" "gcc" "src/ir/CMakeFiles/lifta_ir.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

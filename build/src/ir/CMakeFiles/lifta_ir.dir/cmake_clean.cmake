@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_ir.dir/expr.cpp.o"
+  "CMakeFiles/lifta_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/lifta_ir.dir/printer.cpp.o"
+  "CMakeFiles/lifta_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/lifta_ir.dir/type.cpp.o"
+  "CMakeFiles/lifta_ir.dir/type.cpp.o.d"
+  "CMakeFiles/lifta_ir.dir/typecheck.cpp.o"
+  "CMakeFiles/lifta_ir.dir/typecheck.cpp.o.d"
+  "liblifta_ir.a"
+  "liblifta_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

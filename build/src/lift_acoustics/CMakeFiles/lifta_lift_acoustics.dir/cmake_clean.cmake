@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_lift_acoustics.dir/device_simulation.cpp.o"
+  "CMakeFiles/lifta_lift_acoustics.dir/device_simulation.cpp.o.d"
+  "CMakeFiles/lifta_lift_acoustics.dir/kernels.cpp.o"
+  "CMakeFiles/lifta_lift_acoustics.dir/kernels.cpp.o.d"
+  "liblifta_lift_acoustics.a"
+  "liblifta_lift_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_lift_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

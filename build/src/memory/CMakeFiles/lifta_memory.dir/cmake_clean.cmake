@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_memory.dir/allocator.cpp.o"
+  "CMakeFiles/lifta_memory.dir/allocator.cpp.o.d"
+  "liblifta_memory.a"
+  "liblifta_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lifta_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_ocl.dir/device.cpp.o"
+  "CMakeFiles/lifta_ocl.dir/device.cpp.o.d"
+  "CMakeFiles/lifta_ocl.dir/jit.cpp.o"
+  "CMakeFiles/lifta_ocl.dir/jit.cpp.o.d"
+  "CMakeFiles/lifta_ocl.dir/runtime.cpp.o"
+  "CMakeFiles/lifta_ocl.dir/runtime.cpp.o.d"
+  "liblifta_ocl.a"
+  "liblifta_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

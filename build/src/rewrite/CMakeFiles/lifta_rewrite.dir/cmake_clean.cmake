@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_rewrite.dir/rules.cpp.o"
+  "CMakeFiles/lifta_rewrite.dir/rules.cpp.o.d"
+  "liblifta_rewrite.a"
+  "liblifta_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

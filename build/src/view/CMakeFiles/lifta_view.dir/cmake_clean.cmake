@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifta_view.dir/view.cpp.o"
+  "CMakeFiles/lifta_view.dir/view.cpp.o.d"
+  "liblifta_view.a"
+  "liblifta_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifta_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

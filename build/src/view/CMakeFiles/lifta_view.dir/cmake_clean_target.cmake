@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblifta_view.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acoustics.dir/acoustics/test_analysis.cpp.o"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_analysis.cpp.o.d"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_cl_kernels.cpp.o"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_cl_kernels.cpp.o.d"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_geometry.cpp.o"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_geometry.cpp.o.d"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_materials.cpp.o"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_materials.cpp.o.d"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_simulation.cpp.o"
+  "CMakeFiles/test_acoustics.dir/acoustics/test_simulation.cpp.o.d"
+  "test_acoustics"
+  "test_acoustics.pdb"
+  "test_acoustics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

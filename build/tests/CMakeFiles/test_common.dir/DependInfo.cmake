@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_aligned_buffer.cpp" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o.d"
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/common/test_wav.cpp" "tests/CMakeFiles/test_common.dir/common/test_wav.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lifta_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

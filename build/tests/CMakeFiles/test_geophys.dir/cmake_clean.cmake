@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geophys.dir/geophys/test_fdtd2d.cpp.o"
+  "CMakeFiles/test_geophys.dir/geophys/test_fdtd2d.cpp.o.d"
+  "CMakeFiles/test_geophys.dir/geophys/test_lift_em.cpp.o"
+  "CMakeFiles/test_geophys.dir/geophys/test_lift_em.cpp.o.d"
+  "test_geophys"
+  "test_geophys.pdb"
+  "test_geophys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geophys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

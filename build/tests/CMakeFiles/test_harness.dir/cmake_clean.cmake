@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_autotune.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_autotune.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_launcher.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_launcher.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_paper_data.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_paper_data.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_table.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_table.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_printer.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_printer.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_typecheck.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_typecheck.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_types.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_types.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

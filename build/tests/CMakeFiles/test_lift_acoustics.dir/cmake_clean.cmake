@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_device_simulation.cpp.o"
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_device_simulation.cpp.o.d"
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_lift_kernels.cpp.o"
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_lift_kernels.cpp.o.d"
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_stencil3d.cpp.o"
+  "CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_stencil3d.cpp.o.d"
+  "test_lift_acoustics"
+  "test_lift_acoustics.pdb"
+  "test_lift_acoustics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lift_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

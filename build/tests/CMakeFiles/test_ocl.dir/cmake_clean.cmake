@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocl.dir/ocl/test_runtime.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/test_runtime.cpp.o.d"
+  "test_ocl"
+  "test_ocl.pdb"
+  "test_ocl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

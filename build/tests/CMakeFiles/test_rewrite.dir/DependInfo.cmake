@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rewrite/test_rules.cpp" "tests/CMakeFiles/test_rewrite.dir/rewrite/test_rules.cpp.o" "gcc" "tests/CMakeFiles/test_rewrite.dir/rewrite/test_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lifta_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/lifta_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lifta_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/lifta_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lifta_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

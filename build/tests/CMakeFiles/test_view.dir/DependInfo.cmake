@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/view/test_view.cpp" "tests/CMakeFiles/test_view.dir/view/test_view.cpp.o" "gcc" "tests/CMakeFiles/test_view.dir/view/test_view.cpp.o.d"
+  "/root/repo/tests/view/test_view3d.cpp" "tests/CMakeFiles/test_view.dir/view/test_view3d.cpp.o" "gcc" "tests/CMakeFiles/test_view.dir/view/test_view3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lifta_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/lifta_view.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
