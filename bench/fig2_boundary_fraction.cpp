@@ -4,6 +4,7 @@
 // section. The paper measures up to ~20% for FD-MM on a GTX 780.
 #include <cstdio>
 
+#include "acoustics/simulation.hpp"
 #include "common/string_util.hpp"
 #include "harness/acoustic_bench.hpp"
 #include "harness/bench_common.hpp"
@@ -33,6 +34,29 @@ Fraction measure(ocl::Context& ctx, const acoustics::Room& room, bool fd,
       medianKernelMs([&] { return volume.run(q).milliseconds; }, opt);
   f.boundaryMs =
       medianKernelMs([&] { return boundary.run(q).milliseconds; }, opt);
+  return f;
+}
+
+// The same split measured on the reference ("hand-written C") tier from the
+// stepper's own StepProfiler instrumentation instead of per-kernel enqueue
+// timers: every step records volume/boundary wall time inside
+// Simulation<T>::step.
+Fraction measureReference(const acoustics::Room& room, bool fd,
+                          const BenchOptions& opt) {
+  acoustics::Simulation<double>::Config cfg;
+  cfg.room = room;
+  cfg.model =
+      fd ? acoustics::BoundaryModel::FdMm : acoustics::BoundaryModel::FiMm;
+  cfg.numMaterials = 3;
+  cfg.numBranches = fd ? opt.branches : 0;
+  acoustics::Simulation<double> sim(cfg);
+  sim.addImpulse(room.nx / 2, room.ny / 2, room.nz / 2, 1.0);
+  for (int i = 0; i < opt.warmup; ++i) sim.step();
+  sim.enableProfiling();
+  for (int i = 0; i < opt.iters; ++i) sim.step();
+  Fraction f;
+  f.volumeMs = sim.profile().volumeStats().median;
+  f.boundaryMs = sim.profile().boundaryStats().median;
   return f;
 }
 
@@ -66,6 +90,25 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("average boundary share: FI-MM %.1f%%, FD-MM %.1f%%\n",
               fiPct / n, fdPct / n);
+
+  // Reference tier, measured from StepProfiler instrumentation inside the
+  // stepper rather than ad-hoc enqueue timers.
+  Table refTable({"Shape", "Algorithm", "Size", "Volume ms", "Boundary ms",
+                  "% Boundary"});
+  for (auto shape : {acoustics::RoomShape::Box, acoustics::RoomShape::Dome}) {
+    for (const auto& sized : benchRooms(shape, opt.full)) {
+      const auto fi = measureReference(sized.room, /*fd=*/false, opt);
+      const auto fd = measureReference(sized.room, /*fd=*/true, opt);
+      refTable.addRow({acoustics::shapeName(shape), "FI-MM", sized.label,
+                       fmtMs(fi.volumeMs), fmtMs(fi.boundaryMs),
+                       strformat("%.1f%%", fi.pct())});
+      refTable.addRow({acoustics::shapeName(shape), "FD-MM", sized.label,
+                       fmtMs(fd.volumeMs), fmtMs(fd.boundaryMs),
+                       strformat("%.1f%%", fd.pct())});
+    }
+  }
+  std::printf("reference tier (StepProfiler instrumentation):\n%s\n",
+              refTable.render().c_str());
   std::printf(
       "paper shape: FD-MM boundary handling costs several times FI-MM's\n"
       "share, reaching ~20%% of the step (Fig. 2).  %s\n",

@@ -1,0 +1,93 @@
+// Thread-scaling of the reference ("hand-written C") stepper: the serial
+// path (threads=1) vs the z-slab-tiled parallel path at increasing thread
+// counts, measured from the stepper's own StepProfiler instrumentation.
+// The parallel and serial paths produce bit-identical fields (disjoint
+// write partitions, unchanged per-cell arithmetic), so this isolates the
+// scheduling cost/benefit.
+#include <cstdio>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "acoustics/simulation.hpp"
+#include "common/string_util.hpp"
+#include "harness/bench_common.hpp"
+#include "harness/table.hpp"
+
+using namespace lifta;
+using namespace lifta::harness;
+
+namespace {
+
+double medianStepMs(const acoustics::Room& room, acoustics::BoundaryModel m,
+                    int threads, const BenchOptions& opt) {
+  acoustics::Simulation<double>::Config cfg;
+  cfg.room = room;
+  cfg.model = m;
+  cfg.numMaterials = 3;
+  cfg.numBranches = m == acoustics::BoundaryModel::FdMm ? opt.branches : 0;
+  cfg.params.threads = threads;
+  acoustics::Simulation<double> sim(cfg);
+  sim.addImpulse(room.nx / 2, room.ny / 2, room.nz / 2, 1.0);
+  for (int i = 0; i < opt.warmup; ++i) sim.step();
+  sim.enableProfiling();
+  for (int i = 0; i < opt.iters; ++i) sim.step();
+  return sim.profile().stepStats().median;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::fromArgs(argc, argv);
+  printBenchBanner("Reference stepper thread scaling (serial vs z-slab tiled)",
+                   opt);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> threadCounts = {1, 2, 4};
+  if (hw > 4) threadCounts.push_back(static_cast<int>(hw));
+  std::printf("hardware concurrency: %u\n\n", hw);
+
+  // Largest bench room ("602"): the paper-scale shape at the default 1/8
+  // linear scale, or the true Table II size with --full.
+  const auto rooms = benchRooms(acoustics::RoomShape::Box, opt.full);
+  const auto& sized = rooms.front();
+
+  Table table({"Algorithm", "Size", "Threads", "Step ms", "Speedup"});
+  bool hit = false;
+  for (auto model : {acoustics::BoundaryModel::FiMm,
+                     acoustics::BoundaryModel::FdMm}) {
+    double serialMs = 0.0;
+    for (int t : threadCounts) {
+      const double ms = medianStepMs(sized.room, model, t, opt);
+      if (t == 1) serialMs = ms;
+      const double speedup = ms > 0.0 ? serialMs / ms : 0.0;
+      table.addRow({acoustics::modelName(model), sized.label,
+                    std::to_string(t), strformat("%.4f", ms),
+                    strformat("%.2fx", speedup)});
+      if (t >= 4 && speedup > 1.5) hit = true;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      ">1.5x speedup at >=4 threads: %s (requires >=4 physical cores; the\n"
+      "partitions are disjoint so parallel == serial bit-for-bit)\n",
+      hit ? "[yes]" : "[no]");
+
+  // One instrumented profile at full concurrency, as the profiler reports it.
+  acoustics::Simulation<double>::Config cfg;
+  cfg.room = sized.room;
+  cfg.model = acoustics::BoundaryModel::FdMm;
+  cfg.numMaterials = 3;
+  cfg.numBranches = opt.branches;
+  cfg.params.threads = 0;  // shared pool at hardware concurrency
+  acoustics::Simulation<double> sim(cfg);
+  sim.addImpulse(sized.room.nx / 2, sized.room.ny / 2, sized.room.nz / 2, 1.0);
+  sim.enableProfiling();
+  for (int i = 0; i < opt.iters; ++i) sim.step();
+  printStepProfile(
+      strformat("FD-MM %s, %zu threads", sized.label.c_str(),
+                sim.threadsUsed()),
+      sim.profile());
+  return 0;
+}

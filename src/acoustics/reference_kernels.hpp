@@ -5,6 +5,15 @@
 //
 // All functions operate on flat grids with idx = z*Nx*Ny + y*Nx + x and use
 // the buffer roles of the paper: `prev` (t-2), `curr` (t-1), `next` (t).
+//
+// Every kernel comes in two forms: the full-grid form of the listings and a
+// ranged form (`*Slab` over z-slabs for the volume kernels, `*Range` over
+// boundary-point index ranges for the boundary kernels). The ranged forms
+// perform the identical per-cell arithmetic in the identical order, so a
+// partition of the full range reproduces the full-grid result bit-for-bit;
+// they exist so Simulation<T>::step can tile the work across a thread pool
+// (z-slabs write disjoint cells; boundary-point ranges are disjoint by
+// construction since boundaryIndices holds unique cells).
 #pragma once
 
 #include <cstdint>
@@ -17,16 +26,32 @@ template <typename T>
 void refFusedFiBox(const T* prev, const T* curr, T* next, int nx, int ny,
                    int nz, T l, T l2, T beta);
 
+/// refFusedFiBox restricted to z in [z0, z1).
+template <typename T>
+void refFusedFiBoxSlab(const T* prev, const T* curr, T* next, int nx, int ny,
+                       int nz, int z0, int z1, T l, T l2, T beta);
+
 /// Listing 1 variant of §II-B: nbr comes from the precomputed lookup table,
 /// supporting arbitrary shapes; boundary handling still fused.
 template <typename T>
 void refFusedFiLookup(const std::int32_t* nbrs, const T* prev, const T* curr,
                       T* next, int nx, int ny, int nz, T l, T l2, T beta);
 
+/// refFusedFiLookup restricted to z in [z0, z1).
+template <typename T>
+void refFusedFiLookupSlab(const std::int32_t* nbrs, const T* prev,
+                          const T* curr, T* next, int nx, int ny, int z0,
+                          int z1, T l, T l2, T beta);
+
 /// Listing 2, kernel 1: volume handling only (shared by FI-MM and FD-MM).
 template <typename T>
 void refVolume(const std::int32_t* nbrs, const T* prev, const T* curr,
                T* next, int nx, int ny, int nz, T l2);
+
+/// refVolume restricted to z in [z0, z1).
+template <typename T>
+void refVolumeSlab(const std::int32_t* nbrs, const T* prev, const T* curr,
+                   T* next, int nx, int ny, int z0, int z1, T l2);
 
 /// Listing 2, kernel 2: single-material boundary absorption, in place.
 template <typename T>
@@ -34,12 +59,26 @@ void refFiBoundary(const std::int32_t* boundaryIndices,
                    const std::int32_t* nbrs, const T* prev, T* next,
                    std::int64_t numBoundaryPoints, T l, T beta);
 
+/// refFiBoundary restricted to boundary points i in [i0, i1).
+template <typename T>
+void refFiBoundaryRange(const std::int32_t* boundaryIndices,
+                        const std::int32_t* nbrs, const T* prev, T* next,
+                        std::int64_t i0, std::int64_t i1, T l, T beta);
+
 /// Listing 3: FI-MM — multi-material frequency-independent boundary.
 template <typename T>
 void refFiMmBoundary(const std::int32_t* boundaryIndices,
                      const std::int32_t* nbrs, const std::int32_t* material,
                      const T* beta, const T* prev, T* next,
                      std::int64_t numBoundaryPoints, T l);
+
+/// refFiMmBoundary restricted to boundary points i in [i0, i1).
+template <typename T>
+void refFiMmBoundaryRange(const std::int32_t* boundaryIndices,
+                          const std::int32_t* nbrs,
+                          const std::int32_t* material, const T* beta,
+                          const T* prev, T* next, std::int64_t i0,
+                          std::int64_t i1, T l);
 
 /// Listing 4: FD-MM — frequency-dependent multi-material boundary with MB
 /// ODE branches. BI/D/DI/F are flattened [material][branch]; g1/v1/v2 are
@@ -52,6 +91,18 @@ void refFdMmBoundary(const std::int32_t* boundaryIndices,
                      const T* F, int numBranches, const T* prev, T* next,
                      T* g1, T* v1, const T* v2,
                      std::int64_t numBoundaryPoints, T l);
+
+/// refFdMmBoundary restricted to boundary points i in [i0, i1). Note the
+/// branch-state stride stays `numBoundaryPoints` (the full count) because
+/// g1/v1/v2 are laid out over the whole boundary set.
+template <typename T>
+void refFdMmBoundaryRange(const std::int32_t* boundaryIndices,
+                          const std::int32_t* nbrs,
+                          const std::int32_t* material, const T* beta,
+                          const T* BI, const T* D, const T* DI, const T* F,
+                          int numBranches, const T* prev, T* next, T* g1,
+                          T* v1, const T* v2, std::int64_t numBoundaryPoints,
+                          std::int64_t i0, std::int64_t i1, T l);
 
 // The FD kernels use a small fixed upper bound for the per-point private
 // branch state, as the CUDA original does with its MB compile-time constant.

@@ -16,6 +16,16 @@ struct SimParams {
   /// Courant number; defaults to the 3D stability limit 1/sqrt(3).
   double lambda = 1.0 / std::sqrt(3.0);
 
+  // Reference-tier execution knobs. The parallel path partitions the volume
+  // kernels into z-slab tiles and the boundary kernels into disjoint
+  // boundary-point ranges, so the result is bit-identical to the serial path
+  // for every `threads` value (no reductions, no write overlap).
+  /// 0 = share the process-wide pool (hardware concurrency); 1 = serial
+  /// (never touches a thread pool); N > 1 = private pool of N threads.
+  int threads = 0;
+  /// Number of z-slabs per volume tile handed to one pool chunk.
+  int tileZ = 4;
+
   double Ts() const { return 1.0 / sampleRate; }
   /// Grid spacing implied by c, Ts and lambda.
   double h() const { return c * Ts() / lambda; }

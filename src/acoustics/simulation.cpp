@@ -1,8 +1,10 @@
 #include "acoustics/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace lifta::acoustics {
 
@@ -28,6 +30,16 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
   }
 
   grid_ = voxelize(config_.room, config_.numMaterials);
+
+  LIFTA_CHECK(config_.params.threads >= 0, "params.threads must be >= 0");
+  LIFTA_CHECK(config_.params.tileZ >= 1, "params.tileZ must be >= 1");
+  if (config_.params.threads == 0) {
+    pool_ = &ThreadPool::global();
+  } else if (config_.params.threads > 1) {
+    ownedPool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config_.params.threads));
+    pool_ = ownedPool_.get();
+  }  // threads == 1: pool_ stays null, the stepper runs fully serial.
 
   materials_ = config_.materials.empty()
                    ? defaultMaterials(config_.numMaterials, config_.numBranches)
@@ -68,42 +80,116 @@ void Simulation<T>::addImpulse(int x, int y, int z, T amplitude) {
 }
 
 template <typename T>
-void Simulation<T>::step() {
+std::size_t Simulation<T>::threadsUsed() const {
+  return pool_ ? pool_->threadCount() : 1;
+}
+
+template <typename T>
+void Simulation<T>::forEachSlab(const std::function<void(int, int)>& fn) {
+  const int nz = grid_.nz;
+  if (!pool_) {
+    fn(0, nz);
+    return;
+  }
+  const int tile = config_.params.tileZ;
+  const std::size_t numTiles =
+      (static_cast<std::size_t>(nz) + static_cast<std::size_t>(tile) - 1) /
+      static_cast<std::size_t>(tile);
+  // A pool chunk [b, e) of tiles maps to the contiguous z-slab range
+  // [b*tile, min(nz, e*tile)); tiles partition z, so writes are disjoint.
+  pool_->parallelForChunked(numTiles, [&](std::size_t b, std::size_t e) {
+    fn(static_cast<int>(b) * tile,
+       std::min(nz, static_cast<int>(e) * tile));
+  });
+}
+
+template <typename T>
+void Simulation<T>::forEachBoundaryRange(
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+  if (!pool_) {
+    fn(0, numB);
+    return;
+  }
+  // boundaryIndices holds unique cells, so index ranges scatter to disjoint
+  // cells (and disjoint g1/v1 rows for FD-MM): race-free by construction.
+  pool_->parallelForChunked(
+      static_cast<std::size_t>(numB), [&](std::size_t b, std::size_t e) {
+        fn(static_cast<std::int64_t>(b), static_cast<std::int64_t>(e));
+      });
+}
+
+template <typename T>
+void Simulation<T>::stepVolume(T l, T l2) {
   const int nx = grid_.nx;
   const int ny = grid_.ny;
-  const int nz = grid_.nz;
-  const T l = static_cast<T>(config_.params.l());
-  const T l2 = static_cast<T>(config_.params.l2());
-  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+  if (config_.model == BoundaryModel::FusedFi) {
+    forEachSlab([&](int z0, int z1) {
+      refFusedFiLookupSlab(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, z0,
+                           z1, l, l2, beta_[0]);
+    });
+    return;
+  }
+  forEachSlab([&](int z0, int z1) {
+    refVolumeSlab(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, z0, z1, l2);
+  });
+}
 
+template <typename T>
+void Simulation<T>::stepBoundary(T l, std::int64_t numB) {
   switch (config_.model) {
     case BoundaryModel::FusedFi:
-      refFusedFiLookup(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l,
-                       l2, beta_[0]);
-      break;
+      break;  // boundary handling is fused into the volume phase
 
     case BoundaryModel::FiSplit:
-      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
-      refFiBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(), prev_,
-                    next_, numB, l, beta_[0]);
+      forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
+        refFiBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+                           prev_, next_, i0, i1, l, beta_[0]);
+      });
       break;
 
     case BoundaryModel::FiMm:
-      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
-      refFiMmBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(),
-                      grid_.material.data(), beta_.data(), prev_, next_, numB,
-                      l);
+      forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
+        refFiMmBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+                             grid_.material.data(), beta_.data(), prev_,
+                             next_, i0, i1, l);
+      });
       break;
 
     case BoundaryModel::FdMm:
-      refVolume(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, nz, l2);
-      refFdMmBoundary(grid_.boundaryIndices.data(), grid_.nbrs.data(),
-                      grid_.material.data(), beta_.data(), bi_.data(),
-                      d_.data(), di_.data(), f_.data(), config_.numBranches,
-                      prev_, next_, g1_.data(), v1_, v2_, numB, l);
+      forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
+        refFdMmBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+                             grid_.material.data(), beta_.data(), bi_.data(),
+                             d_.data(), di_.data(), f_.data(),
+                             config_.numBranches, prev_, next_, g1_.data(),
+                             v1_, v2_, numB, i0, i1, l);
+      });
       std::swap(v1_, v2_);
       break;
   }
+}
+
+template <typename T>
+void Simulation<T>::step() {
+  const T l = static_cast<T>(config_.params.l());
+  const T l2 = static_cast<T>(config_.params.l2());
+  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+  const bool profiled = profiler_.enabled();
+
+  Timer timer;
+  stepVolume(l, l2);
+  const double volumeMs = profiled ? timer.milliseconds() : 0.0;
+
+  timer.reset();
+  stepBoundary(l, numB);
+  // The fused model has no boundary kernel; don't let timer overhead show
+  // up as a phantom boundary share.
+  const double boundaryMs =
+      profiled && config_.model != BoundaryModel::FusedFi
+          ? timer.milliseconds()
+          : 0.0;
+
+  if (profiled) profiler_.recordStep(volumeMs, boundaryMs, grid_.cells());
 
   // Rotate pressure buffers: prev <- curr <- next <- (old prev storage).
   T* oldPrev = prev_;

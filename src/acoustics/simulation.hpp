@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "acoustics/geometry.hpp"
 #include "acoustics/materials.hpp"
 #include "acoustics/reference_kernels.hpp"
 #include "acoustics/sim_params.hpp"
+#include "acoustics/step_profiler.hpp"
 #include "common/aligned_buffer.hpp"
+#include "common/thread_pool.hpp"
 
 namespace lifta::acoustics {
 
@@ -60,6 +64,16 @@ public:
 
   int stepsTaken() const { return steps_; }
 
+  /// Number of threads the stepper actually uses (resolved from
+  /// params.threads; 1 means the fully serial path).
+  std::size_t threadsUsed() const;
+
+  /// Opt-in per-kernel instrumentation: when enabled, every step() records
+  /// its volume/boundary wall time into profile().
+  void enableProfiling(bool on = true) { profiler_.setEnabled(on); }
+  const StepProfiler& profile() const { return profiler_; }
+  StepProfiler& profile() { return profiler_; }
+
   T sample(int x, int y, int z) const;
   /// Sum of squared pressure over the grid (decay/energy proxy).
   double energy() const;
@@ -74,8 +88,20 @@ public:
   const T* v2() const { return v2_; }
 
 private:
+  /// Runs fn(z0, z1) over a partition of [0, nz) in tileZ-slab tiles,
+  /// across the pool when parallel (one full range call when serial).
+  void forEachSlab(const std::function<void(int, int)>& fn);
+  /// Runs fn(i0, i1) over a partition of [0, boundaryPoints()).
+  void forEachBoundaryRange(
+      const std::function<void(std::int64_t, std::int64_t)>& fn);
+  void stepVolume(T l, T l2);
+  void stepBoundary(T l, std::int64_t numB);
+
   Config config_;
   RoomGrid grid_;
+  ThreadPool* pool_ = nullptr;  // null when serial (threads == 1)
+  std::unique_ptr<ThreadPool> ownedPool_;
+  StepProfiler profiler_;
   std::vector<Material> materials_;
   std::vector<T> beta_;
   FdCoeffs fd_;

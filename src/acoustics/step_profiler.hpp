@@ -1,0 +1,68 @@
+// Opt-in per-kernel instrumentation of the reference stepper (Fig. 2, §III).
+//
+// When enabled, Simulation<T>::step records the wall time of the volume and
+// boundary phases of every step here. The profiler keeps the raw per-step
+// samples so the paper's quantities — median kernel time, boundary share of
+// a step, sustained cell updates per second — and a distribution histogram
+// can all be derived from the same instrumentation, instead of from ad-hoc
+// timers scattered over the benchmarks.
+//
+// For the fused single-kernel model (Listing 1) the whole step is one
+// kernel; it is recorded as volume time with zero boundary time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace lifta::acoustics {
+
+class StepProfiler {
+public:
+  bool enabled() const { return enabled_; }
+  void setEnabled(bool on) { enabled_ = on; }
+
+  /// Called by the stepper once per step (only when enabled).
+  void recordStep(double volumeMs, double boundaryMs, std::size_t cells);
+
+  /// Drops all recorded samples; keeps the enabled flag.
+  void reset();
+
+  std::size_t steps() const { return volumeMs_.size(); }
+  const std::vector<double>& volumeMs() const { return volumeMs_; }
+  const std::vector<double>& boundaryMs() const { return boundaryMs_; }
+
+  SampleStats volumeStats() const { return summarize(volumeMs_); }
+  SampleStats boundaryStats() const { return summarize(boundaryMs_); }
+  /// Stats of volume + boundary per step.
+  SampleStats stepStats() const;
+
+  /// Share of total step time spent in boundary handling, in [0, 1]
+  /// (the quantity Fig. 2 plots as a percentage). 0 when nothing recorded.
+  double boundaryFraction() const;
+
+  /// Sustained grid-cell updates per second over all recorded steps.
+  double cellsPerSecond() const;
+
+  Histogram volumeHistogram(std::size_t bins = 16) const {
+    return Histogram::fromSamples(volumeMs_, bins);
+  }
+  Histogram boundaryHistogram(std::size_t bins = 16) const {
+    return Histogram::fromSamples(boundaryMs_, bins);
+  }
+
+  /// Multi-line human-readable report (used by the bench harness).
+  std::string report(const std::string& label) const;
+
+private:
+  std::string stepHistogramRender() const;
+
+  bool enabled_ = false;
+  std::vector<double> volumeMs_;
+  std::vector<double> boundaryMs_;
+  std::size_t cellsPerStep_ = 0;
+};
+
+}  // namespace lifta::acoustics

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
 
 namespace lifta {
 
@@ -26,6 +29,59 @@ SampleStats summarize(std::vector<double> samples) {
 
 double median(std::vector<double> samples) {
   return summarize(std::move(samples)).median;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LIFTA_CHECK(bins >= 1, "histogram needs at least one bin");
+  LIFTA_CHECK(hi > lo || bins == 1, "histogram range is empty");
+}
+
+Histogram Histogram::fromSamples(const std::vector<double>& samples,
+                                 std::size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!samples.empty()) {
+    lo = *std::min_element(samples.begin(), samples.end());
+    hi = *std::max_element(samples.begin(), samples.end());
+    if (hi <= lo) hi = lo + 1.0;  // degenerate: everything lands in bin 0
+  }
+  Histogram h(lo, hi, bins);
+  for (double v : samples) h.record(v);
+  return h;
+}
+
+void Histogram::record(double value) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::binLo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(int barWidth) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        barWidth);
+    std::snprintf(line, sizeof line, "  [%9.4f, %9.4f) %6zu |", binLo(b),
+                  binLo(b + 1), counts_[b]);
+    out += line;
+    out.append(static_cast<std::size_t>(std::max(1, bar)), '#');
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace lifta

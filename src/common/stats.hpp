@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace lifta {
@@ -42,5 +43,36 @@ SampleStats summarize(std::vector<double> samples);
 
 /// Median convenience wrapper.
 double median(std::vector<double> samples);
+
+/// Fixed-width-bin histogram over [lo, hi]; out-of-range samples are clamped
+/// into the first/last bin. Used by the step profiler to show the shape of
+/// per-kernel time distributions, not just their summary statistics.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning [min, max] of the samples.
+  static Histogram fromSamples(const std::vector<double>& samples,
+                               std::size_t bins = 16);
+
+  void record(double value);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t binCount(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of `bin`.
+  double binLo(std::size_t bin) const;
+
+  /// ASCII rendering, one `[lo, hi) count |####|` line per non-empty bin.
+  std::string render(int barWidth = 32) const;
+
+private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
 
 }  // namespace lifta

@@ -5,6 +5,23 @@
 
 namespace lifta {
 
+namespace {
+
+// Pool whose task body the calling thread is currently executing (nullptr
+// outside any parallel region). Used to detect re-entrant parallelFor calls,
+// which must not touch the shared dispatch state of the already-running loop.
+thread_local const ThreadPool* tlActivePool = nullptr;
+
+struct ActivePoolGuard {
+  const ThreadPool* saved;
+  explicit ActivePoolGuard(const ThreadPool* pool) : saved(tlActivePool) {
+    tlActivePool = pool;
+  }
+  ~ActivePoolGuard() { tlActivePool = saved; }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -45,7 +62,10 @@ void ThreadPool::workerLoop() {
       task = current_;
       ++activeWorkers_;
     }
-    runShare(*task);
+    {
+      ActivePoolGuard guard(this);
+      runShare(*task);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --activeWorkers_;
@@ -76,19 +96,43 @@ void ThreadPool::runShare(Task& task) {
   }
 }
 
+bool ThreadPool::insideParallelRegion() const noexcept {
+  return tlActivePool == this;
+}
+
+void ThreadPool::runSerialChunks(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  std::exception_ptr firstError;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    try {
+      body(begin, end);
+    } catch (...) {
+      // Mirror the pooled path: remember the first error, abandon the rest.
+      firstError = std::current_exception();
+      break;
+    }
+  }
+  if (firstError) std::rethrow_exception(firstError);
+}
+
 void ThreadPool::parallelForChunked(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  if (workers_.empty()) {
-    body(0, n);
+  // Aim for ~4 chunks per thread to balance load without excess locking.
+  const std::size_t target = threadCount() * 4;
+  const std::size_t chunk = std::max<std::size_t>(1, n / target);
+  if (workers_.empty() || tlActivePool == this) {
+    // No workers, or a nested call from inside one of our own task bodies:
+    // dispatch serially with the same chunking and exception behaviour.
+    runSerialChunks(n, chunk, body);
     return;
   }
   Task task;
   task.body = body;
   task.n = n;
-  // Aim for ~4 chunks per thread to balance load without excess locking.
-  const std::size_t target = threadCount() * 4;
-  task.chunk = std::max<std::size_t>(1, n / target);
+  task.chunk = chunk;
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = &task;
@@ -97,7 +141,10 @@ void ThreadPool::parallelForChunked(
     ++generation_;
   }
   cvStart_.notify_all();
-  runShare(task);
+  {
+    ActivePoolGuard guard(this);
+    runShare(task);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     cvDone_.wait(lock, [&] { return activeWorkers_ == 0; });

@@ -31,8 +31,17 @@ public:
 
   /// Chunked variant: body(beginIdx, endIdx) per chunk. Lower overhead for
   /// fine-grained iterations.
+  ///
+  /// Re-entrancy: calling parallelFor/parallelForChunked from inside a task
+  /// body of the *same* pool would corrupt the shared dispatch state, so
+  /// nested calls are detected (thread-local marker) and run serially on the
+  /// calling thread with identical chunking and exception semantics.
   void parallelForChunked(
       std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// True while the calling thread is executing a task body of this pool
+  /// (i.e. a parallelFor from here would take the serial nested path).
+  bool insideParallelRegion() const noexcept;
 
   /// Process-wide default pool (sized to hardware concurrency).
   static ThreadPool& global();
@@ -46,6 +55,11 @@ private:
 
   void workerLoop();
   void runShare(Task& task);
+  /// Serial fallback (no workers, or nested call): same chunk granularity
+  /// and first-exception-wins semantics as the pooled path.
+  static void runSerialChunks(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& body);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

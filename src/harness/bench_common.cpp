@@ -69,4 +69,9 @@ void printBenchBanner(const std::string& title, const BenchOptions& opt) {
       opt.iters, opt.localSize);
 }
 
+void printStepProfile(const std::string& label,
+                      const acoustics::StepProfiler& profiler) {
+  std::printf("%s", profiler.report(label).c_str());
+}
+
 }  // namespace lifta::harness

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "acoustics/geometry.hpp"
+#include "acoustics/step_profiler.hpp"
 #include "common/cli.hpp"
 #include "ocl/device.hpp"
 
@@ -51,5 +52,10 @@ double mups(std::size_t updates, double medianMs);
 
 /// Standard banner explaining the simulation substitution.
 void printBenchBanner(const std::string& title, const BenchOptions& opt);
+
+/// Prints a StepProfiler report (per-kernel medians, boundary share,
+/// throughput, step-time histogram) for one instrumented simulation run.
+void printStepProfile(const std::string& label,
+                      const acoustics::StepProfiler& profiler);
 
 }  // namespace lifta::harness

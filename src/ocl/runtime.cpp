@@ -8,18 +8,27 @@ namespace lifta::ocl {
 // --- Buffer -----------------------------------------------------------------
 
 void Buffer::write(const void* src, std::size_t bytes, std::size_t offset) {
-  LIFTA_CHECK(offset + bytes <= mem_.size(), "buffer write out of range");
+  // Checked without `offset + bytes`, which wraps for huge offsets and would
+  // accept out-of-range writes.
+  LIFTA_CHECK(bytes <= mem_.size() && offset <= mem_.size() - bytes,
+              "buffer write out of range");
   std::memcpy(static_cast<char*>(mem_.data()) + offset, src, bytes);
 }
 
 void Buffer::read(void* dst, std::size_t bytes, std::size_t offset) const {
-  LIFTA_CHECK(offset + bytes <= mem_.size(), "buffer read out of range");
+  LIFTA_CHECK(bytes <= mem_.size() && offset <= mem_.size() - bytes,
+              "buffer read out of range");
   std::memcpy(dst, static_cast<const char*>(mem_.data()) + offset, bytes);
 }
 
 // --- NDRange ----------------------------------------------------------------
 
 NDRange NDRange::linear(std::size_t globalSize, std::size_t localSize) {
+  // Zero global size is rejected here so both construction and enqueue
+  // report the same error instead of deferring to launch time.
+  if (globalSize == 0) {
+    throw OclError("global size must be nonzero");
+  }
   if (localSize == 0 || globalSize % localSize != 0) {
     throw OclError("global size " + std::to_string(globalSize) +
                    " is not a multiple of local size " +
@@ -51,6 +60,12 @@ void Kernel::ensureSlot(int index) {
 }
 
 void Kernel::setArg(int index, BufferPtr buffer) {
+  // A null buffer would only surface as a null dereference at launch;
+  // reject it here where the faulty argument index is still known.
+  if (!buffer) {
+    throw OclError("kernel '" + name_ + "' argument " +
+                   std::to_string(index) + " is a null buffer");
+  }
   ensureSlot(index);
   args_[static_cast<std::size_t>(index)] = std::move(buffer);
 }

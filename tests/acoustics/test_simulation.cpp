@@ -245,6 +245,105 @@ TEST(Simulation, UnstableCourantRejected) {
   EXPECT_THROW(Simulation<double> sim(cfg), Error);
 }
 
+template <typename T>
+std::vector<T> runThreaded(BoundaryModel model, int threads, int tileZ) {
+  const bool fd = model == BoundaryModel::FdMm;
+  auto cfg = smallBox<T>(model, fd ? 2 : 1, fd ? 2 : 0);
+  cfg.params.threads = threads;
+  cfg.params.tileZ = tileZ;
+  Simulation<T> sim(cfg);
+  sim.addImpulse(10, 9, 7, T(1.0));
+  sim.addImpulse(5, 5, 5, T(-0.25));
+  return sim.record(120, 6, 6, 6);
+}
+
+TEST(Simulation, ParallelStepperBitIdenticalToSerialAllModels) {
+  // The parallel path partitions z-slabs / boundary-point ranges without
+  // changing any per-cell arithmetic, so threads=N must reproduce the
+  // threads=1 recording bit-for-bit for every boundary model.
+  for (auto model : {BoundaryModel::FusedFi, BoundaryModel::FiSplit,
+                     BoundaryModel::FiMm, BoundaryModel::FdMm}) {
+    const auto serial = runThreaded<double>(model, 1, 4);
+    for (int threads : {2, 4}) {
+      const auto parallel = runThreaded<double>(model, threads, 4);
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i], parallel[i])
+            << modelName(model) << " threads=" << threads << " step " << i;
+      }
+    }
+  }
+}
+
+TEST(Simulation, ParallelStepperBitIdenticalAcrossTileSizes) {
+  const auto serial = runThreaded<double>(BoundaryModel::FiMm, 1, 4);
+  for (int tileZ : {1, 2, 7, 64}) {
+    const auto tiled = runThreaded<double>(BoundaryModel::FiMm, 4, tileZ);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], tiled[i]) << "tileZ=" << tileZ << " step " << i;
+    }
+  }
+}
+
+TEST(Simulation, ParallelStepperBitIdenticalToSerialFloat) {
+  const auto serial = runThreaded<float>(BoundaryModel::FdMm, 1, 4);
+  const auto parallel = runThreaded<float>(BoundaryModel::FdMm, 4, 2);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "step " << i;
+  }
+}
+
+TEST(Simulation, ThreadsUsedReflectsConfig) {
+  auto cfg = smallBox<double>(BoundaryModel::FiMm);
+  cfg.params.threads = 1;
+  EXPECT_EQ(Simulation<double>(cfg).threadsUsed(), 1u);
+  cfg.params.threads = 3;
+  EXPECT_EQ(Simulation<double>(cfg).threadsUsed(), 3u);
+  cfg.params.threads = 0;  // shared pool, at least one thread
+  EXPECT_GE(Simulation<double>(cfg).threadsUsed(), 1u);
+}
+
+TEST(Simulation, InvalidExecParamsRejected) {
+  auto cfg = smallBox<double>(BoundaryModel::FiMm);
+  cfg.params.threads = -1;
+  EXPECT_THROW(Simulation<double> sim(cfg), Error);
+  cfg.params.threads = 1;
+  cfg.params.tileZ = 0;
+  EXPECT_THROW(Simulation<double> sim(cfg), Error);
+}
+
+TEST(Simulation, ProfilerRecordsVolumeAndBoundarySplit) {
+  auto cfg = smallBox<double>(BoundaryModel::FiMm);
+  Simulation<double> sim(cfg);
+  sim.addImpulse(10, 9, 7, 1.0);
+  sim.step();  // not yet profiled
+  EXPECT_EQ(sim.profile().steps(), 0u);
+  sim.enableProfiling();
+  for (int i = 0; i < 25; ++i) sim.step();
+  const StepProfiler& prof = sim.profile();
+  EXPECT_EQ(prof.steps(), 25u);
+  EXPECT_GT(prof.volumeStats().median, 0.0);
+  EXPECT_GT(prof.boundaryStats().median, 0.0);
+  const double frac = prof.boundaryFraction();
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 1.0);
+  EXPECT_GT(prof.cellsPerSecond(), 0.0);
+  EXPECT_FALSE(prof.report("FiMm").empty());
+  sim.profile().reset();
+  EXPECT_EQ(sim.profile().steps(), 0u);
+}
+
+TEST(Simulation, ProfilerFusedModelHasNoBoundaryPhase) {
+  auto cfg = smallBox<double>(BoundaryModel::FusedFi);
+  Simulation<double> sim(cfg);
+  sim.addImpulse(10, 9, 7, 1.0);
+  sim.enableProfiling();
+  for (int i = 0; i < 10; ++i) sim.step();
+  EXPECT_EQ(sim.profile().steps(), 10u);
+  EXPECT_GT(sim.profile().volumeStats().median, 0.0);
+  EXPECT_DOUBLE_EQ(sim.profile().boundaryFraction(), 0.0);
+}
+
 TEST(Simulation, ModelNames) {
   EXPECT_STREQ(modelName(BoundaryModel::FdMm), "FD-MM");
   EXPECT_STREQ(modelName(BoundaryModel::FiMm), "FI-MM");

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/error.hpp"
+
 namespace lifta {
 namespace {
 
@@ -43,6 +47,49 @@ TEST(Timer, MeasuresNonNegativeTime) {
   for (int i = 0; i < 10000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+TEST(Histogram, BinsCoverRangeAndClampOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(0.5);   // bin 0
+  h.record(9.5);   // bin 9
+  h.record(-3.0);  // clamped into bin 0
+  h.record(42.0);  // clamped into bin 9
+  h.record(10.0);  // upper edge, clamped into the last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.binCount(0), 2u);
+  EXPECT_EQ(h.binCount(9), 3u);
+  for (std::size_t b = 1; b < 9; ++b) EXPECT_EQ(h.binCount(b), 0u);
+  EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binLo(10), 10.0);
+}
+
+TEST(Histogram, FromSamplesSpansMinMax) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  const auto h = Histogram::fromSamples(samples, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 4.0);
+  EXPECT_EQ(h.total(), samples.size());
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) counted += h.binCount(b);
+  EXPECT_EQ(counted, samples.size());
+}
+
+TEST(Histogram, DegenerateAndEmptyInputsAreSafe) {
+  const auto empty = Histogram::fromSamples({}, 8);
+  EXPECT_EQ(empty.total(), 0u);
+  // All-equal samples: range is widened instead of dividing by zero.
+  const auto flat = Histogram::fromSamples({2.5, 2.5, 2.5}, 8);
+  EXPECT_EQ(flat.total(), 3u);
+  EXPECT_EQ(flat.binCount(0), 3u);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBins) {
+  const auto h = Histogram::fromSamples({1.0, 1.1, 5.0}, 4);
+  const std::string s = h.render();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('['), std::string::npos);
 }
 
 TEST(Timer, ResetRestarts) {

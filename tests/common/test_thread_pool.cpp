@@ -68,6 +68,69 @@ TEST(ThreadPool, UsableAfterException) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, NestedParallelForRunsSeriallyNotCorrupted) {
+  // A nested parallelFor on the same pool must not touch the in-flight
+  // loop's shared dispatch state; it runs serially on the calling thread
+  // and still covers every index exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallelFor(kOuter, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.insideParallelRegion());
+    pool.parallelFor(kInner, [&](std::size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(pool.insideParallelRegion());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallelFor(8,
+                                [&](std::size_t) {
+                                  pool.parallelFor(8, [](std::size_t i) {
+                                    if (i == 5) throw std::runtime_error("inner");
+                                  });
+                                }),
+               std::runtime_error);
+  // Pool must still be intact afterwards.
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SerialPathStopsAtFirstExceptionLikePooledPath) {
+  // workers_.empty(): the serial fallback must chunk the range and abandon
+  // the remaining chunks after the first exception, as the pooled path does
+  // (it drains the queue), rather than running the whole range.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> lastChunkStart{0};
+  EXPECT_THROW(
+      pool.parallelForChunked(1000,
+                              [&](std::size_t b, std::size_t) {
+                                lastChunkStart.store(b);
+                                if (b == 0) throw std::runtime_error("first");
+                              }),
+      std::runtime_error);
+  // The throw came from the first chunk, so no later chunk may have run.
+  EXPECT_EQ(lastChunkStart.load(), 0u);
+}
+
+TEST(ThreadPool, SerialPoolChunkedCoversRange) {
+  ThreadPool pool(1);
+  std::size_t total = 0;
+  std::size_t chunks = 0;
+  pool.parallelForChunked(1000, [&](std::size_t b, std::size_t e) {
+    total += e - b;
+    ++chunks;
+  });
+  EXPECT_EQ(total, 1000u);
+  // Same granularity policy as the pooled path (~4 chunks per thread).
+  EXPECT_GT(chunks, 1u);
+}
+
 TEST(ThreadPool, GlobalPoolSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().threadCount(), 1u);

@@ -121,6 +121,50 @@ TEST(OclRuntime, BufferRangeChecks) {
   EXPECT_NO_THROW(b.write(data.data(), 64));
 }
 
+TEST(OclRuntime, BufferOffsetOverflowRejected) {
+  // Regression: `offset + bytes` wraps around for huge offsets, which used
+  // to make the bounds check pass and memcpy far outside the allocation.
+  Buffer b(64);
+  std::vector<char> data(8, 0);
+  const std::size_t hugeOffset = static_cast<std::size_t>(-4);  // SIZE_MAX-3
+  EXPECT_THROW(b.write(data.data(), 8, hugeOffset), Error);
+  EXPECT_THROW(b.read(data.data(), 8, hugeOffset), Error);
+  EXPECT_THROW(b.write(data.data(), static_cast<std::size_t>(-1), 2), Error);
+  // Legitimate edge cases still pass: a full-size write at offset 0 and an
+  // empty transfer at the end of the buffer.
+  EXPECT_NO_THROW(b.write(data.data(), 8, 56));
+  EXPECT_NO_THROW(b.read(data.data(), 0, 64));
+}
+
+TEST(OclRuntime, NullBufferArgRejectedAtSetTime) {
+  // Regression: a null BufferPtr used to be accepted and only blew up as a
+  // null dereference inside enqueueNDRange.
+  Context ctx;
+  auto program = ctx.buildProgram(kScaleKernel);
+  Kernel k(program, "scale");
+  try {
+    k.setArg(1, BufferPtr{});
+    FAIL() << "expected OclError";
+  } catch (const OclError& e) {
+    EXPECT_NE(std::string(e.what()).find("argument 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("null buffer"), std::string::npos);
+  }
+  // The slot stays unset, so launching still reports it cleanly.
+  k.setArg(0, ctx.allocate(16));
+  k.setArg(2, 4);
+  k.setArg(3, 1.0f);
+  CommandQueue q(ctx);
+  EXPECT_THROW(q.enqueueNDRange(k, NDRange::linear(32, 32)), OclError);
+}
+
+TEST(OclRuntime, ZeroGlobalSizeRejectedAtConstruction) {
+  // Regression: NDRange::linear(0, l) used to validate (0 % l == 0) and only
+  // fail later inside enqueueNDRange; both paths must report at creation.
+  EXPECT_THROW(NDRange::linear(0, 1), OclError);
+  EXPECT_THROW(NDRange::linear(0, 32), OclError);
+  EXPECT_THROW(NDRange::linear(0, 0), OclError);
+}
+
 TEST(OclRuntime, GridStrideCoversAllElementsWithFewWorkItems) {
   // 10 work-items, 1000 elements: the kernel's grid-stride loop must still
   // touch every element exactly once.
