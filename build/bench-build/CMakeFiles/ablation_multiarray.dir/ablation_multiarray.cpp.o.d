@@ -218,23 +218,26 @@ bench-build/CMakeFiles/ablation_multiarray.dir/ablation_multiarray.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/acoustics/geometry.hpp /root/repo/src/common/cli.hpp \
- /root/repo/src/ocl/device.hpp /root/repo/src/harness/launcher.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/codegen/kernel_codegen.hpp /usr/include/c++/12/sstream \
+ /root/repo/src/acoustics/geometry.hpp \
+ /root/repo/src/acoustics/step_profiler.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/memory/allocator.hpp \
- /root/repo/src/view/view.hpp /root/repo/src/ocl/runtime.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/cli.hpp \
+ /root/repo/src/ocl/device.hpp /root/repo/src/harness/launcher.hpp \
+ /usr/include/c++/12/variant /root/repo/src/codegen/kernel_codegen.hpp \
+ /root/repo/src/memory/allocator.hpp /root/repo/src/view/view.hpp \
+ /root/repo/src/ocl/runtime.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/aligned_buffer.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/error.hpp \
  /root/repo/src/common/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -266,5 +266,7 @@ bench-build/CMakeFiles/ablation_room_aspect.dir/ablation_room_aspect.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/ocl/device.hpp \
  /root/repo/src/ocl/jit.hpp /root/repo/src/lift_acoustics/kernels.hpp \
- /root/repo/src/harness/bench_common.hpp /root/repo/src/common/cli.hpp \
- /root/repo/src/harness/table.hpp
+ /root/repo/src/harness/bench_common.hpp \
+ /root/repo/src/acoustics/step_profiler.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/common/cli.hpp /root/repo/src/harness/table.hpp

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ref_step_scaling.cpp" "bench-build/CMakeFiles/ref_step_scaling.dir/ref_step_scaling.cpp.o" "gcc" "bench-build/CMakeFiles/ref_step_scaling.dir/ref_step_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lifta_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/lifta_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/geophys/CMakeFiles/lifta_geophys.dir/DependInfo.cmake"
+  "/root/repo/build/src/lift_acoustics/CMakeFiles/lifta_lift_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/lifta_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/acoustics/CMakeFiles/lifta_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lifta_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/lifta_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lifta_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lifta_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lifta_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lifta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

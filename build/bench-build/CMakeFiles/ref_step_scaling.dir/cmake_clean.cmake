@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ref_step_scaling"
+  "../bench/ref_step_scaling.pdb"
+  "CMakeFiles/ref_step_scaling.dir/ref_step_scaling.cpp.o"
+  "CMakeFiles/ref_step_scaling.dir/ref_step_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_step_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/acoustics/materials.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/materials.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/materials.cpp.o.d"
   "/root/repo/src/acoustics/reference_kernels.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o.d"
   "/root/repo/src/acoustics/simulation.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/simulation.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/simulation.cpp.o.d"
+  "/root/repo/src/acoustics/step_profiler.cpp" "src/acoustics/CMakeFiles/lifta_acoustics.dir/step_profiler.cpp.o" "gcc" "src/acoustics/CMakeFiles/lifta_acoustics.dir/step_profiler.cpp.o.d"
   )
 
 # Targets to which this target links.

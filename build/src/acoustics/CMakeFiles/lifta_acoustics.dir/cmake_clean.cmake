@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lifta_acoustics.dir/reference_kernels.cpp.o.d"
   "CMakeFiles/lifta_acoustics.dir/simulation.cpp.o"
   "CMakeFiles/lifta_acoustics.dir/simulation.cpp.o.d"
+  "CMakeFiles/lifta_acoustics.dir/step_profiler.cpp.o"
+  "CMakeFiles/lifta_acoustics.dir/step_profiler.cpp.o.d"
   "liblifta_acoustics.a"
   "liblifta_acoustics.pdb"
 )

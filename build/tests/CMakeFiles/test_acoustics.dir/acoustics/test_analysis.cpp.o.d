@@ -320,5 +320,17 @@ tests/CMakeFiles/test_acoustics.dir/acoustics/test_analysis.cpp.o: \
  /root/repo/src/acoustics/materials.hpp \
  /root/repo/src/acoustics/reference_kernels.hpp \
  /root/repo/src/acoustics/sim_params.hpp \
+ /root/repo/src/acoustics/step_profiler.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/aligned_buffer.hpp /usr/include/c++/12/cstring \
- /root/repo/src/common/error.hpp
+ /root/repo/src/common/error.hpp /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

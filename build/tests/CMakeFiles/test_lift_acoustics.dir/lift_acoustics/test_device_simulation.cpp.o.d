@@ -336,4 +336,6 @@ tests/CMakeFiles/test_lift_acoustics.dir/lift_acoustics/test_device_simulation.c
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/acoustics/simulation.hpp \
- /root/repo/src/acoustics/reference_kernels.hpp
+ /root/repo/src/acoustics/reference_kernels.hpp \
+ /root/repo/src/acoustics/step_profiler.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/chrono

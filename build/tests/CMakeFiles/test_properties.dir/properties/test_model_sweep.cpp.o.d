@@ -320,22 +320,25 @@ tests/CMakeFiles/test_properties.dir/properties/test_model_sweep.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/acoustics/step_profiler.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/aligned_buffer.hpp /usr/include/c++/12/cstring \
- /root/repo/src/common/error.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
  /root/repo/src/lift_acoustics/device_simulation.hpp \
  /root/repo/src/host/host_program.hpp \
  /root/repo/src/codegen/kernel_codegen.hpp \
  /root/repo/src/memory/allocator.hpp /root/repo/src/memory/kernel_def.hpp \
  /root/repo/src/ir/expr.hpp /root/repo/src/arith/expr.hpp \
  /root/repo/src/ir/type.hpp /root/repo/src/view/view.hpp \
- /root/repo/src/ocl/runtime.hpp /root/repo/src/common/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/ocl/device.hpp \
+ /root/repo/src/ocl/runtime.hpp /root/repo/src/ocl/device.hpp \
  /root/repo/src/ocl/jit.hpp
