@@ -1,0 +1,22 @@
+# Asserts that GCC's vectorizer report (written while compiling
+# reference_kernels.cpp with -fopt-info-vec-optimized=<file>) records at
+# least one vectorized loop — the build-level evidence that the
+# interior-run volume kernels' branch-free inner loops actually SIMD-ize.
+# Invoked as a ctest: cmake -DREPORT=<file> -P check_vec_report.cmake
+if(NOT DEFINED REPORT)
+  message(FATAL_ERROR "pass -DREPORT=<path to vectorizer report>")
+endif()
+if(NOT EXISTS "${REPORT}")
+  message(FATAL_ERROR
+          "vectorizer report not found: ${REPORT} (build lifta_acoustics "
+          "first; the report is emitted while compiling "
+          "reference_kernels.cpp)")
+endif()
+file(READ "${REPORT}" _report)
+string(FIND "${_report}" "loop vectorized" _pos)
+if(_pos EQUAL -1)
+  message(FATAL_ERROR
+          "no 'loop vectorized' remark in ${REPORT}: the reference volume "
+          "kernels no longer auto-vectorize")
+endif()
+message(STATUS "vectorized loops reported in ${REPORT}")

@@ -1,5 +1,11 @@
 #include "acoustics/geometry.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+
 #include "common/error.hpp"
 
 namespace lifta::acoustics {
@@ -82,6 +88,12 @@ std::size_t boxBoundaryCount(int nx, int ny, int nz) {
 RoomGrid voxelize(const Room& room, int numMaterials) {
   LIFTA_CHECK(room.nx >= 3 && room.ny >= 3 && room.nz >= 3,
               "room must be at least 3 cells in every dimension");
+  // boundaryIndices (and the generated kernels' flat indices) are int32;
+  // reject grids whose flat indices would overflow before allocating.
+  LIFTA_CHECK(
+      room.cells() <= static_cast<std::size_t>(
+                          std::numeric_limits<std::int32_t>::max()),
+      "grid has more cells than int32 flat indices can address");
   LIFTA_CHECK(numMaterials >= 1, "need at least one material");
 
   RoomGrid g;
@@ -124,7 +136,13 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
       }
     }
   }
-  // Pass 3: normalize counts and collect boundary points.
+  // Pass 3: normalize counts, collect boundary points, and build the
+  // interior-run plan. The scan visits cells in ascending flat-index order,
+  // so extending the open run while consecutive indices stay pure-interior
+  // yields exactly the maximal contiguous nbr==6 runs (halo cells between
+  // rows have nbr==0 and break every run at the row end).
+  auto& plan = g.interiorRuns;
+  std::int64_t runEnd = -1;  // one past the last cell of the open run
   for (int z = 1; z <= room.nz - 2; ++z) {
     for (int y = 1; y <= room.ny - 2; ++y) {
       for (int x = 1; x <= room.nx - 2; ++x) {
@@ -132,6 +150,17 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
         if (g.nbrs[idx] == 0) continue;
         const int count = g.nbrs[idx] - 8;
         g.nbrs[idx] = count;
+        if (count == 6) {
+          const auto i64 = static_cast<std::int64_t>(idx);
+          if (i64 == runEnd) {
+            ++plan.runLen.back();
+          } else {
+            plan.runBegin.push_back(i64);
+            plan.runLen.push_back(1);
+          }
+          runEnd = i64 + 1;
+          ++plan.interiorCells;
+        }
         if (count < 6) {
           g.boundaryIndices.push_back(static_cast<std::int32_t>(idx));
           g.boundaryNbr.push_back(count);
@@ -146,6 +175,52 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
     }
   }
   return g;
+}
+
+std::shared_ptr<const RoomGrid> voxelizeCached(const Room& room,
+                                               int numMaterials) {
+  using Key = std::tuple<int, int, int, int, int>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const RoomGrid>> cache;
+  const Key key{static_cast<int>(room.shape), room.nx, room.ny, room.nz,
+                numMaterials};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Voxelize outside the lock; a racing duplicate just loses the insert.
+  auto grid =
+      std::make_shared<const RoomGrid>(voxelize(room, numMaterials));
+  std::lock_guard<std::mutex> lock(mu);
+  return cache.emplace(key, std::move(grid)).first->second;
+}
+
+VolumeSegmentTable buildVolumeSegments(const RoomGrid& grid, int width) {
+  LIFTA_CHECK(width >= 1, "segment width must be >= 1");
+  LIFTA_CHECK(width <= grid.nx * grid.ny,
+              "segment width must not exceed one z plane");
+  VolumeSegmentTable table;
+  table.width = width;
+  const std::int64_t cells = static_cast<std::int64_t>(grid.cells());
+  for (std::int64_t start = 0; start < cells; start += width) {
+    const std::int64_t scanEnd = std::min(cells, start + width);
+    bool hasInside = false;
+    bool allInterior = true;
+    for (std::int64_t idx = start; idx < scanEnd; ++idx) {
+      const std::int32_t nbr = grid.nbrs[static_cast<std::size_t>(idx)];
+      if (nbr > 0) hasInside = true;
+      if (nbr != 6) allInterior = false;
+    }
+    if (!hasInside) continue;
+    // An inside cell never lies in the top halo plane, so its window fits.
+    LIFTA_CHECK(start + width <= cells,
+                "segment window with inside cells exceeds the grid");
+    allInterior = allInterior && scanEnd == start + width;
+    table.start.push_back(static_cast<std::int32_t>(start));
+    table.kind.push_back(allInterior ? 0 : 1);
+  }
+  return table;
 }
 
 }  // namespace lifta::acoustics

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,22 @@ struct Room {
 /// The paper's three room sizes (Table II).
 std::vector<Room> paperRooms(RoomShape shape);
 
+/// Interior-run execution plan: the maximal contiguous runs of
+/// pure-interior cells (nbr == 6), in ascending flat-index order, computed
+/// once at voxelization time. Volume kernels that consume the plan touch
+/// interior cells with a branch-free, nbrs-free inner loop (the compiler
+/// can vectorize the 7-point stencil over a run) and handle the residual
+/// boundary-adjacent cells — exactly the grid's boundaryIndices — with the
+/// generic lookup formula. Runs never cross a grid row: the halo breaks
+/// flat-index contiguity at every row end.
+struct InteriorRunPlan {
+  std::vector<std::int64_t> runBegin;  // flat cell index of each run start
+  std::vector<std::int32_t> runLen;    // cells per run (>= 1)
+  std::size_t interiorCells = 0;       // sum of runLen
+
+  std::size_t runs() const { return runBegin.size(); }
+};
+
 /// Precomputed boundary description.
 struct RoomGrid {
   int nx = 0, ny = 0, nz = 0;
@@ -60,6 +77,7 @@ struct RoomGrid {
   std::vector<std::int32_t> boundaryIndices;  // ascending cell indices
   std::vector<std::int32_t> boundaryNbr;      // nbr per boundary point
   std::vector<std::int32_t> material;         // material id per boundary point
+  InteriorRunPlan interiorRuns;               // nbr == 6 cells as maximal runs
   std::size_t insideCells = 0;
 
   std::size_t cells() const {
@@ -72,6 +90,31 @@ struct RoomGrid {
 /// `numMaterials` ids by horizontal bands (floor→ceiling), a deterministic
 /// stand-in for the per-surface material maps of real room models.
 RoomGrid voxelize(const Room& room, int numMaterials = 1);
+
+/// Memoized voxelize: repeated configs (same shape, dims and material
+/// count — the key a bench sweep revisits) share one immutable grid
+/// instead of re-voxelizing. Thread-safe; entries live for the process.
+std::shared_ptr<const RoomGrid> voxelizeCached(const Room& room,
+                                               int numMaterials = 1);
+
+/// Fixed-width form of the interior-run plan for the generated run-table
+/// volume kernel: the flat grid is cut into `width`-aligned windows and
+/// every window containing at least one inside cell becomes a segment.
+/// kind 0 = all `width` cells are pure interior (nbr == 6), so the kernel
+/// body is branch-free; kind 1 = mixed, per-cell nbrs test. All-outside
+/// windows are dropped entirely — the device pressure buffers hold zeros
+/// there and no kernel ever writes them. `width` must be <= nx*ny: the top
+/// halo plane contains no inside cells, so every emitted segment's full
+/// window [start, start+width) fits inside the grid.
+struct VolumeSegmentTable {
+  std::vector<std::int32_t> start;  // first cell of each segment window
+  std::vector<std::int32_t> kind;   // 0 = pure interior, 1 = mixed
+  int width = 0;
+
+  std::size_t segments() const { return start.size(); }
+};
+
+VolumeSegmentTable buildVolumeSegments(const RoomGrid& grid, int width);
 
 /// Closed-form boundary-point count for a box interior of (nx,ny,nz) grid
 /// dims including halo: X*Y*Z - (X-2)*(Y-2)*(Z-2) with X = nx-2 etc.

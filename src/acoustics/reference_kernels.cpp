@@ -8,12 +8,13 @@ template <typename T>
 void refFusedFiBoxSlab(const T* prev, const T* curr, T* next, int nx, int ny,
                        int nz, int z0, int z1, T l, T l2, T beta) {
   // Listing 1, kept line-for-line: analytic nbr, fused boundary handling.
+  // The flat index is a row base advanced by one per x iteration; the same
+  // integer value as z*nx*ny + (y*nx + x), without the per-cell multiplies.
   for (int z = z0; z < z1; ++z) {
     for (int y = 0; y < ny; ++y) {
-      for (int x = 0; x < nx; ++x) {
-        const std::int64_t idx =
-            static_cast<std::int64_t>(z) * nx * ny +
-            (static_cast<std::int64_t>(y) * nx + x);
+      std::int64_t idx = static_cast<std::int64_t>(z) * nx * ny +
+                         static_cast<std::int64_t>(y) * nx;
+      for (int x = 0; x < nx; ++x, ++idx) {
         int nbr = (x == 1 ? 0 : 1) + (y == 1 ? 0 : 1) + (z == 1 ? 0 : 1) +
                   (x == nx - 2 ? 0 : 1) + (y == ny - 2 ? 0 : 1) +
                   (z == nz - 2 ? 0 : 1);
@@ -102,6 +103,88 @@ template <typename T>
 void refVolume(const std::int32_t* nbrs, const T* prev, const T* curr,
                T* next, int nx, int ny, int nz, T l2) {
   refVolumeSlab(nbrs, prev, curr, next, nx, ny, 0, nz, l2);
+}
+
+template <typename T>
+void refVolumeRunsRange(const std::int64_t* runBegin,
+                        const std::int32_t* runLen, std::size_t r0,
+                        std::size_t r1, const T* prev, const T* curr, T* next,
+                        int nx, int ny, T l2) {
+  const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+  // Every cell of a run has nbr == 6, so the per-cell coefficient is the
+  // loop-invariant 2 - l2*6 — T(6) is exact, the subtraction and multiply
+  // are the same operations as (2 - l2*nbr) at nbr = 6: identical bits.
+  const T c0 = T(2.0) - l2 * T(6);
+  const T* __restrict p = prev;
+  const T* __restrict c = curr;
+  T* __restrict n = next;
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::int64_t begin = runBegin[r];
+    const std::int64_t end = begin + runLen[r];
+    for (std::int64_t idx = begin; idx < end; ++idx) {
+      const T s = c[idx - 1] + c[idx + 1] + c[idx - nx] + c[idx + nx] +
+                  c[idx - plane] + c[idx + plane];
+      n[idx] = c0 * c[idx] + l2 * s - p[idx];
+    }
+  }
+}
+
+template <typename T>
+void refVolumeResidualRange(const std::int32_t* boundaryIndices,
+                            const std::int32_t* boundaryNbr, std::int64_t i0,
+                            std::int64_t i1, const T* prev, const T* curr,
+                            T* next, int nx, int ny, T l2) {
+  const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::int64_t idx = boundaryIndices[i];
+    const int nbr = boundaryNbr[i];
+    const T s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                curr[idx + nx] + curr[idx - plane] + curr[idx + plane];
+    next[idx] = (T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s - prev[idx];
+  }
+}
+
+template <typename T>
+void refFusedFiResidualRange(const std::int32_t* boundaryIndices,
+                             const std::int32_t* boundaryNbr, std::int64_t i0,
+                             std::int64_t i1, const T* prev, const T* curr,
+                             T* next, int nx, int ny, T l, T l2, T beta) {
+  const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::int64_t idx = boundaryIndices[i];
+    const int nbr = boundaryNbr[i];
+    const T s = curr[idx - 1] + curr[idx + 1] + curr[idx - nx] +
+                curr[idx + nx] + curr[idx - plane] + curr[idx + plane];
+    const T cf = T(0.5) * l * T(6 - nbr) * beta;
+    next[idx] = ((T(2.0) - l2 * T(nbr)) * curr[idx] + l2 * s +
+                 (cf - T(1.0)) * prev[idx]) /
+                (T(1.0) + cf);
+  }
+}
+
+template <typename T>
+void refVolumeRuns(const std::int64_t* runBegin, const std::int32_t* runLen,
+                   std::size_t numRuns, const std::int32_t* boundaryIndices,
+                   const std::int32_t* boundaryNbr,
+                   std::int64_t numBoundaryPoints, const T* prev,
+                   const T* curr, T* next, int nx, int ny, T l2) {
+  refVolumeRunsRange(runBegin, runLen, 0, numRuns, prev, curr, next, nx, ny,
+                     l2);
+  refVolumeResidualRange(boundaryIndices, boundaryNbr, 0, numBoundaryPoints,
+                         prev, curr, next, nx, ny, l2);
+}
+
+template <typename T>
+void refFusedFiRuns(const std::int64_t* runBegin, const std::int32_t* runLen,
+                    std::size_t numRuns, const std::int32_t* boundaryIndices,
+                    const std::int32_t* boundaryNbr,
+                    std::int64_t numBoundaryPoints, const T* prev,
+                    const T* curr, T* next, int nx, int ny, T l, T l2,
+                    T beta) {
+  refVolumeRunsRange(runBegin, runLen, 0, numRuns, prev, curr, next, nx, ny,
+                     l2);
+  refFusedFiResidualRange(boundaryIndices, boundaryNbr, 0, numBoundaryPoints,
+                          prev, curr, next, nx, ny, l, l2, beta);
 }
 
 template <typename T>
@@ -220,6 +303,26 @@ void refFdMmBoundary(const std::int32_t* boundaryIndices,
                              int, int, int, T);                               \
   template void refVolumeSlab<T>(const std::int32_t*, const T*, const T*,     \
                                  T*, int, int, int, int, T);                  \
+  template void refVolumeRunsRange<T>(const std::int64_t*,                    \
+                                      const std::int32_t*, std::size_t,       \
+                                      std::size_t, const T*, const T*, T*,    \
+                                      int, int, T);                           \
+  template void refVolumeResidualRange<T>(const std::int32_t*,                \
+                                          const std::int32_t*, std::int64_t,  \
+                                          std::int64_t, const T*, const T*,   \
+                                          T*, int, int, T);                   \
+  template void refFusedFiResidualRange<T>(                                   \
+      const std::int32_t*, const std::int32_t*, std::int64_t, std::int64_t,   \
+      const T*, const T*, T*, int, int, T, T, T);                             \
+  template void refVolumeRuns<T>(const std::int64_t*, const std::int32_t*,    \
+                                 std::size_t, const std::int32_t*,            \
+                                 const std::int32_t*, std::int64_t, const T*, \
+                                 const T*, T*, int, int, T);                  \
+  template void refFusedFiRuns<T>(const std::int64_t*, const std::int32_t*,   \
+                                  std::size_t, const std::int32_t*,           \
+                                  const std::int32_t*, std::int64_t,          \
+                                  const T*, const T*, T*, int, int, T, T,     \
+                                  T);                                         \
   template void refFiBoundary<T>(const std::int32_t*, const std::int32_t*,    \
                                  const T*, T*, std::int64_t, T, T);           \
   template void refFiBoundaryRange<T>(const std::int32_t*,                    \

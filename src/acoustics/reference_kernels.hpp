@@ -16,6 +16,7 @@
 // construction since boundaryIndices holds unique cells).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace lifta::acoustics {
@@ -52,6 +53,62 @@ void refVolume(const std::int32_t* nbrs, const T* prev, const T* curr,
 template <typename T>
 void refVolumeSlab(const std::int32_t* nbrs, const T* prev, const T* curr,
                    T* next, int nx, int ny, int z0, int z1, T l2);
+
+// ---- Interior-run kernels ------------------------------------------------
+//
+// These consume the InteriorRunPlan built at voxelization time instead of
+// branching on nbrs per cell. Pure-interior cells (nbr == 6) are updated by
+// a branch-free, nbrs-free inner loop over each run — the per-cell
+// coefficient (2 - l2*nbr) collapses to the loop-invariant 2 - l2*6, the
+// same operations in the same order, so the compiler can vectorize the
+// 7-point stencil while the result stays bit-identical to the lookup
+// kernels. The residual boundary-adjacent cells (exactly the grid's
+// boundaryIndices) are updated by the matching per-cell formula of the
+// lookup kernel they replace. Ranged forms exist for the same reason as
+// the *Slab/*Range forms above: disjoint partitions reproduce the
+// full-grid result bit-for-bit.
+
+/// Branch-free interior update over runs r in [r0, r1) of the plan.
+template <typename T>
+void refVolumeRunsRange(const std::int64_t* runBegin,
+                        const std::int32_t* runLen, std::size_t r0,
+                        std::size_t r1, const T* prev, const T* curr, T* next,
+                        int nx, int ny, T l2);
+
+/// Generic-volume residual: boundary cells i in [i0, i1) get the Listing 2
+/// volume formula (2 - l2*nbr)*curr + l2*s - prev, as refVolumeSlab does.
+template <typename T>
+void refVolumeResidualRange(const std::int32_t* boundaryIndices,
+                            const std::int32_t* boundaryNbr, std::int64_t i0,
+                            std::int64_t i1, const T* prev, const T* curr,
+                            T* next, int nx, int ny, T l2);
+
+/// Fused-FI residual: boundary cells i in [i0, i1) get the Listing 1 fused
+/// boundary formula, as refFusedFiLookupSlab does for nbr < 6.
+template <typename T>
+void refFusedFiResidualRange(const std::int32_t* boundaryIndices,
+                             const std::int32_t* boundaryNbr, std::int64_t i0,
+                             std::int64_t i1, const T* prev, const T* curr,
+                             T* next, int nx, int ny, T l, T l2, T beta);
+
+/// Full-grid run-plan form of refVolume: interior runs + generic residual.
+/// Bit-identical to refVolume on any voxelized grid.
+template <typename T>
+void refVolumeRuns(const std::int64_t* runBegin, const std::int32_t* runLen,
+                   std::size_t numRuns, const std::int32_t* boundaryIndices,
+                   const std::int32_t* boundaryNbr,
+                   std::int64_t numBoundaryPoints, const T* prev,
+                   const T* curr, T* next, int nx, int ny, T l2);
+
+/// Full-grid run-plan form of refFusedFiLookup: interior runs + fused-FI
+/// residual. Bit-identical to refFusedFiLookup on any voxelized grid.
+template <typename T>
+void refFusedFiRuns(const std::int64_t* runBegin, const std::int32_t* runLen,
+                    std::size_t numRuns, const std::int32_t* boundaryIndices,
+                    const std::int32_t* boundaryNbr,
+                    std::int64_t numBoundaryPoints, const T* prev,
+                    const T* curr, T* next, int nx, int ny, T l, T l2,
+                    T beta);
 
 /// Listing 2, kernel 2: single-material boundary absorption, in place.
 template <typename T>

@@ -10,6 +10,16 @@
 
 namespace lifta::acoustics {
 
+/// How the reference stepper executes the volume phase.
+enum class VolumePath {
+  /// Interior-run plan: branch-free SIMD-friendly loops over the maximal
+  /// nbr==6 runs plus a residual pass over the boundary cells.
+  /// Bit-identical to Lookup on every grid.
+  Runs,
+  /// The listings' per-cell nbrs lookup with data-dependent branches.
+  Lookup,
+};
+
 struct SimParams {
   double c = 344.0;           // speed of sound, m/s
   double sampleRate = 44100;  // Hz
@@ -23,8 +33,11 @@ struct SimParams {
   /// 0 = share the process-wide pool (hardware concurrency); 1 = serial
   /// (never touches a thread pool); N > 1 = private pool of N threads.
   int threads = 0;
-  /// Number of z-slabs per volume tile handed to one pool chunk.
+  /// Number of z-slabs per volume tile handed to one pool chunk
+  /// (Lookup path only; the Runs path partitions runs, not slabs).
   int tileZ = 4;
+  /// Volume-phase execution plan; Runs and Lookup are bit-identical.
+  VolumePath volumePath = VolumePath::Runs;
 
   double Ts() const { return 1.0 / sampleRate; }
   /// Grid spacing implied by c, Ts and lambda.

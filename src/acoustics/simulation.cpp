@@ -29,7 +29,7 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
                 "FD-MM needs 1..kMaxBranches ODE branches");
   }
 
-  grid_ = voxelize(config_.room, config_.numMaterials);
+  grid_ = voxelizeCached(config_.room, config_.numMaterials);
 
   LIFTA_CHECK(config_.params.threads >= 0, "params.threads must be >= 0");
   LIFTA_CHECK(config_.params.tileZ >= 1, "params.tileZ must be >= 1");
@@ -54,7 +54,7 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
   for (double v : fd_.DI) di_.push_back(static_cast<T>(v));
   for (double v : fd_.F) f_.push_back(static_cast<T>(v));
 
-  const std::size_t cells = grid_.cells();
+  const std::size_t cells = grid_->cells();
   bufA_.reset(cells);
   bufB_.reset(cells);
   bufC_.reset(cells);
@@ -64,7 +64,7 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
 
   if (config_.model == BoundaryModel::FdMm) {
     const std::size_t stateLen =
-        static_cast<std::size_t>(config_.numBranches) * grid_.boundaryPoints();
+        static_cast<std::size_t>(config_.numBranches) * grid_->boundaryPoints();
     g1_.reset(stateLen);
     velA_.reset(stateLen);
     velB_.reset(stateLen);
@@ -86,7 +86,7 @@ std::size_t Simulation<T>::threadsUsed() const {
 
 template <typename T>
 void Simulation<T>::forEachSlab(const std::function<void(int, int)>& fn) {
-  const int nz = grid_.nz;
+  const int nz = grid_->nz;
   if (!pool_) {
     fn(0, nz);
     return;
@@ -106,7 +106,7 @@ void Simulation<T>::forEachSlab(const std::function<void(int, int)>& fn) {
 template <typename T>
 void Simulation<T>::forEachBoundaryRange(
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+  const auto numB = static_cast<std::int64_t>(grid_->boundaryPoints());
   if (!pool_) {
     fn(0, numB);
     return;
@@ -120,18 +120,61 @@ void Simulation<T>::forEachBoundaryRange(
 }
 
 template <typename T>
+void Simulation<T>::forEachRunRange(
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t numRuns = grid_->interiorRuns.runs();
+  if (!pool_) {
+    fn(0, numRuns);
+    return;
+  }
+  // Runs are disjoint cell ranges, so a chunked partition of the run list
+  // writes disjoint cells: race-free and bit-identical to the serial scan.
+  pool_->parallelForChunked(numRuns,
+                            [&](std::size_t b, std::size_t e) { fn(b, e); });
+}
+
+template <typename T>
 void Simulation<T>::stepVolume(T l, T l2) {
-  const int nx = grid_.nx;
-  const int ny = grid_.ny;
-  if (config_.model == BoundaryModel::FusedFi) {
+  const int nx = grid_->nx;
+  const int ny = grid_->ny;
+  const bool fused = config_.model == BoundaryModel::FusedFi;
+
+  if (config_.params.volumePath == VolumePath::Runs) {
+    // Interior-run plan: branch-free vectorizable loops over the nbr==6
+    // runs, then the residual boundary-adjacent cells with the per-cell
+    // formula of the lookup kernel this path replaces. Interior and
+    // residual cells are disjoint and both read only prev/curr, so the
+    // two passes commute with each other and with any partition.
+    const auto& plan = grid_->interiorRuns;
+    forEachRunRange([&](std::size_t r0, std::size_t r1) {
+      refVolumeRunsRange(plan.runBegin.data(), plan.runLen.data(), r0, r1,
+                         prev_, curr_, next_, nx, ny, l2);
+    });
+    if (fused) {
+      forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
+        refFusedFiResidualRange(grid_->boundaryIndices.data(),
+                                grid_->boundaryNbr.data(), i0, i1, prev_,
+                                curr_, next_, nx, ny, l, l2, beta_[0]);
+      });
+    } else {
+      forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
+        refVolumeResidualRange(grid_->boundaryIndices.data(),
+                               grid_->boundaryNbr.data(), i0, i1, prev_,
+                               curr_, next_, nx, ny, l2);
+      });
+    }
+    return;
+  }
+
+  if (fused) {
     forEachSlab([&](int z0, int z1) {
-      refFusedFiLookupSlab(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, z0,
+      refFusedFiLookupSlab(grid_->nbrs.data(), prev_, curr_, next_, nx, ny, z0,
                            z1, l, l2, beta_[0]);
     });
     return;
   }
   forEachSlab([&](int z0, int z1) {
-    refVolumeSlab(grid_.nbrs.data(), prev_, curr_, next_, nx, ny, z0, z1, l2);
+    refVolumeSlab(grid_->nbrs.data(), prev_, curr_, next_, nx, ny, z0, z1, l2);
   });
 }
 
@@ -143,23 +186,23 @@ void Simulation<T>::stepBoundary(T l, std::int64_t numB) {
 
     case BoundaryModel::FiSplit:
       forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
-        refFiBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
+        refFiBoundaryRange(grid_->boundaryIndices.data(), grid_->nbrs.data(),
                            prev_, next_, i0, i1, l, beta_[0]);
       });
       break;
 
     case BoundaryModel::FiMm:
       forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
-        refFiMmBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
-                             grid_.material.data(), beta_.data(), prev_,
+        refFiMmBoundaryRange(grid_->boundaryIndices.data(), grid_->nbrs.data(),
+                             grid_->material.data(), beta_.data(), prev_,
                              next_, i0, i1, l);
       });
       break;
 
     case BoundaryModel::FdMm:
       forEachBoundaryRange([&](std::int64_t i0, std::int64_t i1) {
-        refFdMmBoundaryRange(grid_.boundaryIndices.data(), grid_.nbrs.data(),
-                             grid_.material.data(), beta_.data(), bi_.data(),
+        refFdMmBoundaryRange(grid_->boundaryIndices.data(), grid_->nbrs.data(),
+                             grid_->material.data(), beta_.data(), bi_.data(),
                              d_.data(), di_.data(), f_.data(),
                              config_.numBranches, prev_, next_, g1_.data(),
                              v1_, v2_, numB, i0, i1, l);
@@ -173,7 +216,7 @@ template <typename T>
 void Simulation<T>::step() {
   const T l = static_cast<T>(config_.params.l());
   const T l2 = static_cast<T>(config_.params.l2());
-  const auto numB = static_cast<std::int64_t>(grid_.boundaryPoints());
+  const auto numB = static_cast<std::int64_t>(grid_->boundaryPoints());
   const bool profiled = profiler_.enabled();
 
   Timer timer;
@@ -189,7 +232,7 @@ void Simulation<T>::step() {
           ? timer.milliseconds()
           : 0.0;
 
-  if (profiled) profiler_.recordStep(volumeMs, boundaryMs, grid_.cells());
+  if (profiled) profiler_.recordStep(volumeMs, boundaryMs, grid_->cells());
 
   // Rotate pressure buffers: prev <- curr <- next <- (old prev storage).
   T* oldPrev = prev_;
@@ -218,7 +261,7 @@ T Simulation<T>::sample(int x, int y, int z) const {
 template <typename T>
 double Simulation<T>::energy() const {
   double sum = 0.0;
-  const std::size_t cells = grid_.cells();
+  const std::size_t cells = grid_->cells();
   for (std::size_t i = 0; i < cells; ++i) {
     sum += static_cast<double>(curr_[i]) * static_cast<double>(curr_[i]);
   }
@@ -228,7 +271,7 @@ double Simulation<T>::energy() const {
 template <typename T>
 double Simulation<T>::maxAbs() const {
   double m = 0.0;
-  const std::size_t cells = grid_.cells();
+  const std::size_t cells = grid_->cells();
   for (std::size_t i = 0; i < cells; ++i) {
     m = std::max(m, std::fabs(static_cast<double>(curr_[i])));
   }

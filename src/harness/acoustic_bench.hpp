@@ -52,16 +52,16 @@ public:
   AcousticBench(ocl::Context& ctx, const acoustics::Room& room,
                 int numMaterials, int branches, std::uint64_t seed = 42)
       : ctx_(ctx), q_(ctx), branches_(branches) {
-    grid_ = acoustics::voxelize(room, numMaterials);
+    grid_ = acoustics::voxelizeCached(room, numMaterials);
     const auto mats = acoustics::defaultMaterials(numMaterials, branches);
     const auto fd =
         acoustics::deriveFdCoeffs(mats, branches, params_.Ts());
 
     Rng rng(seed);
-    const std::size_t cells = grid_.cells();
+    const std::size_t cells = grid_->cells();
     std::vector<T> prev(cells, T(0)), curr(cells, T(0)), next(cells, T(0));
     for (std::size_t i = 0; i < cells; ++i) {
-      if (grid_.nbrs[i] > 0) {
+      if (grid_->nbrs[i] > 0) {
         prev[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
         curr[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
       }
@@ -73,7 +73,7 @@ public:
     for (double v : fd.DI) di.push_back(static_cast<T>(v));
     for (double v : fd.F) f.push_back(static_cast<T>(v));
     const std::size_t stateLen =
-        static_cast<std::size_t>(branches) * grid_.boundaryPoints();
+        static_cast<std::size_t>(branches) * grid_->boundaryPoints();
     std::vector<T> g1(stateLen, T(0)), v1(stateLen, T(0)), v2(stateLen, T(0));
     for (std::size_t i = 0; i < stateLen; ++i) {
       g1[i] = static_cast<T>(rng.uniform(-0.01, 0.01));
@@ -83,9 +83,9 @@ public:
     prev_ = upload(ctx_, q_, prev);
     curr_ = upload(ctx_, q_, curr);
     next_ = upload(ctx_, q_, next);
-    nbrs_ = upload(ctx_, q_, grid_.nbrs);
-    bidx_ = upload(ctx_, q_, grid_.boundaryIndices);
-    mat_ = upload(ctx_, q_, grid_.material);
+    nbrs_ = upload(ctx_, q_, grid_->nbrs);
+    bidx_ = upload(ctx_, q_, grid_->boundaryIndices);
+    mat_ = upload(ctx_, q_, grid_->material);
     beta_ = upload(ctx_, q_, beta);
     bi_ = upload(ctx_, q_, bi);
     d_ = upload(ctx_, q_, d);
@@ -96,9 +96,9 @@ public:
     v2_ = upload(ctx_, q_, v2);
   }
 
-  std::size_t cells() const { return grid_.cells(); }
-  std::size_t boundaryPoints() const { return grid_.boundaryPoints(); }
-  const acoustics::RoomGrid& grid() const { return grid_; }
+  std::size_t cells() const { return grid_->cells(); }
+  std::size_t boundaryPoints() const { return grid_->boundaryPoints(); }
+  const acoustics::RoomGrid& grid() const { return *grid_; }
 
   BoundKernel volume(Impl impl, std::size_t local) {
     constexpr auto rk = realKindOf<T>();
@@ -256,13 +256,13 @@ public:
   }
 
 private:
-  int nx() const { return grid_.nx; }
-  int nxny() const { return grid_.nx * grid_.ny; }
-  int cellsI() const { return static_cast<int>(grid_.cells()); }
-  int numBI() const { return static_cast<int>(grid_.boundaryPoints()); }
+  int nx() const { return grid_->nx; }
+  int nxny() const { return grid_->nx * grid_->ny; }
+  int cellsI() const { return static_cast<int>(grid_->cells()); }
+  int numBI() const { return static_cast<int>(grid_->boundaryPoints()); }
   int numMaterialsI() const {
     int maxId = 0;
-    for (int id : grid_.material) maxId = std::max(maxId, id);
+    for (int id : grid_->material) maxId = std::max(maxId, id);
     return maxId + 1;
   }
   T l() const { return static_cast<T>(params_.l()); }
@@ -273,7 +273,7 @@ private:
 
   ocl::Context& ctx_;
   ocl::CommandQueue q_;
-  acoustics::RoomGrid grid_;
+  std::shared_ptr<const acoustics::RoomGrid> grid_;
   acoustics::SimParams params_;
   int branches_ = 0;
   ocl::BufferPtr prev_, curr_, next_, nbrs_, bidx_, mat_, beta_;

@@ -1,5 +1,7 @@
 #include "lift_acoustics/device_simulation.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "lift_acoustics/kernels.hpp"
 
@@ -18,6 +20,10 @@ struct DeviceSimulation::Impl {
   std::vector<double> beta, bi, d, di, f, g1, v1, v2;
   std::vector<float> betaF, biF, dF, diF, fF, g1F, v1F, v2F;
   std::vector<std::int32_t> nbrs, bidx, mat;
+  std::vector<std::int32_t> segStart, segKind;  // run-table variant only
+  std::vector<double> nextZero;                 // initial zero "next" upload
+  std::vector<float> nextZeroF;
+  int segWidth = 0;
   bool uploaded = false;
 };
 
@@ -33,12 +39,19 @@ std::vector<float> toF(const std::vector<double>& v) {
   return std::vector<float>(v.begin(), v.end());
 }
 
+/// Window width for the run-table volume kernel. Clamped to one z plane
+/// per buildVolumeSegments' contract; 64 cells amortizes the per-segment
+/// dispatch while keeping most windows pure interior on bench grids.
+constexpr int kSegmentWidth = 64;
+
 }  // namespace
 
 DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
   LIFTA_CHECK(config_.params.stable(), "Courant number exceeds the limit");
-  grid_ = acoustics::voxelize(config_.room, config_.numMaterials);
+  LIFTA_CHECK(!(config_.useStencil3DVolume && config_.useRunTableVolume),
+              "pick one volume kernel variant");
+  grid_ = acoustics::voxelizeCached(config_.room, config_.numMaterials);
   const auto mats =
       config_.materials.empty()
           ? acoustics::defaultMaterials(
@@ -50,7 +63,7 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
       config_.params.Ts());
 
   Impl& im = *impl_;
-  const std::size_t cells = grid_.cells();
+  const std::size_t cells = grid_->cells();
   im.curr.assign(cells, 0.0);
   im.prev.assign(cells, 0.0);
   im.next.assign(cells, 0.0);
@@ -63,13 +76,13 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
       (config_.model == DeviceModel::FdMm
            ? static_cast<std::size_t>(config_.numBranches)
            : 0) *
-      grid_.boundaryPoints();
+      grid_->boundaryPoints();
   im.g1.assign(stateLen, 0.0);
   im.v1.assign(stateLen, 0.0);
   im.v2.assign(stateLen, 0.0);
-  im.nbrs = grid_.nbrs;
-  im.bidx = grid_.boundaryIndices;
-  im.mat = grid_.material;
+  im.nbrs = grid_->nbrs;
+  im.bidx = grid_->boundaryIndices;
+  im.mat = grid_->material;
 
   // --- Listing 5 host program --------------------------------------------
   auto& prog = im.prog;
@@ -87,7 +100,30 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
   auto betaG = prog.toGPU(prog.hostParam("beta_h"));
 
   host::KernelSpec volume;
-  if (config_.useStencil3DVolume) {
+  host::HostPtr volNode;
+  if (config_.useRunTableVolume) {
+    // Lower the interior-run plan to a fixed-width segment table uploaded
+    // once; the kernel writes only segment windows, so `next` must be a
+    // real (zero-filled, rotating) device buffer rather than the kernel's
+    // implicit output — cells outside every segment keep their zeros.
+    const auto segs = acoustics::buildVolumeSegments(
+        *grid_, std::min(kSegmentWidth, grid_->nx * grid_->ny));
+    im.segStart = segs.start;
+    im.segKind = segs.kind;
+    im.segWidth = segs.width;
+    prog.declareScalar("numSeg", host::ScalarType::Int);
+    prog.declareScalar("segW", host::ScalarType::Int);
+    auto segStartG = prog.toGPU(prog.hostParam("segstart_h"));
+    auto segKindG = prog.toGPU(prog.hostParam("segkind_h"));
+    im.nextG = prog.toGPU(prog.hostParam("next0_h"));
+    volume.def = liftVolumeRunsKernel(config_.precision);
+    volume.args = {{im.prev2G, ""},     {im.prev1G, ""},     {nbrsG, ""},
+                   {segStartG, ""},     {segKindG, ""},      {im.nextG, ""},
+                   {nullptr, "nx"},     {nullptr, "nxny"},   {nullptr, "cells"},
+                   {nullptr, "numSeg"}, {nullptr, "segW"},   {nullptr, "l2"}};
+    volume.launchCountScalar = "numSeg";
+    volNode = prog.writeTo(im.nextG, prog.kernelCall(volume));
+  } else if (config_.useStencil3DVolume) {
     volume.def = liftVolumeStencil3DKernel(config_.precision);
     volume.args = {{im.prev2G, ""},  {im.prev1G, ""},  {nbrsG, ""},
                    {nullptr, "nx"},  {nullptr, "ny"},  {nullptr, "nz"},
@@ -95,20 +131,23 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     // The Listing-6 kernel parallelizes over z planes.
     volume.launchCountScalar = "nz";
     volume.localSize = 1;
+    im.nextG = prog.kernelCall(volume);
+    volNode = im.nextG;
   } else {
     volume.def = liftVolumeKernel(config_.precision);
     volume.args = {{im.prev2G, ""},    {im.prev1G, ""},   {nbrsG, ""},
                    {nullptr, "nx"},    {nullptr, "nxny"}, {nullptr, "cells"},
                    {nullptr, "l2"}};
     volume.launchCountScalar = "cells";
+    im.nextG = prog.kernelCall(volume);
+    volNode = im.nextG;
   }
-  im.nextG = prog.kernelCall(volume);
 
   host::KernelSpec boundary;
   if (config_.model == DeviceModel::FiMm) {
     boundary.def = liftFiMmKernel(config_.precision);
     boundary.args = {{boundG, ""},       {matG, ""},        {nbrsG, ""},
-                     {betaG, ""},        {im.nextG, ""},    {im.prev2G, ""},
+                     {betaG, ""},        {volNode, ""},     {im.prev2G, ""},
                      {nullptr, "cells"}, {nullptr, "numB"}, {nullptr, "M"},
                      {nullptr, "l"}};
   } else {
@@ -122,13 +161,13 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     boundary.def = liftFdMmKernel(config_.precision, config_.numBranches);
     boundary.args = {{boundG, ""},   {matG, ""},     {nbrsG, ""},
                      {betaG, ""},    {biG, ""},      {dG, ""},
-                     {diG, ""},      {fG, ""},       {im.nextG, ""},
+                     {diG, ""},      {fG, ""},       {volNode, ""},
                      {im.prev2G, ""}, {g1G, ""},     {im.v1G, ""},
                      {im.v2G, ""},   {nullptr, "cells"}, {nullptr, "numB"},
                      {nullptr, "M"}, {nullptr, "l"}};
   }
   boundary.launchCountScalar = "numB";
-  auto updated = prog.writeTo(im.nextG, prog.kernelCall(boundary));
+  auto updated = prog.writeTo(volNode, prog.kernelCall(boundary));
   // The output copy-back is on demand via sample(); bind next as output so
   // the ToHost transfer lands in im.next each run.
   prog.toHost(updated, "next_h");
@@ -175,12 +214,25 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
       bindVec(c, "v2_h", im.v2F);
     }
   }
-  c.setInt("nx", grid_.nx);
-  c.setInt("ny", grid_.ny);
-  c.setInt("nz", grid_.nz);
-  c.setInt("nxny", grid_.nx * grid_.ny);
+  if (config_.useRunTableVolume) {
+    bindVec(c, "segstart_h", im.segStart);
+    bindVec(c, "segkind_h", im.segKind);
+    if (dbl) {
+      im.nextZero.assign(cells, 0.0);
+      bindVec(c, "next0_h", im.nextZero);
+    } else {
+      im.nextZeroF.assign(cells, 0.0f);
+      bindVec(c, "next0_h", im.nextZeroF);
+    }
+    c.setInt("numSeg", static_cast<int>(im.segStart.size()));
+    c.setInt("segW", im.segWidth);
+  }
+  c.setInt("nx", grid_->nx);
+  c.setInt("ny", grid_->ny);
+  c.setInt("nz", grid_->nz);
+  c.setInt("nxny", grid_->nx * grid_->ny);
   c.setInt("cells", static_cast<int>(cells));
-  c.setInt("numB", static_cast<int>(grid_.boundaryPoints()));
+  c.setInt("numB", static_cast<int>(grid_->boundaryPoints()));
   c.setInt("M", static_cast<int>(im.beta.size()));
   c.setReal("l", config_.params.l());
   c.setReal("l2", config_.params.l2());

@@ -33,6 +33,12 @@ public:
     /// instead of the flat-index one. Both generate identical arithmetic
     /// (see tests/lift_acoustics/test_stencil3d.cpp).
     bool useStencil3DVolume = false;
+    /// Use the run-table-driven volume kernel: the interior-run plan is
+    /// lowered to a fixed-width segment table, uploaded once as a device
+    /// buffer, and one work item updates one segment (branch-free for
+    /// pure-interior segments). Output is bit-identical to the flat
+    /// kernel. Mutually exclusive with useStencil3DVolume.
+    bool useRunTableVolume = false;
     std::vector<acoustics::Material> materials;  // default palette if empty
   };
 
@@ -40,7 +46,7 @@ public:
   DeviceSimulation(ocl::Context& ctx, Config config);
   ~DeviceSimulation();
 
-  const acoustics::RoomGrid& grid() const { return grid_; }
+  const acoustics::RoomGrid& grid() const { return *grid_; }
   const Config& config() const { return config_; }
 
   /// Adds an impulse to the current pressure field (host side; applied on
@@ -65,7 +71,9 @@ public:
 private:
   struct Impl;
   Config config_;
-  acoustics::RoomGrid grid_;
+  /// Shared immutable grid from the voxelization cache (keyed on shape,
+  /// dims and material count), so repeated configs skip re-voxelization.
+  std::shared_ptr<const acoustics::RoomGrid> grid_;
   std::unique_ptr<Impl> impl_;
   int steps_ = 0;
   double volumeMs_ = 0.0;

@@ -145,5 +145,116 @@ TEST(Geometry, ShapeNames) {
   EXPECT_STREQ(shapeName(RoomShape::Dome), "dome");
 }
 
+TEST(Geometry, Int32OverflowingGridRejected) {
+  // 2000^3 = 8e9 flat indices overflow int32; the guard fires before any
+  // allocation, so this is cheap.
+  Room r{RoomShape::Box, 2000, 2000, 2000};
+  EXPECT_THROW(voxelize(r), Error);
+  // The largest paper room stays comfortably addressable.
+  EXPECT_NO_THROW(voxelize(Room{RoomShape::Box, 20, 18, 14}));
+}
+
+TEST(Geometry, InteriorRunPlanInvariantsAllShapes) {
+  for (auto shape : {RoomShape::Box, RoomShape::Dome, RoomShape::LShape,
+                     RoomShape::Cylinder}) {
+    Room r{shape, 20, 17, 13};
+    const RoomGrid g = voxelize(r);
+    const auto& plan = g.interiorRuns;
+    ASSERT_EQ(plan.runBegin.size(), plan.runLen.size());
+
+    // Interior + boundary partitions the inside cells.
+    EXPECT_EQ(plan.interiorCells + g.boundaryPoints(), g.insideCells)
+        << shapeName(shape);
+
+    std::size_t total = 0;
+    std::int64_t prevEnd = -1;
+    std::vector<bool> covered(g.cells(), false);
+    for (std::size_t rI = 0; rI < plan.runs(); ++rI) {
+      const std::int64_t b = plan.runBegin[rI];
+      const std::int64_t e = b + plan.runLen[rI];
+      ASSERT_GE(plan.runLen[rI], 1);
+      // Ascending, disjoint and maximal: a maximal run is preceded and
+      // followed by a non-interior cell, so it can't touch its neighbor.
+      EXPECT_GT(b, prevEnd) << shapeName(shape);
+      EXPECT_GT(b, 0);
+      EXPECT_LT(e, static_cast<std::int64_t>(g.cells()));
+      EXPECT_NE(g.nbrs[static_cast<std::size_t>(b - 1)], 6);
+      EXPECT_NE(g.nbrs[static_cast<std::size_t>(e)], 6);
+      for (std::int64_t idx = b; idx < e; ++idx) {
+        EXPECT_EQ(g.nbrs[static_cast<std::size_t>(idx)], 6);
+        covered[static_cast<std::size_t>(idx)] = true;
+      }
+      total += static_cast<std::size_t>(plan.runLen[rI]);
+      prevEnd = e;
+    }
+    EXPECT_EQ(total, plan.interiorCells) << shapeName(shape);
+    // Every nbr==6 cell is covered by exactly one run.
+    for (std::size_t i = 0; i < g.cells(); ++i) {
+      EXPECT_EQ(covered[i], g.nbrs[i] == 6) << shapeName(shape) << " @" << i;
+    }
+  }
+}
+
+TEST(Geometry, VolumeSegmentTableInvariants) {
+  for (auto shape : {RoomShape::Box, RoomShape::Dome}) {
+    Room r{shape, 18, 15, 11};
+    const RoomGrid g = voxelize(r);
+    const int width = 32;
+    const auto table = buildVolumeSegments(g, width);
+    ASSERT_EQ(table.start.size(), table.kind.size());
+    EXPECT_EQ(table.width, width);
+
+    std::vector<bool> covered(g.cells(), false);
+    std::int32_t prevStart = -width;
+    for (std::size_t sI = 0; sI < table.segments(); ++sI) {
+      const std::int32_t b = table.start[sI];
+      // Aligned, ascending, in-bounds windows.
+      EXPECT_EQ(b % width, 0);
+      EXPECT_GE(b, prevStart + width);
+      ASSERT_LE(static_cast<std::size_t>(b) + width, g.cells());
+      bool hasInside = false;
+      bool allInterior = true;
+      for (int j = 0; j < width; ++j) {
+        const auto idx = static_cast<std::size_t>(b) + j;
+        covered[idx] = true;
+        if (g.nbrs[idx] > 0) hasInside = true;
+        if (g.nbrs[idx] != 6) allInterior = false;
+      }
+      EXPECT_TRUE(hasInside);
+      EXPECT_EQ(table.kind[sI], allInterior ? 0 : 1);
+      prevStart = b;
+    }
+    // Every inside cell lies in some segment; dropped windows are outside.
+    for (std::size_t i = 0; i < g.cells(); ++i) {
+      if (g.nbrs[i] > 0) EXPECT_TRUE(covered[i]) << shapeName(shape);
+    }
+  }
+}
+
+TEST(Geometry, SegmentWidthWiderThanPlaneRejected) {
+  Room r{RoomShape::Box, 8, 8, 8};
+  const RoomGrid g = voxelize(r);
+  EXPECT_THROW(buildVolumeSegments(g, 8 * 8 + 1), Error);
+  EXPECT_NO_THROW(buildVolumeSegments(g, 8 * 8));
+}
+
+TEST(Geometry, VoxelizeCachedReturnsSharedGrid) {
+  Room r{RoomShape::LShape, 14, 12, 10};
+  const auto a = voxelizeCached(r, 2);
+  const auto b = voxelizeCached(r, 2);
+  EXPECT_EQ(a.get(), b.get());  // one voxelization, shared
+  // Different material count or dims is a different cache entry.
+  EXPECT_NE(a.get(), voxelizeCached(r, 3).get());
+  Room r2 = r;
+  r2.nz = 11;
+  EXPECT_NE(a.get(), voxelizeCached(r2, 2).get());
+  // The cached grid matches a fresh voxelization.
+  const RoomGrid fresh = voxelize(r, 2);
+  EXPECT_EQ(a->nbrs, fresh.nbrs);
+  EXPECT_EQ(a->boundaryIndices, fresh.boundaryIndices);
+  EXPECT_EQ(a->interiorRuns.runBegin, fresh.interiorRuns.runBegin);
+  EXPECT_EQ(a->interiorRuns.runLen, fresh.interiorRuns.runLen);
+}
+
 }  // namespace
 }  // namespace lifta::acoustics

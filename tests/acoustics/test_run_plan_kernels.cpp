@@ -1,0 +1,165 @@
+// Bit-identity of the interior-run volume kernels against the per-cell
+// lookup kernels they replace, on every room shape (Dome/LShape/Cylinder
+// exercise fragmented runs) and both precisions — plus the row-base
+// index-hoist regression for refFusedFiBoxSlab.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "acoustics/geometry.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "common/rng.hpp"
+
+namespace lifta::acoustics {
+namespace {
+
+constexpr RoomShape kShapes[] = {RoomShape::Box, RoomShape::Dome,
+                                 RoomShape::LShape, RoomShape::Cylinder};
+
+template <typename T>
+struct Fields {
+  std::vector<T> prev, curr;
+
+  explicit Fields(const RoomGrid& g, std::uint64_t seed) {
+    Rng rng(seed);
+    prev.assign(g.cells(), T(0));
+    curr.assign(g.cells(), T(0));
+    for (std::size_t i = 0; i < g.cells(); ++i) {
+      if (g.nbrs[i] > 0) {
+        prev[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+        curr[i] = static_cast<T>(rng.uniform(-0.1, 0.1));
+      }
+    }
+  }
+};
+
+template <typename T>
+void expectVolumeRunsMatchesLookup(RoomShape shape) {
+  Room r{shape, 19, 16, 12};
+  const RoomGrid g = voxelize(r);
+  const Fields<T> f(g, 7);
+  const T l2 = T(1.0) / T(3.0);
+
+  std::vector<T> lookupNext(g.cells(), T(0));
+  refVolume(g.nbrs.data(), f.prev.data(), f.curr.data(), lookupNext.data(),
+            g.nx, g.ny, g.nz, l2);
+
+  const auto& plan = g.interiorRuns;
+  std::vector<T> runsNext(g.cells(), T(0));
+  refVolumeRuns(plan.runBegin.data(), plan.runLen.data(), plan.runs(),
+                g.boundaryIndices.data(), g.boundaryNbr.data(),
+                static_cast<std::int64_t>(g.boundaryPoints()), f.prev.data(),
+                f.curr.data(), runsNext.data(), g.nx, g.ny, l2);
+
+  for (std::size_t i = 0; i < g.cells(); ++i) {
+    ASSERT_EQ(runsNext[i], lookupNext[i]) << shapeName(shape) << " @" << i;
+  }
+}
+
+TEST(RunPlanKernels, VolumeRunsBitIdenticalToLookupAllShapesFloat) {
+  for (auto shape : kShapes) expectVolumeRunsMatchesLookup<float>(shape);
+}
+
+TEST(RunPlanKernels, VolumeRunsBitIdenticalToLookupAllShapesDouble) {
+  for (auto shape : kShapes) expectVolumeRunsMatchesLookup<double>(shape);
+}
+
+template <typename T>
+void expectFusedFiRunsMatchesLookup(RoomShape shape) {
+  Room r{shape, 17, 14, 11};
+  const RoomGrid g = voxelize(r);
+  const Fields<T> f(g, 11);
+  const T l = static_cast<T>(0.577);
+  const T l2 = l * l;
+  const T beta = static_cast<T>(0.02);
+
+  std::vector<T> lookupNext(g.cells(), T(0));
+  refFusedFiLookup(g.nbrs.data(), f.prev.data(), f.curr.data(),
+                   lookupNext.data(), g.nx, g.ny, g.nz, l, l2, beta);
+
+  const auto& plan = g.interiorRuns;
+  std::vector<T> runsNext(g.cells(), T(0));
+  refFusedFiRuns(plan.runBegin.data(), plan.runLen.data(), plan.runs(),
+                 g.boundaryIndices.data(), g.boundaryNbr.data(),
+                 static_cast<std::int64_t>(g.boundaryPoints()), f.prev.data(),
+                 f.curr.data(), runsNext.data(), g.nx, g.ny, l, l2, beta);
+
+  for (std::size_t i = 0; i < g.cells(); ++i) {
+    ASSERT_EQ(runsNext[i], lookupNext[i]) << shapeName(shape) << " @" << i;
+  }
+}
+
+TEST(RunPlanKernels, FusedFiRunsBitIdenticalToLookupAllShapesFloat) {
+  for (auto shape : kShapes) expectFusedFiRunsMatchesLookup<float>(shape);
+}
+
+TEST(RunPlanKernels, FusedFiRunsBitIdenticalToLookupAllShapesDouble) {
+  for (auto shape : kShapes) expectFusedFiRunsMatchesLookup<double>(shape);
+}
+
+TEST(RunPlanKernels, PartitionedRunRangesMatchFullScan) {
+  // Any partition of the run list writes disjoint cells with unchanged
+  // per-cell arithmetic, so chunked execution must be bit-identical.
+  Room r{RoomShape::Dome, 18, 15, 13};
+  const RoomGrid g = voxelize(r);
+  const Fields<double> f(g, 13);
+  const double l2 = 1.0 / 3.0;
+  const auto& plan = g.interiorRuns;
+  const std::size_t n = plan.runs();
+  ASSERT_GT(n, 4u);
+
+  std::vector<double> full(g.cells(), 0.0);
+  refVolumeRunsRange(plan.runBegin.data(), plan.runLen.data(), 0, n,
+                     f.prev.data(), f.curr.data(), full.data(), g.nx, g.ny,
+                     l2);
+
+  std::vector<double> parts(g.cells(), 0.0);
+  const std::size_t cut1 = n / 3;
+  const std::size_t cut2 = 2 * n / 3;
+  for (auto [b, e] : {std::pair<std::size_t, std::size_t>{cut2, n},
+                      {0, cut1},
+                      {cut1, cut2}}) {
+    refVolumeRunsRange(plan.runBegin.data(), plan.runLen.data(), b, e,
+                       f.prev.data(), f.curr.data(), parts.data(), g.nx, g.ny,
+                       l2);
+  }
+  EXPECT_EQ(full, parts);
+}
+
+TEST(RunPlanKernels, FusedFiBoxRowBaseHoistBitIdenticalToLookup) {
+  // Regression for the row-base + increment flat-index form: on a box the
+  // analytic-nbr kernel must still match the lookup kernel bit-for-bit.
+  for (const auto dims : {std::array<int, 3>{21, 13, 9},
+                          std::array<int, 3>{8, 8, 8}}) {
+    Room r{RoomShape::Box, dims[0], dims[1], dims[2]};
+    const RoomGrid g = voxelize(r);
+    const Fields<double> f(g, 17);
+    const double l = 0.577;
+    const double l2 = l * l;
+    const double beta = 0.05;
+
+    std::vector<double> lookupNext(g.cells(), 0.0);
+    refFusedFiLookup(g.nbrs.data(), f.prev.data(), f.curr.data(),
+                     lookupNext.data(), g.nx, g.ny, g.nz, l, l2, beta);
+
+    std::vector<double> boxNext(g.cells(), 0.0);
+    refFusedFiBox(f.prev.data(), f.curr.data(), boxNext.data(), g.nx, g.ny,
+                  g.nz, l, l2, beta);
+    EXPECT_EQ(boxNext, lookupNext);
+
+    // Slab partitions reproduce the full grid bit-for-bit.
+    std::vector<double> slabNext(g.cells(), 0.0);
+    const int zCut = g.nz / 2;
+    refFusedFiBoxSlab(f.prev.data(), f.curr.data(), slabNext.data(), g.nx,
+                      g.ny, g.nz, zCut, g.nz, l, l2, beta);
+    refFusedFiBoxSlab(f.prev.data(), f.curr.data(), slabNext.data(), g.nx,
+                      g.ny, g.nz, 0, zCut, l, l2, beta);
+    EXPECT_EQ(slabNext, boxNext);
+  }
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

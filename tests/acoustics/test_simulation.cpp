@@ -246,15 +246,69 @@ TEST(Simulation, UnstableCourantRejected) {
 }
 
 template <typename T>
-std::vector<T> runThreaded(BoundaryModel model, int threads, int tileZ) {
+std::vector<T> runThreaded(BoundaryModel model, int threads, int tileZ,
+                           VolumePath path = VolumePath::Runs) {
   const bool fd = model == BoundaryModel::FdMm;
   auto cfg = smallBox<T>(model, fd ? 2 : 1, fd ? 2 : 0);
   cfg.params.threads = threads;
   cfg.params.tileZ = tileZ;
+  cfg.params.volumePath = path;
   Simulation<T> sim(cfg);
   sim.addImpulse(10, 9, 7, T(1.0));
   sim.addImpulse(5, 5, 5, T(-0.25));
   return sim.record(120, 6, 6, 6);
+}
+
+template <typename T>
+std::vector<T> runShaped(RoomShape shape, BoundaryModel model,
+                         VolumePath path, int threads) {
+  const bool fd = model == BoundaryModel::FdMm;
+  typename Simulation<T>::Config cfg;
+  cfg.room = Room{shape, 20, 17, 13};
+  cfg.model = model;
+  cfg.numMaterials = fd ? 2 : 1;
+  cfg.numBranches = fd ? 2 : 0;
+  cfg.params.threads = threads;
+  cfg.params.volumePath = path;
+  Simulation<T> sim(cfg);
+  sim.addImpulse(10, 8, 6, T(1.0));
+  sim.addImpulse(5, 5, 5, T(-0.25));
+  return sim.record(100, 6, 6, 6);
+}
+
+TEST(Simulation, RunsPathBitIdenticalToLookupAllModelsAllShapes) {
+  // The interior-run plan reorders the volume scan (runs first, residual
+  // boundary cells second) but performs the identical per-cell arithmetic
+  // on disjoint cells, so Runs must reproduce Lookup bit-for-bit for every
+  // model x shape — Dome/LShape/Cylinder fragment the runs — serial and
+  // threaded alike.
+  for (auto shape : {RoomShape::Box, RoomShape::Dome, RoomShape::LShape,
+                     RoomShape::Cylinder}) {
+    for (auto model : {BoundaryModel::FusedFi, BoundaryModel::FiSplit,
+                       BoundaryModel::FiMm, BoundaryModel::FdMm}) {
+      const auto lookup =
+          runShaped<double>(shape, model, VolumePath::Lookup, 1);
+      for (int threads : {1, 3}) {
+        const auto runs =
+            runShaped<double>(shape, model, VolumePath::Runs, threads);
+        ASSERT_EQ(lookup.size(), runs.size());
+        for (std::size_t i = 0; i < lookup.size(); ++i) {
+          ASSERT_EQ(lookup[i], runs[i])
+              << shapeName(shape) << " " << modelName(model)
+              << " threads=" << threads << " step " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simulation, RunsPathBitIdenticalToLookupFloat) {
+  const auto lookup = runShaped<float>(RoomShape::Dome, BoundaryModel::FdMm,
+                                       VolumePath::Lookup, 1);
+  const auto runs =
+      runShaped<float>(RoomShape::Dome, BoundaryModel::FdMm,
+                       VolumePath::Runs, 3);
+  EXPECT_EQ(lookup, runs);
 }
 
 TEST(Simulation, ParallelStepperBitIdenticalToSerialAllModels) {
@@ -276,9 +330,13 @@ TEST(Simulation, ParallelStepperBitIdenticalToSerialAllModels) {
 }
 
 TEST(Simulation, ParallelStepperBitIdenticalAcrossTileSizes) {
-  const auto serial = runThreaded<double>(BoundaryModel::FiMm, 1, 4);
+  // tileZ shapes the z-slab partition of the Lookup volume path (the Runs
+  // path partitions runs instead), so pin Lookup here.
+  const auto serial =
+      runThreaded<double>(BoundaryModel::FiMm, 1, 4, VolumePath::Lookup);
   for (int tileZ : {1, 2, 7, 64}) {
-    const auto tiled = runThreaded<double>(BoundaryModel::FiMm, 4, tileZ);
+    const auto tiled = runThreaded<double>(BoundaryModel::FiMm, 4, tileZ,
+                                           VolumePath::Lookup);
     for (std::size_t i = 0; i < serial.size(); ++i) {
       ASSERT_EQ(serial[i], tiled[i]) << "tileZ=" << tileZ << " step " << i;
     }
