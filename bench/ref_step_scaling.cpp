@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "acoustics/simulation.hpp"
+#include "common/error.hpp"
+#include "common/json_writer.hpp"
 #include "common/string_util.hpp"
 #include "harness/bench_common.hpp"
 #include "harness/table.hpp"
@@ -156,53 +158,62 @@ int main(int argc, char** argv) {
 
   // Machine-readable mirror of both tables.
   const std::string jsonPath = "BENCH_refstep.json";
-  if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
-    std::fprintf(f,
-                 "{\n  \"bench\": \"ref_step_scaling\",\n"
-                 "  \"room\": {\"shape\": \"box\", \"label\": \"%s\", "
-                 "\"nx\": %d, \"ny\": %d, \"nz\": %d,\n"
-                 "    \"cells\": %zu, \"inside_cells\": %zu, "
-                 "\"interior_cells\": %zu, \"boundary_points\": %zu},\n"
-                 "  \"iters\": %d, \"warmup\": %d, \"threads_hw\": %u,\n",
-                 sized.label.c_str(), sized.room.nx, sized.room.ny,
-                 sized.room.nz, grid->cells(), insideCells,
-                 grid->interiorRuns.interiorCells, grid->boundaryPoints(),
-                 opt.iters, opt.warmup, hw);
-    std::fprintf(f, "  \"thread_scaling\": [\n");
-    for (std::size_t i = 0; i < scalingRows.size(); ++i) {
-      const auto& r = scalingRows[i];
-      std::fprintf(f,
-                   "    {\"model\": \"%s\", \"threads\": %d, "
-                   "\"step_ms\": %.6f, \"speedup\": %.4f}%s\n",
-                   jsonModelKey(r.model), r.threads, r.stepMs, r.speedup,
-                   i + 1 < scalingRows.size() ? "," : "");
+  JsonWriter json;
+  json.beginObject().field("bench", "ref_step_scaling");
+  json.key("room")
+      .beginObject()
+      .field("shape", "box")
+      .field("label", sized.label)
+      .field("nx", sized.room.nx)
+      .field("ny", sized.room.ny)
+      .field("nz", sized.room.nz)
+      .field("cells", static_cast<std::uint64_t>(grid->cells()))
+      .field("inside_cells", static_cast<std::uint64_t>(insideCells))
+      .field("interior_cells",
+             static_cast<std::uint64_t>(grid->interiorRuns.interiorCells))
+      .field("boundary_points",
+             static_cast<std::uint64_t>(grid->boundaryPoints()))
+      .endObject();
+  json.field("iters", opt.iters).field("warmup", opt.warmup);
+  json.field("threads_hw", hw);
+  json.key("thread_scaling").beginArray();
+  for (const auto& r : scalingRows) {
+    json.beginObject()
+        .field("model", jsonModelKey(r.model))
+        .field("threads", r.threads)
+        .field("step_ms", r.stepMs)
+        .field("speedup", r.speedup, 4)
+        .endObject();
+  }
+  json.endArray();
+  json.key("volume_path").beginArray();
+  for (const auto& r : pathRows) {
+    for (const bool isRuns : {false, true}) {
+      const PathTiming& t = isRuns ? r.runs : r.lookup;
+      const double mcells =
+          t.volumeMs > 0.0
+              ? static_cast<double>(insideCells) / (t.volumeMs * 1e3)
+              : 0.0;
+      json.beginObject()
+          .field("model", jsonModelKey(r.model))
+          .field("path", isRuns ? "runs" : "lookup")
+          .field("volume_ms", t.volumeMs)
+          .field("step_ms", t.stepMs)
+          .field("volume_mcells_per_s", mcells, 3)
+          .endObject();
     }
-    std::fprintf(f, "  ],\n  \"volume_path\": [\n");
-    for (std::size_t i = 0; i < pathRows.size(); ++i) {
-      const auto& r = pathRows[i];
-      for (const bool isRuns : {false, true}) {
-        const PathTiming& t = isRuns ? r.runs : r.lookup;
-        const double mcells =
-            t.volumeMs > 0.0
-                ? static_cast<double>(insideCells) / (t.volumeMs * 1e3)
-                : 0.0;
-        std::fprintf(
-            f,
-            "    {\"model\": \"%s\", \"path\": \"%s\", \"volume_ms\": %.6f, "
-            "\"step_ms\": %.6f, \"volume_mcells_per_s\": %.3f}%s\n",
-            jsonModelKey(r.model), isRuns ? "runs" : "lookup", t.volumeMs,
-            t.stepMs, mcells,
-            (i + 1 < pathRows.size() || !isRuns) ? "," : "");
-      }
-    }
-    std::fprintf(f,
-                 "  ],\n  \"runs_speedup_min\": %.4f, "
-                 "\"runs_speedup_target\": 1.3, \"target_met\": %s\n}\n",
-                 worstSpeedup, worstSpeedup >= 1.3 ? "true" : "false");
-    std::fclose(f);
+  }
+  json.endArray();
+  json.field("runs_speedup_min", worstSpeedup, 4)
+      .field("runs_speedup_target", 1.3, 1)
+      .field("target_met", worstSpeedup >= 1.3)
+      .endObject();
+  try {
+    json.writeFile(jsonPath);
     std::printf("\nwrote %s\n", jsonPath.c_str());
-  } else {
-    std::printf("\n[warn] could not write %s\n", jsonPath.c_str());
+  } catch (const Error& e) {
+    std::printf("\n[warn] could not write %s: %s\n", jsonPath.c_str(),
+                e.what());
   }
 
   // One instrumented profile at full concurrency, as the profiler reports it.

@@ -1,0 +1,157 @@
+// RIR job-service throughput: N mixed jobs (4 boundary models x 4 room
+// shapes) run concurrently on several executor threads sharing ONE stepping
+// pool, versus the same jobs run back-to-back on a single executor with the
+// same pool — i.e. equal total thread count, only the scheduling differs.
+// The service's job-level concurrency must not cost aggregate throughput:
+// the target is >= 0.8x the back-to-back aggregate Mcells/s. Results are
+// mirrored machine-readably to BENCH_service.json.
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json_writer.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "harness/bench_common.hpp"
+#include "harness/table.hpp"
+#include "service/rir_service.hpp"
+
+using namespace lifta;
+using namespace lifta::harness;
+
+namespace {
+
+std::vector<service::RirJobSpec> mixedJobs(const BenchOptions& opt) {
+  const int steps = opt.full ? 200 : 80;
+  std::vector<service::RirJobSpec> specs;
+  for (const auto shape :
+       {acoustics::RoomShape::Box, acoustics::RoomShape::Dome,
+        acoustics::RoomShape::LShape, acoustics::RoomShape::Cylinder}) {
+    // Smallest Table II size ("302"): 16 jobs stay comfortably inside the
+    // default budget while still exercising every kernel family.
+    const auto room = benchRooms(shape, opt.full).back().room;
+    for (const auto model :
+         {acoustics::BoundaryModel::FusedFi, acoustics::BoundaryModel::FiSplit,
+          acoustics::BoundaryModel::FiMm, acoustics::BoundaryModel::FdMm}) {
+      service::RirJobSpec spec;
+      spec.room = room;
+      spec.model = model;
+      const bool multiMaterial = model == acoustics::BoundaryModel::FiMm ||
+                                 model == acoustics::BoundaryModel::FdMm;
+      spec.numMaterials = multiMaterial ? 3 : 1;
+      spec.numBranches =
+          model == acoustics::BoundaryModel::FdMm ? opt.branches : 0;
+      spec.steps = steps;
+      spec.sources.push_back({room.nx / 2, room.ny / 2, room.nz / 2, 1.0});
+      spec.receivers.push_back({room.nx / 3, room.ny / 3, room.nz / 3});
+      spec.receivers.push_back({room.nx / 2, room.ny / 2, room.nz / 3});
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+struct ModeResult {
+  double wallSeconds = 0.0;
+  double mcellsPerS = 0.0;
+  std::uint64_t cellSteps = 0;
+  double queueWaitMedianMs = 0.0;
+  std::uint64_t completed = 0;
+};
+
+ModeResult runMode(const std::vector<service::RirJobSpec>& specs,
+                   int workers) {
+  service::RirService::Config cfg;
+  cfg.workers = workers;
+  service::RirService svc(cfg);
+  Timer wall;
+  for (const auto& spec : specs) svc.submit(spec);
+  svc.drain();
+  ModeResult r;
+  r.wallSeconds = wall.seconds();
+  const auto m = svc.metrics();
+  r.cellSteps = m.cellStepsProcessed;
+  r.completed = m.completed;
+  r.queueWaitMedianMs = m.queueWaitMs.median;
+  r.mcellsPerS = r.wallSeconds > 0.0
+                     ? static_cast<double>(r.cellSteps) / 1e6 / r.wallSeconds
+                     : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::fromArgs(argc, argv);
+  printBenchBanner(
+      "RIR job service: concurrent vs back-to-back aggregate throughput",
+      opt);
+
+  const auto specs = mixedJobs(opt);
+  std::printf("jobs: %zu (4 models x 4 shapes), %d steps each\n\n",
+              specs.size(), specs.front().steps);
+
+  // Back-to-back baseline first so its voxelized grids are cache-warm for
+  // the concurrent run and neither mode pays voxelization twice.
+  const ModeResult serial = runMode(specs, /*workers=*/1);
+  const int workers = 4;
+  const ModeResult concurrent = runMode(specs, workers);
+
+  Table table({"Mode", "Workers", "Jobs", "Wall s", "Aggregate Mcells/s",
+               "Median queue wait ms"});
+  table.addRow({"back-to-back", "1", std::to_string(serial.completed),
+                strformat("%.3f", serial.wallSeconds),
+                strformat("%.2f", serial.mcellsPerS),
+                strformat("%.2f", serial.queueWaitMedianMs)});
+  table.addRow({"concurrent", std::to_string(workers),
+                std::to_string(concurrent.completed),
+                strformat("%.3f", concurrent.wallSeconds),
+                strformat("%.2f", concurrent.mcellsPerS),
+                strformat("%.2f", concurrent.queueWaitMedianMs)});
+  std::printf("%s\n", table.render().c_str());
+
+  const double ratio = serial.mcellsPerS > 0.0
+                           ? concurrent.mcellsPerS / serial.mcellsPerS
+                           : 0.0;
+  const bool met = ratio >= 0.8;
+  std::printf(
+      "concurrent/back-to-back aggregate throughput: %.3fx (target >= 0.8x,"
+      " equal\ntotal thread count — both modes step over the one shared"
+      " pool): %s\n",
+      ratio, met ? "[yes]" : "[no]");
+
+  JsonWriter json;
+  json.beginObject()
+      .field("bench", "service_throughput")
+      .field("jobs", static_cast<std::uint64_t>(specs.size()))
+      .field("steps_per_job", specs.front().steps)
+      .field("models", 4)
+      .field("shapes", 4)
+      .field("workers_concurrent", workers);
+  for (const bool isConcurrent : {false, true}) {
+    const ModeResult& r = isConcurrent ? concurrent : serial;
+    json.key(isConcurrent ? "concurrent" : "back_to_back")
+        .beginObject()
+        .field("wall_seconds", r.wallSeconds)
+        .field("aggregate_mcells_per_s", r.mcellsPerS, 3)
+        .field("cell_steps", r.cellSteps)
+        .field("jobs_completed", r.completed)
+        .field("queue_wait_median_ms", r.queueWaitMedianMs, 3)
+        .endObject();
+  }
+  json.field("throughput_ratio", ratio, 4)
+      .field("throughput_target", 0.8, 2)
+      .field("target_met", met)
+      .endObject();
+  const std::string jsonPath = "BENCH_service.json";
+  try {
+    json.writeFile(jsonPath);
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  } catch (const Error& e) {
+    std::printf("\n[warn] could not write %s: %s\n", jsonPath.c_str(),
+                e.what());
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <list>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -90,10 +91,8 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
               "room must be at least 3 cells in every dimension");
   // boundaryIndices (and the generated kernels' flat indices) are int32;
   // reject grids whose flat indices would overflow before allocating.
-  LIFTA_CHECK(
-      room.cells() <= static_cast<std::size_t>(
-                          std::numeric_limits<std::int32_t>::max()),
-      "grid has more cells than int32 flat indices can address");
+  LIFTA_CHECK(gridIndexableInt32(room),
+              "grid has more cells than int32 flat indices can address");
   LIFTA_CHECK(numMaterials >= 1, "need at least one material");
 
   RoomGrid g;
@@ -177,23 +176,100 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
   return g;
 }
 
+namespace {
+
+// Bounded LRU cache of voxelized grids. A map from config key to entry plus
+// an LRU list of keys (front = most recent); both are guarded by one mutex.
+// Eviction drops only the cache's shared_ptr — grids already handed to live
+// simulations stay valid until their last owner releases them.
+struct VoxelCache {
+  using Key = std::tuple<int, int, int, int, int>;
+  struct Entry {
+    std::shared_ptr<const RoomGrid> grid;
+    std::list<Key>::iterator lruPos;
+  };
+
+  std::mutex mu;
+  std::list<Key> lru;
+  std::map<Key, Entry> entries;
+  std::size_t capacity = kDefaultVoxelCacheCapacity;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  static VoxelCache& instance() {
+    static VoxelCache cache;
+    return cache;
+  }
+
+  // Caller must hold mu.
+  void evictOverCapacity() {
+    while (entries.size() > capacity) {
+      entries.erase(lru.back());
+      lru.pop_back();
+      ++evictions;
+    }
+  }
+};
+
+}  // namespace
+
 std::shared_ptr<const RoomGrid> voxelizeCached(const Room& room,
                                                int numMaterials) {
-  using Key = std::tuple<int, int, int, int, int>;
-  static std::mutex mu;
-  static std::map<Key, std::shared_ptr<const RoomGrid>> cache;
-  const Key key{static_cast<int>(room.shape), room.nx, room.ny, room.nz,
-                numMaterials};
+  auto& cache = VoxelCache::instance();
+  const VoxelCache::Key key{static_cast<int>(room.shape), room.nx, room.ny,
+                            room.nz, numMaterials};
   {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      ++cache.hits;
+      cache.lru.splice(cache.lru.begin(), cache.lru, it->second.lruPos);
+      return it->second.grid;
+    }
+    ++cache.misses;
   }
   // Voxelize outside the lock; a racing duplicate just loses the insert.
-  auto grid =
-      std::make_shared<const RoomGrid>(voxelize(room, numMaterials));
-  std::lock_guard<std::mutex> lock(mu);
-  return cache.emplace(key, std::move(grid)).first->second;
+  auto grid = std::make_shared<const RoomGrid>(voxelize(room, numMaterials));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.entries.find(key);
+  if (it != cache.entries.end()) {
+    // Another thread voxelized the same room first; keep its grid.
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second.lruPos);
+    return it->second.grid;
+  }
+  cache.lru.push_front(key);
+  cache.entries.emplace(key,
+                        VoxelCache::Entry{std::move(grid), cache.lru.begin()});
+  cache.evictOverCapacity();
+  return cache.entries.find(key)->second.grid;
+}
+
+VoxelCacheStats voxelCacheStats() {
+  auto& cache = VoxelCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  VoxelCacheStats stats;
+  stats.hits = cache.hits;
+  stats.misses = cache.misses;
+  stats.evictions = cache.evictions;
+  stats.entries = cache.entries.size();
+  stats.capacity = cache.capacity;
+  return stats;
+}
+
+void setVoxelCacheCapacity(std::size_t capacity) {
+  LIFTA_CHECK(capacity >= 1, "voxel cache capacity must be >= 1");
+  auto& cache = VoxelCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.capacity = capacity;
+  cache.evictOverCapacity();
+}
+
+void clearVoxelCache() {
+  auto& cache = VoxelCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+  cache.lru.clear();
 }
 
 VolumeSegmentTable buildVolumeSegments(const RoomGrid& grid, int width) {

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,10 +93,50 @@ struct RoomGrid {
 RoomGrid voxelize(const Room& room, int numMaterials = 1);
 
 /// Memoized voxelize: repeated configs (same shape, dims and material
-/// count — the key a bench sweep revisits) share one immutable grid
-/// instead of re-voxelizing. Thread-safe; entries live for the process.
+/// count — the key a bench sweep and the RIR job service revisit) share one
+/// immutable grid instead of re-voxelizing. Thread-safe. The cache is
+/// bounded: least-recently-used entries are evicted beyond the capacity set
+/// by setVoxelCacheCapacity (grids already handed out stay alive through
+/// their shared_ptr; eviction only drops the cache's reference).
 std::shared_ptr<const RoomGrid> voxelizeCached(const Room& room,
                                                int numMaterials = 1);
+
+/// Monotonic counters for the process-wide voxelization cache; the job
+/// service surfaces the hit rate in its metrics.
+struct VoxelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+
+  double hitRate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+VoxelCacheStats voxelCacheStats();
+
+/// Sets the entry cap (>= 1), evicting LRU entries immediately if the cache
+/// is over the new capacity. Default capacity: kDefaultVoxelCacheCapacity.
+void setVoxelCacheCapacity(std::size_t capacity);
+
+/// Drops every cached grid (counters keep accumulating). For tests.
+void clearVoxelCache();
+
+inline constexpr std::size_t kDefaultVoxelCacheCapacity = 16;
+
+/// True when the room's flat cell indices fit the int32 indices used by
+/// boundaryIndices and the generated kernels. voxelize() refuses larger
+/// grids; the job service reuses this guard to reject such jobs at
+/// admission, before anything is allocated.
+inline bool gridIndexableInt32(const Room& room) {
+  return room.cells() <=
+         static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+}
 
 /// Fixed-width form of the interior-run plan for the generated run-table
 /// volume kernel: the flat grid is cut into `width`-aligned windows and

@@ -33,7 +33,11 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
 
   LIFTA_CHECK(config_.params.threads >= 0, "params.threads must be >= 0");
   LIFTA_CHECK(config_.params.tileZ >= 1, "params.tileZ must be >= 1");
-  if (config_.params.threads == 0) {
+  if (config_.pool != nullptr) {
+    // Externally owned shared pool (the job service): params.threads is
+    // ignored; the pool may be stepping other simulations concurrently.
+    pool_ = config_.pool;
+  } else if (config_.params.threads == 0) {
     pool_ = &ThreadPool::global();
   } else if (config_.params.threads > 1) {
     ownedPool_ = std::make_unique<ThreadPool>(
@@ -249,6 +253,28 @@ std::vector<T> Simulation<T>::record(int steps, int x, int y, int z) {
   for (int i = 0; i < steps; ++i) {
     step();
     out.push_back(sample(x, y, z));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Simulation<T>::record(
+    int steps, const std::vector<Receiver>& receivers) {
+  LIFTA_CHECK(!receivers.empty(), "need at least one receiver");
+  std::vector<std::size_t> indices;
+  indices.reserve(receivers.size());
+  for (const auto& r : receivers) {
+    LIFTA_CHECK(config_.room.inside(r.x, r.y, r.z),
+                "receiver point is outside");
+    indices.push_back(config_.room.index(r.x, r.y, r.z));
+  }
+  std::vector<std::vector<T>> out(receivers.size());
+  for (auto& trace : out) trace.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    step();
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      out[r].push_back(curr_[indices[r]]);
+    }
   }
   return out;
 }

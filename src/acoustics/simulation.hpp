@@ -31,6 +31,13 @@ enum class BoundaryModel {
 
 const char* modelName(BoundaryModel m);
 
+/// A receiver position on the grid (must be inside the room).
+struct Receiver {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+};
+
 template <typename T>
 class Simulation {
 public:
@@ -42,6 +49,11 @@ public:
     int numBranches = 0;  // FD-MM only
     /// Optional explicit materials; defaultMaterials() otherwise.
     std::vector<Material> materials;
+    /// Optional externally owned stepping pool, shared with other
+    /// simulations (the RIR job service composes job-level concurrency
+    /// this way). Overrides params.threads when non-null; must outlive
+    /// the Simulation.
+    ThreadPool* pool = nullptr;
   };
 
   explicit Simulation(Config config);
@@ -62,6 +74,13 @@ public:
   /// a room impulse response when combined with addImpulse.
   std::vector<T> record(int steps, int x, int y, int z);
 
+  /// Multi-receiver variant: one pass over `steps` steps sampling every
+  /// receiver after each step. Result [r][s] is receiver r at step s, and
+  /// is bit-identical to `receivers.size()` single-receiver runs (sampling
+  /// never perturbs the field).
+  std::vector<std::vector<T>> record(int steps,
+                                     const std::vector<Receiver>& receivers);
+
   int stepsTaken() const { return steps_; }
 
   /// Number of threads the stepper actually uses (resolved from
@@ -79,13 +98,26 @@ public:
   double energy() const;
   double maxAbs() const;
 
-  // Raw state access for the cross-implementation equivalence tests.
+  // Raw state access for the cross-implementation equivalence tests and
+  // the service checkpoint writer/restorer. The mutable pointers alias the
+  // same rotating buffers the stepper uses, so writing a previously saved
+  // prev/curr/next (+ g1/v1/v2 and the step counter) reproduces the saved
+  // trajectory bit-for-bit.
   const T* prev() const { return prev_; }
   const T* curr() const { return curr_; }
+  const T* next() const { return next_; }
+  T* prevMutable() { return prev_; }
   T* currMutable() { return curr_; }
+  T* nextMutable() { return next_; }
   const T* g1() const { return g1_.data(); }
   const T* v1() const { return v1_; }
   const T* v2() const { return v2_; }
+  T* g1Mutable() { return g1_.data(); }
+  T* v1Mutable() { return v1_; }
+  T* v2Mutable() { return v2_; }
+  std::size_t fdStateLen() const { return g1_.size(); }
+  /// Overwrites the step counter (service checkpoint restore only).
+  void setStepsTaken(int steps) { steps_ = steps; }
 
 private:
   /// Runs fn(z0, z1) over a partition of [0, nz) in tileZ-slab tiles,

@@ -1,0 +1,170 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace lifta {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indentLine() {
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+}
+
+void JsonWriter::beginValue() {
+  LIFTA_CHECK(!done_, "JsonWriter: document already complete");
+  if (scopes_.empty()) return;  // the top-level value itself
+  if (scopes_.back() == Scope::Object) {
+    LIFTA_CHECK(keyPending_, "JsonWriter: object value needs a key() first");
+    keyPending_ = false;
+    return;  // key() already placed the comma and indentation
+  }
+  if (!scopeEmpty_) out_ += ',';
+  indentLine();
+  scopeEmpty_ = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  LIFTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::Object,
+              "JsonWriter: key() outside an object");
+  LIFTA_CHECK(!keyPending_, "JsonWriter: key() twice without a value");
+  if (!scopeEmpty_) out_ += ',';
+  indentLine();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\": ";
+  scopeEmpty_ = false;
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beginValue();
+  out_ += '{';
+  scopes_.push_back(Scope::Object);
+  scopeEmpty_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  LIFTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::Object,
+              "JsonWriter: endObject() without beginObject()");
+  LIFTA_CHECK(!keyPending_, "JsonWriter: key() without a value");
+  const bool wasEmpty = scopeEmpty_;
+  scopes_.pop_back();
+  if (!wasEmpty) indentLine();
+  out_ += '}';
+  scopeEmpty_ = false;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beginValue();
+  out_ += '[';
+  scopes_.push_back(Scope::Array);
+  scopeEmpty_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  LIFTA_CHECK(!scopes_.empty() && scopes_.back() == Scope::Array,
+              "JsonWriter: endArray() without beginArray()");
+  const bool wasEmpty = scopeEmpty_;
+  scopes_.pop_back();
+  if (!wasEmpty) indentLine();
+  out_ += ']';
+  scopeEmpty_ = false;
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beginValue();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v, int decimals) {
+  if (!std::isfinite(v)) return nullValue();
+  beginValue();
+  out_ += strformat("%.*f", decimals, v);
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beginValue();
+  out_ += strformat("%lld", static_cast<long long>(v));
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beginValue();
+  out_ += strformat("%llu", static_cast<unsigned long long>(v));
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beginValue();
+  out_ += v ? "true" : "false";
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::nullValue() {
+  beginValue();
+  out_ += "null";
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  LIFTA_CHECK(done_ && scopes_.empty(),
+              "JsonWriter: document incomplete (unclosed scope or no value)");
+  return out_;
+}
+
+void JsonWriter::writeFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw Error("cannot open for writing: " + path);
+  f << str() << '\n';
+  f.flush();
+  if (!f) throw Error("write failed: " + path);
+}
+
+}  // namespace lifta

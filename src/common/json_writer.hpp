@@ -1,0 +1,70 @@
+// Small streaming JSON writer shared by the benchmark outputs
+// (BENCH_refstep.json, BENCH_service.json) and the RIR job-service metrics
+// export, replacing per-bench hand-rolled fprintf emission. Produces
+// pretty-printed, valid JSON: string escaping, comma placement and
+// object/array nesting are handled here; callers only describe structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lifta {
+
+class JsonWriter {
+public:
+  /// Structure. A document is one top-level value (usually beginObject ..
+  /// endObject); inside objects every value must be preceded by key().
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(const std::string& name);
+
+  /// Values. Doubles print with fixed `decimals` digits (matching the
+  /// bench outputs' stable formatting); NaN/Inf become null, which JSON
+  /// cannot represent as numbers.
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v, int decimals = 6);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& nullValue();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    return key(name).value(v);
+  }
+  JsonWriter& field(const std::string& name, double v, int decimals) {
+    return key(name).value(v, decimals);
+  }
+
+  /// The finished document. Throws lifta::Error if any scope is still open
+  /// or no value was written.
+  const std::string& str() const;
+
+  /// str() written to `path` with a trailing newline. Throws lifta::Error
+  /// on I/O failure.
+  void writeFile(const std::string& path) const;
+
+  /// JSON string escaping (quotes not included), exposed for tests.
+  static std::string escape(const std::string& raw);
+
+private:
+  enum class Scope { Object, Array };
+
+  void beginValue();  // comma/newline/indent bookkeeping before any value
+  void indentLine();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  bool scopeEmpty_ = true;   // current scope has no entries yet
+  bool keyPending_ = false;  // key() emitted, awaiting its value
+  bool done_ = false;        // a complete top-level value exists
+};
+
+}  // namespace lifta

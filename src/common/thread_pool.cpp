@@ -129,6 +129,10 @@ void ThreadPool::parallelForChunked(
     runSerialChunks(n, chunk, body);
     return;
   }
+  // One dispatch at a time: concurrent external submitters (e.g. several
+  // RIR jobs stepping over one shared pool) queue up here instead of
+  // clobbering each other's task state or stealing each other's errors.
+  std::lock_guard<std::mutex> submitLock(submitMu_);
   Task task;
   task.body = body;
   task.n = n;

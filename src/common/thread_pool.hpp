@@ -36,6 +36,13 @@ public:
   /// body of the *same* pool would corrupt the shared dispatch state, so
   /// nested calls are detected (thread-local marker) and run serially on the
   /// calling thread with identical chunking and exception semantics.
+  ///
+  /// Concurrent submitters: multiple external threads may call
+  /// parallelFor/parallelForChunked on the same pool at the same time (the
+  /// RIR job service steps many simulations over one shared pool). Loops are
+  /// dispatched one at a time — later submitters block until the in-flight
+  /// loop drains — and each submitter observes only its own loop's
+  /// exceptions.
   void parallelForChunked(
       std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -62,6 +69,11 @@ private:
       const std::function<void(std::size_t, std::size_t)>& body);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole-loop dispatches from concurrent external submitters.
+  /// Held for the full lifetime of one parallelFor dispatch so current_/
+  /// nextIndex_/firstError_ always describe exactly one loop. Nested calls
+  /// never reach for it (they run serially), so it cannot self-deadlock.
+  std::mutex submitMu_;
   std::mutex mu_;
   std::condition_variable cvStart_;
   std::condition_variable cvDone_;

@@ -1,0 +1,44 @@
+// Checkpoint/restore of full reference-tier simulation state.
+//
+// A checkpoint captures everything the stepper's trajectory depends on —
+// the three rotating pressure fields (logical prev/curr/next, regardless of
+// which physical buffer each currently occupies), the FD-MM boundary state
+// g1/v1/v2, and the step counter — in a versioned binary container, so that
+// restore + continue is bit-identical to an uninterrupted run. The RIR job
+// service uses this to survive cancellation/restart of long jobs; the file
+// also doubles as a portable "suspend to disk" for interactive use.
+//
+// Format (native endianness, version 1):
+//   u32 magic 'LRCK'  u32 version
+//   u32 scalarBytes (4 = float, 8 = double)
+//   u32 model  u32 shape
+//   i32 nx ny nz  i32 numMaterials  i32 numBranches  i32 stepsTaken
+//   u64 cells  u64 fdStateLen
+//   T prev[cells]  T curr[cells]  T next[cells]
+//   T g1[fdStateLen]  T v1[fdStateLen]  T v2[fdStateLen]   (FD-MM only)
+// Restore validates every header field against the target simulation's
+// config and throws lifta::Error on any mismatch or truncation.
+#pragma once
+
+#include <string>
+
+#include "acoustics/simulation.hpp"
+
+namespace lifta::service {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4C52434Bu;  // "LRCK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Writes `sim`'s full state to `path`. Throws lifta::Error on I/O failure.
+template <typename T>
+void saveCheckpoint(const acoustics::Simulation<T>& sim,
+                    const std::string& path);
+
+/// Loads a checkpoint into `sim`, which must have been constructed with a
+/// matching config (model, shape, dims, precision, materials, branches).
+/// After the call sim.stepsTaken() equals the saved counter and stepping
+/// continues the saved trajectory bit-for-bit.
+template <typename T>
+void restoreCheckpoint(acoustics::Simulation<T>& sim, const std::string& path);
+
+}  // namespace lifta::service

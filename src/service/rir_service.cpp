@@ -1,0 +1,558 @@
+#include "service/rir_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json_writer.hpp"
+#include "common/string_util.hpp"
+#include "common/wav.hpp"
+#include "lift_acoustics/device_simulation.hpp"
+#include "ocl/runtime.hpp"
+#include "service/checkpoint.hpp"
+
+namespace lifta::service {
+
+using acoustics::BoundaryModel;
+using Clock = std::chrono::steady_clock;
+
+const char* jobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::TimedOut: return "timed-out";
+    case JobStatus::Rejected: return "rejected";
+    case JobStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isTerminal(JobStatus s) {
+  return s != JobStatus::Queued && s != JobStatus::Running;
+}
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+struct RirService::Job {
+  JobId id = 0;
+  std::uint64_t seq = 0;  // submission order, for FIFO within a priority
+  RirJobSpec spec;
+  std::size_t memBytes = 0;
+  std::size_t insideCells = 0;
+  Clock::time_point submitTime;
+  std::atomic<bool> cancelRequested{false};
+  JobStatus status = JobStatus::Queued;  // guarded by the service mutex
+  RirResult result;
+};
+
+std::string RirService::validate(const RirJobSpec& spec) {
+  const auto& room = spec.room;
+  if (spec.steps < 1) return "steps must be >= 1";
+  if (room.nx < 3 || room.ny < 3 || room.nz < 3) {
+    return "room must be at least 3 cells in every dimension";
+  }
+  // The int32-overflow guard of voxelize(), applied before any allocation.
+  if (!acoustics::gridIndexableInt32(room)) {
+    return "grid has more cells than int32 flat indices can address";
+  }
+  if (!spec.params.stable()) {
+    return "Courant number exceeds the 3D stability limit";
+  }
+  if (spec.params.threads < 0) return "params.threads must be >= 0";
+  if (spec.params.tileZ < 1) return "params.tileZ must be >= 1";
+  if (spec.numMaterials < 1) return "need at least one material";
+  if (spec.model == BoundaryModel::FdMm &&
+      (spec.numBranches < 1 || spec.numBranches > acoustics::kMaxBranches)) {
+    return "FD-MM needs 1..kMaxBranches ODE branches";
+  }
+  if (spec.receivers.empty()) return "need at least one receiver";
+  for (const auto& r : spec.receivers) {
+    if (!room.inside(r.x, r.y, r.z)) {
+      return strformat("receiver (%d, %d, %d) is outside the room", r.x, r.y,
+                       r.z);
+    }
+  }
+  for (const auto& s : spec.sources) {
+    if (!room.inside(s.x, s.y, s.z)) {
+      return strformat("source (%d, %d, %d) is outside the room", s.x, s.y,
+                       s.z);
+    }
+  }
+  if (spec.checkpointEverySteps < 0) {
+    return "checkpointEverySteps must be >= 0";
+  }
+  if (spec.checkpointEverySteps > 0 && spec.checkpointPath.empty()) {
+    return "checkpointEverySteps needs a checkpointPath";
+  }
+  if (spec.tier == JobTier::Device) {
+    if (spec.model != BoundaryModel::FiMm &&
+        spec.model != BoundaryModel::FdMm) {
+      return "device tier supports the FI-MM and FD-MM models only";
+    }
+    if (!spec.checkpointPath.empty() || !spec.resumeFrom.empty()) {
+      return "checkpoint/resume is reference-tier only";
+    }
+  }
+  return {};
+}
+
+std::size_t RirService::estimateMemoryBytes(const RirJobSpec& spec) {
+  const std::size_t cells = spec.room.cells();
+  if (!acoustics::gridIndexableInt32(spec.room)) {
+    // Unrepresentable grids can never be admitted.
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t scalarBytes =
+      spec.precision == JobPrecision::Float32 ? 4 : 8;
+  // Boundary points are unknown before voxelization; the box closed form
+  // times two upper-bounds every supported shape (the L-shape adds two
+  // interior walls, everything else has fewer points than the box hull),
+  // clamped to the trivial bound of one point per cell.
+  const std::size_t boundaryEst = std::min(
+      cells,
+      2 * acoustics::boxBoundaryCount(spec.room.nx, spec.room.ny,
+                                      spec.room.nz));
+  std::size_t bytes = 3 * cells * scalarBytes  // prev/curr/next
+                      + cells * 4;             // nbrs
+  // boundaryIndices + boundaryNbr + material, plus the interior-run plan
+  // (runs are bounded by boundary-adjacent rows).
+  bytes += boundaryEst * (3 * 4 + 12);
+  if (spec.model == BoundaryModel::FdMm) {
+    bytes += 3 * static_cast<std::size_t>(spec.numBranches) * boundaryEst *
+             scalarBytes;
+  }
+  if (spec.tier == JobTier::Device) {
+    bytes *= 2;  // host mirrors + simulated device buffers
+  }
+  return bytes;
+}
+
+RirService::RirService() : RirService(Config{}) {}
+
+RirService::RirService(Config config) : config_(config) {
+  LIFTA_CHECK(config_.workers >= 1, "service needs at least one worker");
+  LIFTA_CHECK(config_.memoryBudgetBytes > 0, "memory budget must be > 0");
+  LIFTA_CHECK(config_.cancelCheckEverySteps >= 1,
+              "cancelCheckEverySteps must be >= 1");
+  stepPool_ = config_.stepPool != nullptr ? config_.stepPool
+                                          : &ThreadPool::global();
+  const auto voxel = acoustics::voxelCacheStats();
+  voxelHitsAtStart_ = voxel.hits;
+  voxelMissesAtStart_ = voxel.misses;
+  executors_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    executors_.emplace_back([this] { executorLoop(); });
+  }
+}
+
+RirService::~RirService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    for (auto& [id, job] : jobs_) {
+      if (!isTerminal(job->status)) job->cancelRequested.store(true);
+    }
+  }
+  cvQueue_.notify_all();
+  for (auto& t : executors_) t.join();
+}
+
+RirService::JobId RirService::submit(RirJobSpec spec) {
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->submitTime = Clock::now();
+  const std::string problem = validate(job->spec);
+  const std::size_t estimate =
+      problem.empty() ? estimateMemoryBytes(job->spec) : 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  LIFTA_CHECK(!stopping_, "submit on a stopping service");
+  job->id = nextId_++;
+  job->seq = nextSeq_++;
+  ++submitted_;
+  jobs_.emplace(job->id, job);
+
+  if (!problem.empty() || estimate > config_.memoryBudgetBytes) {
+    job->result.error =
+        !problem.empty()
+            ? problem
+            : strformat("estimated %zu bytes exceeds the %zu-byte budget",
+                        estimate, config_.memoryBudgetBytes);
+    job->result.memoryBytesEstimated = estimate;
+    job->status = job->result.status = JobStatus::Rejected;
+    job->result.finishSequence = nextFinishSeq_++;
+    ++rejected_;
+    cvDone_.notify_all();
+    return job->id;
+  }
+
+  job->memBytes = estimate;
+  job->result.memoryBytesEstimated = estimate;
+  // Highest priority first, FIFO within a priority: insert before the
+  // first strictly-worse entry.
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(), [&](const std::shared_ptr<Job>& q) {
+        return q->spec.priority < job->spec.priority;
+      });
+  queue_.insert(pos, job);
+  cvQueue_.notify_all();
+  return job->id;
+}
+
+bool RirService::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || isTerminal(it->second->status)) return false;
+  it->second->cancelRequested.store(true);
+  // A still-queued job finalizes right here — even when every executor is
+  // busy — so waiters unblock immediately and the queue keeps draining
+  // around it. A running job stops at its next step-granularity check.
+  const auto pos = std::find(queue_.begin(), queue_.end(), it->second);
+  if (pos != queue_.end()) {
+    queue_.erase(pos);
+    finalize(*it->second, JobStatus::Cancelled);
+  }
+  cvQueue_.notify_all();
+  return true;
+}
+
+JobStatus RirService::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  LIFTA_CHECK(it != jobs_.end(), "unknown job id");
+  return it->second->status;
+}
+
+RirResult RirService::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  LIFTA_CHECK(it != jobs_.end(), "unknown job id");
+  auto job = it->second;
+  cvDone_.wait(lock, [&] { return isTerminal(job->status); });
+  return job->result;
+}
+
+void RirService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cvDone_.wait(lock, [&] {
+    for (const auto& [id, job] : jobs_) {
+      if (!isTerminal(job->status)) return false;
+    }
+    return true;
+  });
+}
+
+// Caller holds mu_. Records the terminal state and metrics contributions.
+void RirService::finalize(Job& job, JobStatus status) {
+  job.status = job.result.status = status;
+  job.result.finishSequence = nextFinishSeq_++;
+  switch (status) {
+    case JobStatus::Done: ++completed_; break;
+    case JobStatus::Cancelled: ++cancelled_; break;
+    case JobStatus::TimedOut: ++timedOut_; break;
+    case JobStatus::Failed: ++failed_; break;
+    default: break;
+  }
+  cellSteps_ += static_cast<std::uint64_t>(job.insideCells) *
+                static_cast<std::uint64_t>(job.result.stepsDone);
+  totalRunMs_ += job.result.runMs;
+  cvDone_.notify_all();
+}
+
+void RirService::executorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cvQueue_.wait(lock, [&] {
+      if (stopping_ && queue_.empty()) return true;
+      if (queue_.empty()) return false;
+      if (std::any_of(queue_.begin(), queue_.end(),
+                      [](const std::shared_ptr<Job>& q) {
+                        return q->cancelRequested.load();
+                      })) {
+        return true;
+      }
+      return memoryInUse_ + queue_.front()->memBytes <=
+             config_.memoryBudgetBytes;
+    });
+    if (queue_.empty()) return;  // stopping
+
+    // Sweep cancellations anywhere in the queue so a cancelled job frees
+    // its slot immediately and the queue keeps draining around it.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->cancelRequested.load()) {
+        finalize(**it, JobStatus::Cancelled);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (queue_.empty() ||
+        memoryInUse_ + queue_.front()->memBytes > config_.memoryBudgetBytes) {
+      continue;  // re-evaluate the wait predicate
+    }
+
+    auto job = queue_.front();
+    queue_.erase(queue_.begin());
+    job->result.queueWaitMs = msSince(job->submitTime);
+    queueWaitSamples_.push_back(job->result.queueWaitMs);
+    if (job->spec.timeoutMs > 0.0 &&
+        job->result.queueWaitMs >= job->spec.timeoutMs) {
+      finalize(*job, JobStatus::TimedOut);  // deadline expired while queued
+      continue;
+    }
+    memoryInUse_ += job->memBytes;
+    peakMemoryInUse_ = std::max(peakMemoryInUse_, memoryInUse_);
+    job->status = JobStatus::Running;
+
+    lock.unlock();
+    runJob(*job);
+    lock.lock();
+
+    memoryInUse_ -= job->memBytes;
+    finalize(*job, job->result.status);
+    cvQueue_.notify_all();  // budget freed
+  }
+}
+
+// Runs outside the service mutex; leaves the terminal status in
+// job.result.status for finalize().
+void RirService::runJob(Job& job) {
+  try {
+    if (job.spec.tier == JobTier::Device) {
+      runDeviceJob(job);
+    } else if (job.spec.precision == JobPrecision::Float32) {
+      runReferenceJob<float>(job);
+    } else {
+      runReferenceJob<double>(job);
+    }
+  } catch (const std::exception& e) {
+    job.result.error = e.what();
+    job.result.status = JobStatus::Failed;
+  }
+}
+
+bool RirService::deadlineExpired(const Job& job) const {
+  return job.spec.timeoutMs > 0.0 &&
+         msSince(job.submitTime) >= job.spec.timeoutMs;
+}
+
+template <typename T>
+void RirService::runReferenceJob(Job& job) {
+  const RirJobSpec& spec = job.spec;
+  typename acoustics::Simulation<T>::Config cfg;
+  cfg.room = spec.room;
+  cfg.params = spec.params;
+  cfg.model = spec.model;
+  cfg.numMaterials = spec.numMaterials;
+  cfg.numBranches = spec.numBranches;
+  cfg.materials = spec.materials;
+  cfg.pool = stepPool_;
+  acoustics::Simulation<T> sim(cfg);
+  job.insideCells = sim.grid().insideCells;
+
+  if (!spec.resumeFrom.empty()) {
+    // The original run already injected the sources; restore reproduces
+    // the field as of the checkpointed step.
+    restoreCheckpoint(sim, spec.resumeFrom);
+  } else {
+    for (const auto& s : spec.sources) {
+      sim.addImpulse(s.x, s.y, s.z, static_cast<T>(s.amplitude));
+    }
+  }
+  if (spec.profile) sim.enableProfiling();
+
+  job.result.traces.assign(spec.receivers.size(), {});
+  JobStatus end = JobStatus::Done;
+  Timer runTimer;
+  int done = sim.stepsTaken();
+  while (done < spec.steps) {
+    if (job.cancelRequested.load()) {
+      end = JobStatus::Cancelled;
+      break;
+    }
+    if (deadlineExpired(job)) {
+      end = JobStatus::TimedOut;
+      break;
+    }
+    int chunk = std::min(config_.cancelCheckEverySteps, spec.steps - done);
+    if (spec.checkpointEverySteps > 0) {
+      chunk = std::min(
+          chunk, spec.checkpointEverySteps - done % spec.checkpointEverySteps);
+    }
+    const auto part = sim.record(chunk, spec.receivers);
+    for (std::size_t r = 0; r < part.size(); ++r) {
+      auto& trace = job.result.traces[r];
+      trace.insert(trace.end(), part[r].begin(), part[r].end());
+    }
+    done += chunk;
+    job.result.stepsDone += chunk;
+    if (spec.checkpointEverySteps > 0 &&
+        done % spec.checkpointEverySteps == 0) {
+      saveCheckpoint(sim, spec.checkpointPath);
+    }
+  }
+  if (end == JobStatus::Done && spec.checkpointEverySteps > 0 &&
+      done % spec.checkpointEverySteps != 0) {
+    saveCheckpoint(sim, spec.checkpointPath);  // final-step checkpoint
+  }
+  job.result.runMs = runTimer.milliseconds();
+  if (job.result.runMs > 0.0) {
+    job.result.mcellsPerSecond = static_cast<double>(job.insideCells) *
+                                 job.result.stepsDone /
+                                 (job.result.runMs * 1e3);
+  }
+  if (spec.profile) job.result.profile = sim.profile();
+  if (end == JobStatus::Done) exportWavs(job);
+  job.result.status = end;
+}
+
+void RirService::runDeviceJob(Job& job) {
+  const RirJobSpec& spec = job.spec;
+  // One JIT context shared by every device job; DeviceSimulation drives it
+  // single-threadedly, so device-tier jobs serialize here.
+  std::lock_guard<std::mutex> devLock(deviceMu_);
+  if (!deviceContext_) deviceContext_ = std::make_unique<ocl::Context>();
+
+  lift_acoustics::DeviceSimulation::Config cfg;
+  cfg.room = spec.room;
+  cfg.params = spec.params;
+  cfg.model = spec.model == BoundaryModel::FdMm
+                  ? lift_acoustics::DeviceModel::FdMm
+                  : lift_acoustics::DeviceModel::FiMm;
+  cfg.numMaterials = spec.numMaterials;
+  if (spec.model == BoundaryModel::FdMm) cfg.numBranches = spec.numBranches;
+  cfg.precision = spec.precision == JobPrecision::Float32
+                      ? ir::ScalarKind::Float
+                      : ir::ScalarKind::Double;
+  cfg.materials = spec.materials;
+  lift_acoustics::DeviceSimulation dev(*deviceContext_, cfg);
+  job.insideCells = dev.grid().insideCells;
+
+  for (const auto& s : spec.sources) {
+    dev.addImpulse(s.x, s.y, s.z, s.amplitude);
+  }
+
+  job.result.traces.assign(spec.receivers.size(), {});
+  JobStatus end = JobStatus::Done;
+  Timer runTimer;
+  int done = 0;
+  while (done < spec.steps) {
+    if (job.cancelRequested.load()) {
+      end = JobStatus::Cancelled;
+      break;
+    }
+    if (deadlineExpired(job)) {
+      end = JobStatus::TimedOut;
+      break;
+    }
+    const int chunk =
+        std::min(config_.cancelCheckEverySteps, spec.steps - done);
+    for (int i = 0; i < chunk; ++i) {
+      dev.step();
+      for (std::size_t r = 0; r < spec.receivers.size(); ++r) {
+        const auto& rx = spec.receivers[r];
+        job.result.traces[r].push_back(dev.sample(rx.x, rx.y, rx.z));
+      }
+    }
+    done += chunk;
+    job.result.stepsDone += chunk;
+  }
+  job.result.runMs = runTimer.milliseconds();
+  if (job.result.runMs > 0.0) {
+    job.result.mcellsPerSecond = static_cast<double>(job.insideCells) *
+                                 job.result.stepsDone /
+                                 (job.result.runMs * 1e3);
+  }
+  if (end == JobStatus::Done) exportWavs(job);
+  job.result.status = end;
+}
+
+void RirService::exportWavs(Job& job) {
+  if (job.spec.wavDir.empty()) return;
+  const int rate = static_cast<int>(job.spec.params.sampleRate);
+  for (std::size_t r = 0; r < job.result.traces.size(); ++r) {
+    const std::string path =
+        strformat("%s/job%llu_rx%zu.wav", job.spec.wavDir.c_str(),
+                  static_cast<unsigned long long>(job.id), r);
+    writeWav(path, normalize(job.result.traces[r]), rate);
+    job.result.wavPaths.push_back(path);
+  }
+}
+
+ServiceMetrics RirService::metrics() const {
+  ServiceMetrics m;
+  const auto voxel = acoustics::voxelCacheStats();
+  std::lock_guard<std::mutex> lock(mu_);
+  m.submitted = submitted_;
+  m.completed = completed_;
+  m.cancelled = cancelled_;
+  m.timedOut = timedOut_;
+  m.rejected = rejected_;
+  m.failed = failed_;
+  m.cellStepsProcessed = cellSteps_;
+  m.totalRunMs = totalRunMs_;
+  m.queueWaitMs = summarize(queueWaitSamples_);
+  m.elapsedSeconds = uptime_.seconds();
+  m.memoryBudgetBytes = config_.memoryBudgetBytes;
+  m.memoryInUseBytes = memoryInUse_;
+  m.peakMemoryInUseBytes = peakMemoryInUse_;
+  m.voxelCacheHits = voxel.hits - voxelHitsAtStart_;
+  m.voxelCacheMisses = voxel.misses - voxelMissesAtStart_;
+  return m;
+}
+
+std::string ServiceMetrics::toJson() const {
+  JsonWriter json;
+  json.beginObject();
+  json.key("jobs")
+      .beginObject()
+      .field("submitted", submitted)
+      .field("completed", completed)
+      .field("cancelled", cancelled)
+      .field("timed_out", timedOut)
+      .field("rejected", rejected)
+      .field("failed", failed)
+      .endObject();
+  json.field("cell_steps_processed", cellStepsProcessed)
+      .field("total_run_ms", totalRunMs, 3)
+      .field("elapsed_seconds", elapsedSeconds, 3)
+      .field("jobs_per_second", jobsPerSecond(), 3)
+      .field("aggregate_mcells_per_second", aggregateMcellsPerSecond(), 3);
+  json.key("queue_wait_ms")
+      .beginObject()
+      .field("median", queueWaitMs.median, 3)
+      .field("mean", queueWaitMs.mean, 3)
+      .field("max", queueWaitMs.max, 3)
+      .field("count", static_cast<std::uint64_t>(queueWaitMs.count))
+      .endObject();
+  json.key("memory")
+      .beginObject()
+      .field("budget_bytes", static_cast<std::uint64_t>(memoryBudgetBytes))
+      .field("in_use_bytes", static_cast<std::uint64_t>(memoryInUseBytes))
+      .field("peak_in_use_bytes",
+             static_cast<std::uint64_t>(peakMemoryInUseBytes))
+      .endObject();
+  json.key("voxel_cache")
+      .beginObject()
+      .field("hits", voxelCacheHits)
+      .field("misses", voxelCacheMisses)
+      .field("hit_rate", voxelCacheHitRate(), 4)
+      .endObject();
+  json.endObject();
+  return json.str();
+}
+
+template void RirService::runReferenceJob<float>(Job&);
+template void RirService::runReferenceJob<double>(Job&);
+
+}  // namespace lifta::service

@@ -226,7 +226,9 @@ TEST(Geometry, VolumeSegmentTableInvariants) {
     }
     // Every inside cell lies in some segment; dropped windows are outside.
     for (std::size_t i = 0; i < g.cells(); ++i) {
-      if (g.nbrs[i] > 0) EXPECT_TRUE(covered[i]) << shapeName(shape);
+      if (g.nbrs[i] > 0) {
+        EXPECT_TRUE(covered[i]) << shapeName(shape);
+      }
     }
   }
 }
@@ -254,6 +256,62 @@ TEST(Geometry, VoxelizeCachedReturnsSharedGrid) {
   EXPECT_EQ(a->boundaryIndices, fresh.boundaryIndices);
   EXPECT_EQ(a->interiorRuns.runBegin, fresh.interiorRuns.runBegin);
   EXPECT_EQ(a->interiorRuns.runLen, fresh.interiorRuns.runLen);
+}
+
+TEST(Geometry, VoxelCacheEvictsLeastRecentlyUsed) {
+  // The cache is process-global and monotonic-countered, so work in deltas
+  // and restore the default capacity afterwards.
+  clearVoxelCache();
+  setVoxelCacheCapacity(2);
+  const auto base = voxelCacheStats();
+  EXPECT_EQ(base.entries, 0u);
+  EXPECT_EQ(base.capacity, 2u);
+
+  const Room a{RoomShape::Box, 10, 9, 8};
+  const Room b{RoomShape::Dome, 10, 9, 8};
+  const Room c{RoomShape::Cylinder, 10, 9, 8};
+
+  const auto gridA = voxelizeCached(a);  // miss: {A}
+  voxelizeCached(b);                     // miss: {B, A}
+  voxelizeCached(a);                     // hit:  {A, B}
+  voxelizeCached(c);                     // miss, evicts LRU B: {C, A}
+  auto s = voxelCacheStats();
+  EXPECT_EQ(s.misses - base.misses, 3u);
+  EXPECT_EQ(s.hits - base.hits, 1u);
+  EXPECT_EQ(s.evictions - base.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+
+  // A stayed (it was touched after B): hit. B was evicted: miss again.
+  EXPECT_EQ(voxelizeCached(a).get(), gridA.get());
+  voxelizeCached(b);  // re-voxelizes, evicting LRU C
+  s = voxelCacheStats();
+  EXPECT_EQ(s.misses - base.misses, 4u);
+  EXPECT_EQ(s.hits - base.hits, 2u);
+  EXPECT_EQ(s.evictions - base.evictions, 2u);
+
+  // An evicted grid stays alive through handed-out shared_ptrs.
+  voxelizeCached(c);  // evicts A (LRU)
+  EXPECT_EQ(gridA->cells(), a.cells());
+  EXPECT_EQ(gridA->nbrs.size(), a.cells());
+
+  // Shrinking the capacity evicts immediately; hitRate is consistent.
+  setVoxelCacheCapacity(1);
+  s = voxelCacheStats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.capacity, 1u);
+  EXPECT_GT(s.hitRate(), 0.0);
+  EXPECT_THROW(setVoxelCacheCapacity(0), Error);
+
+  setVoxelCacheCapacity(kDefaultVoxelCacheCapacity);
+  clearVoxelCache();
+}
+
+TEST(Geometry, GridIndexableInt32Guard) {
+  // The predicate the voxelizer's overflow guard and the job service's
+  // admission check share.
+  EXPECT_TRUE(gridIndexableInt32(Room{RoomShape::Box, 100, 100, 100}));
+  EXPECT_TRUE(gridIndexableInt32(Room{RoomShape::Box, 1290, 1290, 1290}));
+  EXPECT_FALSE(gridIndexableInt32(Room{RoomShape::Box, 1300, 1300, 1300}));
 }
 
 }  // namespace

@@ -407,5 +407,71 @@ TEST(Simulation, ModelNames) {
   EXPECT_STREQ(modelName(BoundaryModel::FiMm), "FI-MM");
 }
 
+TEST(Simulation, MultiReceiverRecordMatchesSingleRunsBitwise) {
+  // One multi-receiver pass must equal N independent single-receiver runs
+  // exactly: sampling never perturbs the field. This is what lets the RIR
+  // job service record every receiver of a job in one simulation.
+  const std::vector<Receiver> receivers = {
+      {5, 5, 5}, {16, 12, 7}, {10, 9, 7}};
+  for (auto model : {BoundaryModel::FusedFi, BoundaryModel::FiMm,
+                     BoundaryModel::FdMm}) {
+    const int numMaterials =
+        model == BoundaryModel::FusedFi ? 1 : 2;
+    const int numBranches = model == BoundaryModel::FdMm ? 3 : 0;
+    const auto cfg = smallBox<double>(model, numMaterials, numBranches);
+
+    Simulation<double> multi(cfg);
+    multi.addImpulse(10, 9, 7, 1.0);
+    const auto traces = multi.record(40, receivers);
+    ASSERT_EQ(traces.size(), receivers.size());
+
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      Simulation<double> single(cfg);
+      single.addImpulse(10, 9, 7, 1.0);
+      const auto expected =
+          single.record(40, receivers[r].x, receivers[r].y, receivers[r].z);
+      ASSERT_EQ(traces[r].size(), expected.size());
+      for (std::size_t s = 0; s < expected.size(); ++s) {
+        ASSERT_EQ(traces[r][s], expected[s])
+            << modelName(model) << ": receiver " << r << " step " << s;
+      }
+    }
+  }
+}
+
+TEST(Simulation, MultiReceiverRecordRejectsOutsideReceiver) {
+  Simulation<double> sim(smallBox<double>(BoundaryModel::FiMm));
+  EXPECT_THROW(sim.record(5, {{0, 0, 0}}), Error);
+  EXPECT_THROW(sim.record(5, std::vector<Receiver>{}), Error);
+}
+
+TEST(Simulation, ExternalSharedPoolSteppingBitIdentical) {
+  // Two simulations sharing one externally owned pool (the job-service
+  // composition) step bit-identically to an owned-pool simulation.
+  ThreadPool shared(2);
+  auto cfg = smallBox<double>(BoundaryModel::FiMm, 2);
+  cfg.params.threads = 2;
+  cfg.params.tileZ = 2;
+  Simulation<double> owned(cfg);
+
+  auto cfgShared = cfg;
+  cfgShared.pool = &shared;
+  cfgShared.params.threads = 7;  // ignored: the external pool wins
+  Simulation<double> a(cfgShared);
+  Simulation<double> b(cfgShared);
+  EXPECT_EQ(a.threadsUsed(), shared.threadCount());
+
+  owned.addImpulse(10, 9, 7, 1.0);
+  a.addImpulse(10, 9, 7, 1.0);
+  b.addImpulse(10, 9, 7, 1.0);
+  const auto ro = owned.record(30, 5, 5, 5);
+  const auto ra = a.record(30, 5, 5, 5);
+  const auto rb = b.record(30, 5, 5, 5);
+  for (std::size_t s = 0; s < ro.size(); ++s) {
+    ASSERT_EQ(ra[s], ro[s]) << "step " << s;
+    ASSERT_EQ(rb[s], ro[s]) << "step " << s;
+  }
+}
+
 }  // namespace
 }  // namespace lifta::acoustics

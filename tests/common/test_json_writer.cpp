@@ -1,0 +1,136 @@
+// The shared JSON writer behind BENCH_refstep.json, BENCH_service.json and
+// the service metrics export: structure bookkeeping (commas, nesting,
+// indentation), number formatting and string escaping.
+#include "common/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace lifta {
+namespace {
+
+TEST(JsonWriter, FlatObjectWithEveryValueType) {
+  JsonWriter json;
+  json.beginObject()
+      .field("name", "bench")
+      .field("iters", 15)
+      .field("cells", std::uint64_t{7} << 32)
+      .field("negative", std::int64_t{-42})
+      .field("ratio", 0.8125, 4)
+      .field("met", true)
+      .field("skipped", false)
+      .key("missing")
+      .nullValue()
+      .endObject();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"bench\",\n"
+            "  \"iters\": 15,\n"
+            "  \"cells\": 30064771072,\n"
+            "  \"negative\": -42,\n"
+            "  \"ratio\": 0.8125,\n"
+            "  \"met\": true,\n"
+            "  \"skipped\": false,\n"
+            "  \"missing\": null\n"
+            "}");
+}
+
+TEST(JsonWriter, NestedObjectsAndArraysPlaceCommasCorrectly) {
+  JsonWriter json;
+  json.beginObject().key("rows").beginArray();
+  for (int i = 0; i < 3; ++i) {
+    json.beginObject().field("i", i).endObject();
+  }
+  json.endArray()
+      .key("empty_array")
+      .beginArray()
+      .endArray()
+      .key("empty_object")
+      .beginObject()
+      .endObject()
+      .endObject();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"i\": 0\n"
+            "    },\n"
+            "    {\n"
+            "      \"i\": 1\n"
+            "    },\n"
+            "    {\n"
+            "      \"i\": 2\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty_array\": [],\n"
+            "  \"empty_object\": {}\n"
+            "}");
+}
+
+TEST(JsonWriter, ArrayOfScalarsAtTopLevel) {
+  JsonWriter json;
+  json.beginArray().value(1).value(2.5, 1).value("x").endArray();
+  EXPECT_EQ(json.str(), "[\n  1,\n  2.5,\n  \"x\"\n]");
+}
+
+TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+
+  JsonWriter json;
+  json.beginObject().field("path", "a\\b \"quoted\"").endObject();
+  EXPECT_EQ(json.str(), "{\n  \"path\": \"a\\\\b \\\"quoted\\\"\"\n}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.beginArray()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5, 2)
+      .endArray();
+  EXPECT_EQ(json.str(), "[\n  null,\n  null,\n  1.50\n]");
+}
+
+TEST(JsonWriter, IncompleteDocumentsThrow) {
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.str(), Error);  // nothing written
+  }
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.str(), Error);  // scope still open
+  }
+  {
+    JsonWriter json;
+    json.beginObject().key("dangling");
+    EXPECT_THROW(json.str(), Error);  // key with no value
+  }
+}
+
+TEST(JsonWriter, WriteFileRoundTripsAndFailsOnBadPath) {
+  const std::string path = std::string(::testing::TempDir()) + "jw_test.json";
+  JsonWriter json;
+  json.beginObject().field("ok", true).endObject();
+  json.writeFile(path);
+  std::ifstream in(path);
+  const std::string onDisk((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(onDisk, json.str() + "\n");
+  std::remove(path.c_str());
+
+  EXPECT_THROW(json.writeFile("/nonexistent-dir/x.json"), Error);
+}
+
+}  // namespace
+}  // namespace lifta

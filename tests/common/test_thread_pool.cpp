@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace lifta {
@@ -129,6 +130,71 @@ TEST(ThreadPool, SerialPoolChunkedCoversRange) {
   EXPECT_EQ(total, 1000u);
   // Same granularity policy as the pooled path (~4 chunks per thread).
   EXPECT_GT(chunks, 1u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersEachCoverTheirRange) {
+  // The RIR job service composition pattern: several executor threads step
+  // their own simulations over one shared pool, so parallelForChunked is
+  // called concurrently from multiple non-worker threads. Every submitter
+  // must see its own loop cover its own range exactly once.
+  ThreadPool pool(3);
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kN = 512;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        pool.parallelForChunked(kN, [&, s](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) hits[s][i].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[s][i].load(), static_cast<int>(kRounds))
+          << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmitterExceptionStaysWithItsLoop) {
+  // An exception in one submitter's body must propagate to that submitter
+  // only; loops dispatched concurrently from other threads are unaffected.
+  ThreadPool pool(2);
+  constexpr std::size_t kRounds = 50;
+  std::atomic<int> cleanTotal{0};
+  std::atomic<int> throwerCaught{0};
+  std::thread clean([&] {
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      pool.parallelFor(64, [&](std::size_t) { cleanTotal.fetch_add(1); });
+    }
+  });
+  std::thread thrower([&] {
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      try {
+        pool.parallelFor(64, [](std::size_t i) {
+          if (i == 13) throw std::runtime_error("boom");
+        });
+      } catch (const std::runtime_error&) {
+        throwerCaught.fetch_add(1);
+      }
+    }
+  });
+  clean.join();
+  thrower.join();
+  EXPECT_EQ(cleanTotal.load(), static_cast<int>(kRounds * 64));
+  EXPECT_EQ(throwerCaught.load(), static_cast<int>(kRounds));
+  // Pool still intact afterwards.
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(ThreadPool, GlobalPoolSingleton) {

@@ -1,0 +1,417 @@
+// The RIR job service end-to-end: scheduling (priority, FIFO, budget
+// admission), lifecycle transitions (cancel, deadline, reject), result
+// fidelity (bit-identical to a direct Simulation run, both tiers), resume
+// from checkpoints, WAV export and service metrics.
+#include "service/rir_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+using namespace lifta;
+using namespace lifta::acoustics;
+using namespace lifta::service;
+
+namespace {
+
+RirJobSpec smallSpec(BoundaryModel model = BoundaryModel::FiMm,
+                     int steps = 40) {
+  RirJobSpec spec;
+  spec.room = Room{RoomShape::Dome, 16, 14, 12};
+  spec.model = model;
+  const bool mm = model == BoundaryModel::FiMm || model == BoundaryModel::FdMm;
+  spec.numMaterials = mm ? 2 : 1;
+  spec.numBranches = model == BoundaryModel::FdMm ? 3 : 0;
+  spec.steps = steps;
+  spec.sources.push_back({8, 7, 6, 1.0});
+  spec.receivers.push_back({5, 5, 5});
+  spec.receivers.push_back({10, 8, 6});
+  return spec;
+}
+
+void waitUntilRunning(RirService& svc, RirService::JobId id) {
+  while (svc.status(id) == JobStatus::Queued) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(RirService, JobMatchesDirectSimulationBitwise) {
+  const auto spec = smallSpec();
+  RirService svc;
+  const auto id = svc.submit(spec);
+  const RirResult r = svc.wait(id);
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  EXPECT_EQ(r.stepsDone, spec.steps);
+  EXPECT_GT(r.mcellsPerSecond, 0.0);
+  EXPECT_GT(r.memoryBytesEstimated, 0u);
+  EXPECT_GE(r.finishSequence, 1u);
+
+  Simulation<double>::Config cfg;
+  cfg.room = spec.room;
+  cfg.model = spec.model;
+  cfg.numMaterials = spec.numMaterials;
+  Simulation<double> direct(cfg);
+  direct.addImpulse(8, 7, 6, 1.0);
+  const auto expected = direct.record(spec.steps, spec.receivers);
+
+  ASSERT_EQ(r.traces.size(), expected.size());
+  for (std::size_t rx = 0; rx < expected.size(); ++rx) {
+    ASSERT_EQ(r.traces[rx].size(), expected[rx].size());
+    for (std::size_t s = 0; s < expected[rx].size(); ++s) {
+      ASSERT_EQ(r.traces[rx][s], expected[rx][s])
+          << "receiver " << rx << " step " << s;
+    }
+  }
+}
+
+TEST(RirService, Float32JobRunsAndRecords) {
+  auto spec = smallSpec(BoundaryModel::FdMm, 25);
+  spec.precision = JobPrecision::Float32;
+  spec.profile = true;
+  RirService svc;
+  const RirResult r = svc.wait(svc.submit(spec));
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  EXPECT_EQ(r.stepsDone, 25);
+  ASSERT_EQ(r.traces.size(), 2u);
+  EXPECT_EQ(r.traces[0].size(), 25u);
+  // Profiling was requested: one sample per step ran.
+  EXPECT_EQ(r.profile.steps(), 25u);
+}
+
+TEST(RirService, PriorityOrderHighJumpsQueue) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 4;
+  RirService svc(cfg);
+
+  // Occupy the single executor long enough that both later jobs queue.
+  auto blocker = smallSpec(BoundaryModel::FiMm, 2'000'000);
+  const auto idBlocker = svc.submit(blocker);
+  waitUntilRunning(svc, idBlocker);
+
+  auto low = smallSpec(BoundaryModel::FiMm, 10);
+  low.priority = 0;
+  auto high = smallSpec(BoundaryModel::FiMm, 10);
+  high.priority = 5;
+  const auto idLow = svc.submit(low);
+  const auto idHigh = svc.submit(high);  // submitted last, runs first
+  EXPECT_TRUE(svc.cancel(idBlocker));
+
+  const RirResult rLow = svc.wait(idLow);
+  const RirResult rHigh = svc.wait(idHigh);
+  ASSERT_EQ(rLow.status, JobStatus::Done) << rLow.error;
+  ASSERT_EQ(rHigh.status, JobStatus::Done) << rHigh.error;
+  EXPECT_LT(rHigh.finishSequence, rLow.finishSequence);
+}
+
+TEST(RirService, FifoWithinEqualPriority) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 4;
+  RirService svc(cfg);
+  const auto idBlocker = svc.submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  waitUntilRunning(svc, idBlocker);
+  const auto idFirst = svc.submit(smallSpec(BoundaryModel::FusedFi, 10));
+  const auto idSecond = svc.submit(smallSpec(BoundaryModel::FusedFi, 10));
+  svc.cancel(idBlocker);
+  EXPECT_LT(svc.wait(idFirst).finishSequence,
+            svc.wait(idSecond).finishSequence);
+}
+
+TEST(RirService, CancelQueuedJobFreesSlotAndQueueDrains) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 4;
+  RirService svc(cfg);
+  const auto idBlocker = svc.submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  waitUntilRunning(svc, idBlocker);
+  const auto idDoomed = svc.submit(smallSpec(BoundaryModel::FiMm, 10));
+  const auto idAfter = svc.submit(smallSpec(BoundaryModel::FusedFi, 10));
+
+  EXPECT_TRUE(svc.cancel(idDoomed));
+  const RirResult rDoomed = svc.wait(idDoomed);
+  EXPECT_EQ(rDoomed.status, JobStatus::Cancelled);
+  EXPECT_EQ(rDoomed.stepsDone, 0);  // never started
+
+  EXPECT_TRUE(svc.cancel(idBlocker));
+  // The queue keeps draining around the cancellations.
+  const RirResult rAfter = svc.wait(idAfter);
+  EXPECT_EQ(rAfter.status, JobStatus::Done) << rAfter.error;
+  svc.drain();
+
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.cancelled, 2u);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.memoryInUseBytes, 0u);  // every admitted job released budget
+
+  // Cancelling a terminal or unknown job is a no-op.
+  EXPECT_FALSE(svc.cancel(idDoomed));
+  EXPECT_FALSE(svc.cancel(9999));
+}
+
+TEST(RirService, CancelRunningJobStopsAtStepGranularity) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 2;
+  RirService svc(cfg);
+  const auto id = svc.submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  waitUntilRunning(svc, id);
+  EXPECT_TRUE(svc.cancel(id));
+  const RirResult r = svc.wait(id);
+  EXPECT_EQ(r.status, JobStatus::Cancelled);
+  EXPECT_LT(r.stepsDone, 2'000'000);
+  // The partial trace covers exactly the steps that ran.
+  ASSERT_EQ(r.traces.size(), 2u);
+  EXPECT_EQ(r.traces[0].size(), static_cast<std::size_t>(r.stepsDone));
+}
+
+TEST(RirService, DeadlineExpiresMidRun) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 2;
+  RirService svc(cfg);
+  auto spec = smallSpec(BoundaryModel::FiMm, 2'000'000);
+  spec.timeoutMs = 5.0;
+  const RirResult r = svc.wait(svc.submit(spec));
+  EXPECT_EQ(r.status, JobStatus::TimedOut);
+  EXPECT_LT(r.stepsDone, 2'000'000);
+  EXPECT_EQ(svc.metrics().timedOut, 1u);
+}
+
+TEST(RirService, DeadlineExpiresWhileQueued) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 4;
+  RirService svc(cfg);
+  const auto idBlocker = svc.submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  waitUntilRunning(svc, idBlocker);
+  auto late = smallSpec(BoundaryModel::FiMm, 10);
+  late.timeoutMs = 0.001;  // will have expired by the time it dequeues
+  const auto idLate = svc.submit(late);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  svc.cancel(idBlocker);
+  const RirResult r = svc.wait(idLate);
+  EXPECT_EQ(r.status, JobStatus::TimedOut);
+  EXPECT_EQ(r.stepsDone, 0);
+}
+
+TEST(RirService, MemoryBudgetBoundsConcurrentAdmission) {
+  const auto spec = smallSpec(BoundaryModel::FdMm, 30);
+  const std::size_t perJob = RirService::estimateMemoryBytes(spec);
+  ASSERT_GT(perJob, 0u);
+
+  RirService::Config cfg;
+  cfg.workers = 2;
+  cfg.memoryBudgetBytes = perJob + perJob / 2;  // fits one job, not two
+  RirService svc(cfg);
+  std::vector<RirService::JobId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(svc.submit(spec));
+  for (const auto id : ids) {
+    const RirResult r = svc.wait(id);
+    EXPECT_EQ(r.status, JobStatus::Done) << r.error;
+    EXPECT_EQ(r.memoryBytesEstimated, perJob);
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, 3u);
+  EXPECT_LE(m.peakMemoryInUseBytes, cfg.memoryBudgetBytes);
+  EXPECT_GE(m.peakMemoryInUseBytes, perJob);
+  EXPECT_EQ(m.memoryInUseBytes, 0u);
+}
+
+TEST(RirService, RejectsJobOverIntMaxCellsWithoutAllocating) {
+  auto spec = smallSpec();
+  spec.room = Room{RoomShape::Box, 1300, 1300, 1300};  // > 2^31 - 1 cells
+  spec.receivers = {{5, 5, 5}};
+  spec.sources = {{6, 6, 6, 1.0}};
+  RirService svc;
+  const auto id = svc.submit(spec);
+  EXPECT_EQ(svc.status(id), JobStatus::Rejected);  // immediate, no wait
+  const RirResult r = svc.wait(id);
+  EXPECT_EQ(r.status, JobStatus::Rejected);
+  EXPECT_NE(r.error.find("int32"), std::string::npos) << r.error;
+  EXPECT_EQ(svc.metrics().rejected, 1u);
+}
+
+TEST(RirService, RejectsJobThatCanNeverFitTheBudget) {
+  RirService::Config cfg;
+  cfg.memoryBudgetBytes = 1024;  // smaller than any real job
+  RirService svc(cfg);
+  const RirResult r = svc.wait(svc.submit(smallSpec()));
+  EXPECT_EQ(r.status, JobStatus::Rejected);
+  EXPECT_NE(r.error.find("budget"), std::string::npos) << r.error;
+}
+
+TEST(RirService, RejectsInvalidSpecs) {
+  RirService svc;
+  auto noReceivers = smallSpec();
+  noReceivers.receivers.clear();
+  EXPECT_EQ(svc.wait(svc.submit(noReceivers)).status, JobStatus::Rejected);
+
+  auto outsideSource = smallSpec();
+  outsideSource.sources = {{0, 0, 0, 1.0}};  // halo cell
+  EXPECT_EQ(svc.wait(svc.submit(outsideSource)).status, JobStatus::Rejected);
+
+  auto badSteps = smallSpec();
+  badSteps.steps = 0;
+  EXPECT_EQ(svc.wait(svc.submit(badSteps)).status, JobStatus::Rejected);
+
+  auto deviceCheckpoint = smallSpec();
+  deviceCheckpoint.tier = JobTier::Device;
+  deviceCheckpoint.checkpointPath = "x.ck";
+  deviceCheckpoint.checkpointEverySteps = 5;
+  EXPECT_EQ(svc.wait(svc.submit(deviceCheckpoint)).status,
+            JobStatus::Rejected);
+
+  EXPECT_EQ(svc.metrics().rejected, 4u);
+  EXPECT_EQ(svc.metrics().submitted, 4u);
+}
+
+TEST(RirService, CheckpointThenResumeMatchesUninterruptedRun) {
+  const std::string ck = std::string(::testing::TempDir()) + "svc_resume.ck";
+  RirService svc;
+
+  auto firstHalf = smallSpec(BoundaryModel::FdMm, 30);
+  firstHalf.checkpointPath = ck;
+  firstHalf.checkpointEverySteps = 30;
+  const RirResult r1 = svc.wait(svc.submit(firstHalf));
+  ASSERT_EQ(r1.status, JobStatus::Done) << r1.error;
+
+  auto secondHalf = smallSpec(BoundaryModel::FdMm, 60);
+  secondHalf.resumeFrom = ck;
+  const RirResult r2 = svc.wait(svc.submit(secondHalf));
+  ASSERT_EQ(r2.status, JobStatus::Done) << r2.error;
+  EXPECT_EQ(r2.stepsDone, 30);  // only the remainder ran
+
+  // Uninterrupted 60-step reference run over the same spec.
+  Simulation<double>::Config cfg;
+  cfg.room = firstHalf.room;
+  cfg.model = firstHalf.model;
+  cfg.numMaterials = firstHalf.numMaterials;
+  cfg.numBranches = firstHalf.numBranches;
+  Simulation<double> direct(cfg);
+  direct.addImpulse(8, 7, 6, 1.0);
+  const auto full = direct.record(60, firstHalf.receivers);
+
+  for (std::size_t rx = 0; rx < full.size(); ++rx) {
+    ASSERT_EQ(r1.traces[rx].size(), 30u);
+    ASSERT_EQ(r2.traces[rx].size(), 30u);
+    for (int s = 0; s < 30; ++s) {
+      ASSERT_EQ(r1.traces[rx][static_cast<std::size_t>(s)],
+                full[rx][static_cast<std::size_t>(s)])
+          << "first half, receiver " << rx << " step " << s;
+      ASSERT_EQ(r2.traces[rx][static_cast<std::size_t>(s)],
+                full[rx][static_cast<std::size_t>(s + 30)])
+          << "resumed half, receiver " << rx << " step " << s;
+    }
+  }
+  std::remove(ck.c_str());
+}
+
+TEST(RirService, ExportsOneWavPerReceiver) {
+  auto spec = smallSpec(BoundaryModel::FiMm, 20);
+  spec.wavDir = ::testing::TempDir();
+  RirService svc;
+  const RirResult r = svc.wait(svc.submit(spec));
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  ASSERT_EQ(r.wavPaths.size(), spec.receivers.size());
+  for (const auto& path : r.wavPaths) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good()) << path;
+    EXPECT_GT(in.tellg(), 44);  // header + samples
+    in.close();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RirService, DeviceTierMatchesReferenceTierBitwise) {
+  const auto spec = smallSpec(BoundaryModel::FiMm, 40);
+  RirService svc;
+  auto devSpec = spec;
+  devSpec.tier = JobTier::Device;
+  const RirResult ref = svc.wait(svc.submit(spec));
+  const RirResult dev = svc.wait(svc.submit(devSpec));
+  ASSERT_EQ(ref.status, JobStatus::Done) << ref.error;
+  ASSERT_EQ(dev.status, JobStatus::Done) << dev.error;
+  ASSERT_EQ(dev.traces.size(), ref.traces.size());
+  for (std::size_t rx = 0; rx < ref.traces.size(); ++rx) {
+    ASSERT_EQ(dev.traces[rx].size(), ref.traces[rx].size());
+    for (std::size_t s = 0; s < ref.traces[rx].size(); ++s) {
+      ASSERT_EQ(dev.traces[rx][s], ref.traces[rx][s])
+          << "receiver " << rx << " step " << s;
+    }
+  }
+}
+
+TEST(RirService, ConcurrentMixedBatchAllComplete) {
+  RirService::Config cfg;
+  cfg.workers = 3;
+  RirService svc(cfg);
+  std::vector<RirService::JobId> ids;
+  for (const auto model : {BoundaryModel::FusedFi, BoundaryModel::FiSplit,
+                           BoundaryModel::FiMm, BoundaryModel::FdMm}) {
+    for (int i = 0; i < 2; ++i) {
+      ids.push_back(svc.submit(smallSpec(model, 30)));
+    }
+  }
+  svc.drain();
+  for (const auto id : ids) {
+    const RirResult r = svc.wait(id);
+    EXPECT_EQ(r.status, JobStatus::Done) << r.error;
+    EXPECT_EQ(r.stepsDone, 30);
+  }
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.completed, ids.size());
+  EXPECT_GT(m.cellStepsProcessed, 0u);
+  EXPECT_GT(m.aggregateMcellsPerSecond(), 0.0);
+  EXPECT_GT(m.jobsPerSecond(), 0.0);
+  // Every job shares one dome grid: the voxel cache served the repeats.
+  EXPECT_GT(m.voxelCacheHits, 0u);
+}
+
+TEST(RirService, MetricsJsonHasEverySection) {
+  RirService svc;
+  svc.wait(svc.submit(smallSpec(BoundaryModel::FusedFi, 10)));
+  const std::string json = svc.metrics().toJson();
+  for (const char* key :
+       {"\"jobs\"", "\"submitted\"", "\"completed\"", "\"cell_steps_processed\"",
+        "\"aggregate_mcells_per_second\"", "\"jobs_per_second\"",
+        "\"queue_wait_ms\"", "\"median\"", "\"memory\"", "\"budget_bytes\"",
+        "\"peak_in_use_bytes\"", "\"voxel_cache\"", "\"hit_rate\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << "\n"
+                                                 << json;
+  }
+}
+
+TEST(RirService, DestructorCancelsOutstandingJobs) {
+  RirService::Config cfg;
+  cfg.workers = 1;
+  cfg.cancelCheckEverySteps = 2;
+  auto svc = std::make_unique<RirService>(cfg);
+  svc->submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  svc->submit(smallSpec(BoundaryModel::FiMm, 2'000'000));
+  svc.reset();  // must cancel the running job, drop the queued one, and join
+  SUCCEED();
+}
+
+TEST(RirService, EstimateCoversActualFootprintShape) {
+  // The estimate must be a genuine upper bound on the dominant state (the
+  // three pressure buffers + nbrs) and grow with FD-MM branch state.
+  auto fi = smallSpec(BoundaryModel::FiMm, 10);
+  auto fd = smallSpec(BoundaryModel::FdMm, 10);
+  const std::size_t cells = fi.room.cells();
+  EXPECT_GE(RirService::estimateMemoryBytes(fi), 3 * cells * 8 + cells * 4);
+  EXPECT_GT(RirService::estimateMemoryBytes(fd),
+            RirService::estimateMemoryBytes(fi));
+  fi.precision = JobPrecision::Float32;
+  EXPECT_LT(RirService::estimateMemoryBytes(fi),
+            RirService::estimateMemoryBytes(fd));
+  EXPECT_TRUE(RirService::validate(fd).empty());
+}
+
+}  // namespace
