@@ -1,0 +1,90 @@
+#include "analysis/diagnostics.hpp"
+
+#include "common/json_writer.hpp"
+
+namespace lifta::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* passName(PassId p) {
+  switch (p) {
+    case PassId::Bounds: return "bounds";
+    case PassId::Race: return "race";
+    case PassId::HostLint: return "host-lint";
+  }
+  return "?";
+}
+
+void Report::append(const Report& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string Report::toText() const {
+  std::string out;
+  for (const auto& d : diagnostics) {
+    out += severityName(d.severity);
+    out += " [";
+    out += passName(d.pass);
+    out += "] ";
+    out += d.kernel;
+    if (!d.node.empty()) {
+      out += " (";
+      out += d.node;
+      out += ")";
+    }
+    out += ": ";
+    out += d.message;
+    if (!d.indexExpr.empty()) {
+      out += " [index: ";
+      out += d.indexExpr;
+      out += "]";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Report::toJson() const {
+  JsonWriter w;
+  w.beginObject();
+  w.key("tool").value("lifta-lint");
+  w.key("version").value(std::int64_t{1});
+  if (!subject.empty()) w.key("subject").value(subject);
+  w.key("findings").beginArray();
+  for (const auto& d : diagnostics) {
+    w.beginObject();
+    w.key("severity").value(severityName(d.severity));
+    w.key("pass").value(passName(d.pass));
+    w.key("kernel").value(d.kernel);
+    w.key("node").value(d.node);
+    w.key("message").value(d.message);
+    w.key("index").value(d.indexExpr);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("counts").beginObject();
+  w.key("error").value(static_cast<std::uint64_t>(count(Severity::Error)));
+  w.key("warning").value(static_cast<std::uint64_t>(count(Severity::Warning)));
+  w.key("info").value(static_cast<std::uint64_t>(count(Severity::Info)));
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace lifta::analysis

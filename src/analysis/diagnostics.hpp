@@ -1,0 +1,61 @@
+// Structured diagnostics for the LIFT static-analysis suite.
+//
+// Every pass (bounds prover, race detector, host-program lint) reports its
+// findings as Diagnostic records collected into a Report. Reports render to
+// JSON through common/json_writer so tools (lifta-lint, CI) can consume them,
+// and to a compact text form for exception messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arith/expr.hpp"
+
+namespace lifta::analysis {
+
+enum class Severity {
+  Info,     // worth knowing; safe by construction or data-guarded
+  Warning,  // cannot be proven safe (e.g. scatter without a contract)
+  Error,    // proven defect: the program is wrong for some valid input
+};
+
+enum class PassId {
+  Bounds,    // symbolic bounds prover
+  Race,      // scatter-write race detector
+  HostLint,  // host-program DAG lint
+};
+
+const char* severityName(Severity s);
+const char* passName(PassId p);
+
+struct Diagnostic {
+  Severity severity = Severity::Info;
+  PassId pass = PassId::Bounds;
+  std::string kernel;     // kernel name, or host-program label
+  std::string node;       // buffer / host-node the finding anchors to
+  std::string message;    // human-readable description
+  std::string indexExpr;  // offending index expression (bounds/race passes)
+};
+
+/// All findings for one analyzed artifact (kernel or host program).
+struct Report {
+  std::string subject;  // kernel or host-program name
+  std::vector<Diagnostic> diagnostics;
+
+  void add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+  void append(const Report& other);
+
+  std::size_t count(Severity s) const;
+  bool hasErrors() const { return count(Severity::Error) > 0; }
+
+  /// One line per finding: "error [race] kernel: message (index: ...)".
+  std::string toText() const;
+
+  /// JSON document:
+  /// {"tool":"lifta-lint","version":1,
+  ///  "findings":[{severity,pass,kernel,node,message,index}...],
+  ///  "counts":{"error":n,"warning":n,"info":n}}
+  std::string toJson() const;
+};
+
+}  // namespace lifta::analysis

@@ -1,0 +1,36 @@
+// Host-program lint: static checks over the HostProgram DAG (HOp nodes)
+// run before any kernel is built (paper §IV-A / §V-A host primitives).
+//
+// Checks:
+//  * host Param used directly as a device value (kernel argument, WriteTo
+//    destination, ToHost source) — the runtime would only fail at run();
+//  * effect-only kernel calls (no implicit output buffer) used where a
+//    device value is required, i.e. not wrapped in writeTo(...);
+//  * dead compute: a KernelCall / WriteTo whose result is never consumed by
+//    another node and never reaches the host — it would never be evaluated;
+//  * redundant transfers: the same host parameter uploaded twice, or a
+//    ToGPU read straight back with ToHost (device round trip);
+//  * overlapping writes: two writers of the same device buffer with no
+//    dependence path between them, so their order is not serialized by the
+//    DAG (write/write is an error, read/write a warning).
+//
+// This header lives in src/analysis but the implementation is compiled into
+// lifta_host (it needs host/host_program.hpp; lifta_analysis cannot depend
+// on lifta_host without a cycle).
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "host/host_program.hpp"
+
+namespace lifta::analysis {
+
+/// Runs all host-DAG lint checks; never throws on findings.
+Report lintHostProgram(const host::HostProgram& prog,
+                       const std::string& subjectName = "host-program");
+
+/// Throws AnalysisError when the lint report contains error-severity
+/// findings (no-op when verification is disabled via LIFTA_SKIP_VERIFY).
+void verifyHostProgram(const host::HostProgram& prog,
+                       const std::string& subjectName = "host-program");
+
+}  // namespace lifta::analysis

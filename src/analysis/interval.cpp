@@ -1,0 +1,634 @@
+#include "analysis/interval.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lifta::analysis {
+
+using arith::Expr;
+using arith::Kind;
+
+namespace {
+
+constexpr std::int64_t kLo = Prover::kIntMin;
+constexpr std::int64_t kHi = Prover::kIntMax;
+
+// Saturating endpoint arithmetic. Clamping to [kLo, kHi] keeps sign
+// conclusions sound: a lower bound clamped upward stays <= 0 territory
+// (kLo < 0) and an upper bound clamped downward stays >= 0 territory.
+std::int64_t satClamp(__int128 v) {
+  if (v < kLo) return kLo;
+  if (v > kHi) return kHi;
+  return static_cast<std::int64_t>(v);
+}
+std::int64_t satAdd(std::int64_t a, std::int64_t b) {
+  return satClamp(static_cast<__int128>(a) + b);
+}
+std::int64_t satMul(std::int64_t a, std::int64_t b) {
+  return satClamp(static_cast<__int128>(a) * b);
+}
+
+// --- canonical multivariate polynomials -------------------------------------
+
+// One monomial: coeff * prod(var^power). Keyed by the variable/power map so
+// collecting like terms is a map insertion.
+using MonoKey = std::map<std::string, int>;
+using Poly = std::map<MonoKey, std::int64_t>;
+
+constexpr std::size_t kMaxMonos = 4096;
+
+void polyAddTerm(Poly& p, const MonoKey& key, std::int64_t coeff) {
+  auto it = p.find(key);
+  if (it == p.end()) {
+    if (coeff != 0) p.emplace(key, coeff);
+    return;
+  }
+  it->second += coeff;
+  if (it->second == 0) p.erase(it);
+}
+
+std::optional<Poly> polyMul(const Poly& a, const Poly& b) {
+  Poly out;
+  for (const auto& [ka, ca] : a) {
+    for (const auto& [kb, cb] : b) {
+      MonoKey key = ka;
+      for (const auto& [v, d] : kb) key[v] += d;
+      polyAddTerm(out, key, satMul(ca, cb));
+      if (out.size() > kMaxMonos) return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<Poly> toPoly(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::Const: {
+      Poly p;
+      if (e.constValue() != 0) p.emplace(MonoKey{}, e.constValue());
+      return p;
+    }
+    case Kind::Var: {
+      Poly p;
+      p.emplace(MonoKey{{e.varName(), 1}}, 1);
+      return p;
+    }
+    case Kind::Add: {
+      Poly p;
+      for (const auto& op : e.operands()) {
+        auto sub = toPoly(op);
+        if (!sub) return std::nullopt;
+        for (const auto& [k, c] : *sub) polyAddTerm(p, k, c);
+        if (p.size() > kMaxMonos) return std::nullopt;
+      }
+      return p;
+    }
+    case Kind::Mul: {
+      Poly p;
+      p.emplace(MonoKey{}, 1);
+      for (const auto& op : e.operands()) {
+        auto sub = toPoly(op);
+        if (!sub) return std::nullopt;
+        auto next = polyMul(p, *sub);
+        if (!next) return std::nullopt;
+        p = std::move(*next);
+      }
+      return p;
+    }
+    default:
+      return std::nullopt;  // Div/Mod/Min/Max are not polynomial
+  }
+}
+
+Expr polyToExpr(const Poly& p) {
+  std::vector<Expr> terms;
+  terms.reserve(p.size());
+  for (const auto& [key, coeff] : p) {
+    std::vector<Expr> factors;
+    factors.push_back(Expr(coeff));
+    for (const auto& [v, d] : key) {
+      for (int i = 0; i < d; ++i) factors.push_back(Expr::var(v));
+    }
+    terms.push_back(arith::mul(std::move(factors)));
+  }
+  return arith::add(std::move(terms));
+}
+
+int polyDegreeOf(const Poly& p, const std::string& var) {
+  int deg = 0;
+  for (const auto& [key, coeff] : p) {
+    auto it = key.find(var);
+    if (it != key.end()) deg = std::max(deg, it->second);
+  }
+  return deg;
+}
+
+// --- expression surgery -----------------------------------------------------
+
+Expr rebuild(Kind k, std::vector<Expr> ops) {
+  switch (k) {
+    case Kind::Add: return arith::add(std::move(ops));
+    case Kind::Mul: return arith::mul(std::move(ops));
+    case Kind::Div: return arith::div(ops[0], ops[1]);
+    case Kind::Mod: return arith::mod(ops[0], ops[1]);
+    case Kind::Min: return arith::min(ops[0], ops[1]);
+    case Kind::Max: return arith::max(ops[0], ops[1]);
+    default: throw Error("rebuild: leaf kind");
+  }
+}
+
+/// Replaces every occurrence (structural equality) of `target` inside `e`.
+Expr replaceAll(const Expr& e, const Expr& target, const Expr& repl) {
+  if (e == target) return repl;
+  if (e.kind() == Kind::Const || e.kind() == Kind::Var) return e;
+  std::vector<Expr> ops;
+  ops.reserve(e.operands().size());
+  bool changed = false;
+  for (const auto& op : e.operands()) {
+    Expr r = replaceAll(op, target, repl);
+    changed = changed || !(r == op);
+    ops.push_back(std::move(r));
+  }
+  if (!changed) return e;
+  return rebuild(e.kind(), std::move(ops));
+}
+
+/// Finds an innermost node of the given kinds (operands free of them).
+std::optional<Expr> findInnermost(const Expr& e, bool minMax) {
+  auto matches = [minMax](Kind k) {
+    return minMax ? (k == Kind::Min || k == Kind::Max)
+                  : (k == Kind::Div || k == Kind::Mod);
+  };
+  if (e.kind() == Kind::Const || e.kind() == Kind::Var) return std::nullopt;
+  for (const auto& op : e.operands()) {
+    if (auto found = findInnermost(op, minMax)) return found;
+  }
+  if (matches(e.kind())) return e;
+  return std::nullopt;
+}
+
+}  // namespace
+
+// --- shared helpers ---------------------------------------------------------
+
+bool isPolynomial(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::Const:
+    case Kind::Var:
+      return true;
+    case Kind::Add:
+    case Kind::Mul:
+      for (const auto& op : e.operands()) {
+        if (!isPolynomial(op)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool containsVar(const Expr& e, const std::string& var) {
+  return e.freeVars().count(var) > 0;
+}
+
+std::optional<std::pair<Expr, Expr>> affineIn(const Expr& e,
+                                              const std::string& var) {
+  auto p = toPoly(e);
+  if (!p) return std::nullopt;
+  Poly coeff, rest;
+  for (const auto& [key, c] : *p) {
+    auto it = key.find(var);
+    if (it == key.end()) {
+      rest.emplace(key, c);
+      continue;
+    }
+    if (it->second != 1) return std::nullopt;  // degree >= 2 in var
+    MonoKey reduced = key;
+    reduced.erase(var);
+    polyAddTerm(coeff, reduced, c);
+  }
+  return std::make_pair(polyToExpr(coeff), polyToExpr(rest));
+}
+
+bool divisibleBy(const Expr& e, const Expr& factor) {
+  auto p = toPoly(e);
+  if (!p) return false;
+  if (factor.kind() == Kind::Var) {
+    const std::string& v = factor.varName();
+    for (const auto& [key, c] : *p) {
+      if (!key.count(v)) return false;
+    }
+    return true;
+  }
+  if (factor.isConst()) {
+    std::int64_t f = factor.constValue();
+    if (f == 0) return false;
+    for (const auto& [key, c] : *p) {
+      if (c % f != 0) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+// --- Prover: registration ---------------------------------------------------
+
+void Prover::setDomain(const std::string& var, Domain d) {
+  domains_[var] = std::move(d);
+}
+
+const Domain* Prover::lookupDomain(const std::string& var) const {
+  auto it = domains_.find(var);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+void Prover::define(const std::string& var, Expr value) {
+  defs_[var] = std::move(value);
+}
+
+void Prover::assumeAtLeast(const std::string& var, std::int64_t bound) {
+  auto it = atLeast_.find(var);
+  if (it == atLeast_.end()) {
+    atLeast_.emplace(var, bound);
+  } else {
+    it->second = std::max(it->second, bound);
+  }
+}
+
+void Prover::assumeNonNegative(arith::Expr fact) {
+  facts_.push_back(std::move(fact));
+}
+
+Expr Prover::resolve(Expr e) const {
+  // Definitions are acyclic; |defs| rounds reach the fixpoint.
+  for (std::size_t round = 0; round <= defs_.size(); ++round) {
+    bool hit = false;
+    for (const auto& v : e.freeVars()) {
+      if (defs_.count(v)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) break;
+    e = e.substitute(defs_);
+  }
+  return e;
+}
+
+// --- numeric interval engine ------------------------------------------------
+
+namespace {
+using IV = Prover::NumInterval;
+}
+
+std::optional<IV> Prover::numericInterval(const Expr& expr) const {
+  struct Eval {
+    const Prover& p;
+    int depth = 0;
+
+    std::optional<IV> run(const Expr& e) {
+      if (++depth > 64) return std::nullopt;
+      struct Pop {
+        int& d;
+        ~Pop() { --d; }
+      } pop{depth};
+      switch (e.kind()) {
+        case Kind::Const:
+          return IV{e.constValue(), e.constValue(), true};
+        case Kind::Var: {
+          const Domain* d = p.lookupDomain(e.varName());
+          if (!d) return std::nullopt;
+          auto lo = run(d->lo);
+          auto hi = run(d->hi);
+          if (!lo || !hi) return std::nullopt;
+          return IV{lo->lo, hi->hi, d->exact && lo->exact && hi->exact};
+        }
+        case Kind::Add: {
+          IV acc{0, 0, true};
+          for (const auto& op : e.operands()) {
+            auto iv = run(op);
+            if (!iv) return std::nullopt;
+            acc = IV{satAdd(acc.lo, iv->lo), satAdd(acc.hi, iv->hi),
+                     acc.exact && iv->exact};
+          }
+          return acc;
+        }
+        case Kind::Mul: {
+          IV acc{1, 1, true};
+          bool shared = false;
+          std::set<std::string> seen;
+          for (const auto& op : e.operands()) {
+            for (const auto& v : op.freeVars()) {
+              if (!seen.insert(v).second) shared = true;
+            }
+          }
+          for (const auto& op : e.operands()) {
+            auto iv = run(op);
+            if (!iv) return std::nullopt;
+            std::int64_t c[4] = {satMul(acc.lo, iv->lo), satMul(acc.lo, iv->hi),
+                                 satMul(acc.hi, iv->lo),
+                                 satMul(acc.hi, iv->hi)};
+            acc = IV{*std::min_element(c, c + 4), *std::max_element(c, c + 4),
+                     acc.exact && iv->exact && !shared};
+          }
+          return acc;
+        }
+        case Kind::Div: {
+          auto a = run(e.operands()[0]);
+          auto b = run(e.operands()[1]);
+          if (!a || !b) return std::nullopt;
+          if (b->lo <= 0 && b->hi >= 0) return std::nullopt;  // may div by 0
+          std::int64_t c[4] = {a->lo / b->lo, a->lo / b->hi, a->hi / b->lo,
+                               a->hi / b->hi};
+          // Truncating division is monotone in each argument over a
+          // fixed-sign divisor range, so extremes sit at the corners.
+          return IV{*std::min_element(c, c + 4), *std::max_element(c, c + 4),
+                    a->exact && b->exact};
+        }
+        case Kind::Mod: {
+          auto a = run(e.operands()[0]);
+          auto b = run(e.operands()[1]);
+          if (!a || !b) return std::nullopt;
+          if (b->lo <= 0 && b->hi >= 0) return std::nullopt;
+          // |a % b| <= |b| - 1 and the sign of a % b follows a (C semantics).
+          std::int64_t m = std::max(std::abs(b->lo), std::abs(b->hi)) - 1;
+          if (a->lo >= 0 && b->lo > 0 && a->hi < b->lo) {
+            return IV{a->lo, a->hi, a->exact && b->exact};  // identity range
+          }
+          std::int64_t lo = a->lo >= 0 ? 0 : -m;
+          std::int64_t hi = a->hi <= 0 ? 0 : m;
+          return IV{lo, hi, false};
+        }
+        case Kind::Min: {
+          auto a = run(e.operands()[0]);
+          auto b = run(e.operands()[1]);
+          if (!a || !b) return std::nullopt;
+          return IV{std::min(a->lo, b->lo), std::min(a->hi, b->hi), false};
+        }
+        case Kind::Max: {
+          auto a = run(e.operands()[0]);
+          auto b = run(e.operands()[1]);
+          if (!a || !b) return std::nullopt;
+          return IV{std::max(a->lo, b->lo), std::max(a->hi, b->hi), false};
+        }
+      }
+      return std::nullopt;
+    }
+  };
+  Eval eval{*this};
+  return eval.run(resolve(expr));
+}
+
+// --- symbolic proving -------------------------------------------------------
+
+struct ProveCtx {
+  const Prover& p;
+  // Fresh Div/Mod elimination domains, scoped to one proof.
+  std::map<std::string, Domain> fresh;
+  // Known lower bounds for the residual shift check (size vars, nonempty
+  // range facts gathered during vertex substitution).
+  std::map<std::string, std::int64_t> mins;
+  int freshCounter = 0;
+  int ordCounter = 0;
+  int depth = 0;
+  bool exact = true;  // cleared by inexact domains / Div/Mod elimination
+
+  // Ordering facts X >= g rewritten as X -> slack + g (slack >= 0), applied
+  // before the residual check. Keys never appear in their own replacement.
+  std::map<std::string, Expr> ordSubst_;
+
+  explicit ProveCtx(const Prover& prover) : p(prover) {
+    for (const auto& [v, b] : prover.atLeast_) mins[v] = b;
+    for (const auto& f : prover.facts_) noteFact(f);
+  }
+
+  const Domain* domainOf(const std::string& var) const {
+    auto it = fresh.find(var);
+    if (it != fresh.end()) return &it->second;
+    return p.lookupDomain(var);
+  }
+
+  /// Records a fact `f >= 0` as a variable lower bound when f is var-shaped
+  /// (x - c), or as an ordering rewrite when one variable dominates.
+  /// Remaining shapes are dropped (sound: facts only help).
+  void noteFact(const Expr& f) {
+    auto poly = toPoly(f);
+    if (!poly) return;
+    std::int64_t c = 0;
+    std::string var;
+    bool varShaped = true;
+    for (const auto& [key, coeff] : *poly) {
+      if (key.empty()) {
+        c = coeff;
+      } else if (key.size() == 1 && key.begin()->second == 1 && coeff == 1 &&
+                 var.empty()) {
+        var = key.begin()->first;
+      } else {
+        varShaped = false;
+        break;
+      }
+    }
+    if (varShaped && !var.empty()) {
+      auto it = mins.find(var);
+      std::int64_t bound = -c;  // f = var + c >= 0  =>  var >= -c
+      if (it == mins.end()) {
+        mins.emplace(var, bound);
+      } else {
+        it->second = std::max(it->second, bound);
+      }
+      return;
+    }
+    // Ordering fact: f = X + rest with X in no other monomial gives
+    // X >= -rest, recorded as the rewrite X -> slack + (-rest), slack >= 0.
+    // X must not be a domain variable (vertex substitution owns those).
+    for (const auto& [key, coeff] : *poly) {
+      if (key.size() != 1 || key.begin()->second != 1 || coeff != 1) continue;
+      const std::string& x = key.begin()->first;
+      if (domainOf(x) != nullptr || ordSubst_.count(x) != 0) continue;
+      bool elsewhere = false;
+      Poly rest;
+      for (const auto& [k2, c2] : *poly) {
+        if (k2 == key) continue;
+        if (k2.count(x) != 0) {
+          elsewhere = true;
+          break;
+        }
+        rest[k2] = c2;
+      }
+      if (elsewhere) continue;
+      const std::string slack = "ord$" + std::to_string(ordCounter++);
+      ordSubst_.emplace(x, Expr::var(slack) - polyToExpr(rest));
+      mins[slack] = 0;
+      return;
+    }
+  }
+
+  /// All-monomials-nonnegative check after shifting each bounded variable by
+  /// its known lower bound (v >= b  =>  v := v' + b with v' >= 0).
+  bool residualNonNeg(const Expr& e) const {
+    // Ordering rewrites first (X -> slack + g); replacements never mention
+    // their own key, so this reaches a fixpoint.
+    Expr ordered = e;
+    for (std::size_t i = 0; i < ordSubst_.size(); ++i) {
+      Expr next = ordered.substitute(ordSubst_);
+      if (next == ordered) break;
+      ordered = std::move(next);
+    }
+    std::map<std::string, Expr> shift;
+    for (const auto& [v, b] : mins) {
+      if (b != 0) shift.emplace(v, Expr::var(v) + Expr(b));
+    }
+    Expr shifted = shift.empty() ? ordered : ordered.substitute(shift);
+    auto poly = toPoly(shifted);
+    if (!poly) return false;
+    for (const auto& [key, coeff] : *poly) {
+      if (coeff < 0) return false;
+      for (const auto& [v, d] : key) {
+        if (!mins.count(v)) return false;  // unbounded variable
+      }
+    }
+    return true;
+  }
+
+  Proof prove(Expr e) {
+    if (++depth > 64) {
+      --depth;
+      return Proof::Unknown;
+    }
+    Proof r = proveInner(std::move(e));
+    --depth;
+    return r;
+  }
+
+  Proof proveInner(Expr e) {
+    if (e.isConst()) return e.constValue() >= 0 ? Proof::Yes : Proof::No;
+
+    // Numeric fast path: sound outer bounds decide both directions (an
+    // interval entirely below zero means every assignment violates).
+    if (auto iv = numeric(e)) {
+      if (iv->lo >= 0) return Proof::Yes;
+      if (iv->hi <= -1 && exact && iv->exact) return Proof::No;
+    }
+
+    // Exact case split on an innermost Min/Max: the node's value is one of
+    // its operands, so proving both replacements proves the goal; both
+    // replacements violating means the goal always violates.
+    if (auto mm = findInnermost(e, /*minMax=*/true)) {
+      Proof p0 = prove(replaceAll(e, *mm, mm->operands()[0]));
+      Proof p1 = prove(replaceAll(e, *mm, mm->operands()[1]));
+      if (p0 == Proof::Yes && p1 == Proof::Yes) return Proof::Yes;
+      if (p0 == Proof::No && p1 == Proof::No) return Proof::No;
+      return Proof::Unknown;
+    }
+
+    // Eliminate an innermost Div/Mod with a bounded fresh variable.
+    if (auto dm = findInnermost(e, /*minMax=*/false)) {
+      const Expr& a = dm->operands()[0];
+      const Expr& b = dm->operands()[1];
+      if (dm->kind() == Kind::Mod) {
+        // Identity: 0 <= a <= b-1  =>  a % b == a (exact).
+        if (prove(a) == Proof::Yes && prove(b - Expr(1) - a) == Proof::Yes) {
+          return prove(replaceAll(e, *dm, a));
+        }
+        std::optional<Domain> dom;
+        if (b.isConst() && b.constValue() != 0) {
+          std::int64_t c = std::abs(b.constValue());
+          bool nonNeg = prove(a) == Proof::Yes;
+          bool nonPos = prove(Expr(0) - a) == Proof::Yes;
+          dom = Domain{Expr(nonNeg ? 0 : 1 - c), Expr(nonPos ? 0 : c - 1),
+                       false};
+        } else if (prove(a) == Proof::Yes && prove(b - Expr(1)) == Proof::Yes) {
+          dom = Domain{Expr(0), b - Expr(1), false};
+        }
+        if (!dom) return Proof::Unknown;
+        std::string t = "dm$" + std::to_string(freshCounter++);
+        fresh.emplace(t, std::move(*dom));
+        exact = false;
+        return prove(replaceAll(e, *dm, Expr::var(t)));
+      }
+      // Div: with a >= 0 and b >= 1, 0 <= a/b <= a.
+      if (prove(a) == Proof::Yes && prove(b - Expr(1)) == Proof::Yes) {
+        std::string t = "dm$" + std::to_string(freshCounter++);
+        fresh.emplace(t, Domain{Expr(0), a, false});
+        exact = false;
+        return prove(replaceAll(e, *dm, Expr::var(t)));
+      }
+      return Proof::Unknown;
+    }
+
+    // Polynomial stage: vertex substitution over domain variables.
+    auto poly = toPoly(e);
+    if (!poly) return Proof::Unknown;
+
+    std::vector<std::string> candidates;
+    for (const auto& v : e.freeVars()) {
+      if (domainOf(v)) candidates.push_back(v);
+    }
+    if (candidates.empty()) {
+      if (residualNonNeg(e)) return Proof::Yes;
+      if (exact && residualNonNeg(Expr(-1) - e)) return Proof::No;
+      return Proof::Unknown;
+    }
+    if (candidates.size() > 12) return Proof::Unknown;
+
+    // Pick a variable no other candidate's domain depends on, so endpoint
+    // substitution never re-introduces an already-substituted variable.
+    std::string pick;
+    for (const auto& v : candidates) {
+      if (polyDegreeOf(*poly, v) > 1) continue;  // not multilinear in v
+      bool referenced = false;
+      for (const auto& other : candidates) {
+        if (other == v) continue;
+        const Domain* od = domainOf(other);
+        if (containsVar(od->lo, v) || containsVar(od->hi, v)) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) {
+        pick = v;
+        break;
+      }
+    }
+    if (pick.empty()) return Proof::Unknown;  // cyclic domains or degree >= 2
+    Domain d = *domainOf(pick);
+    if (!d.exact) exact = false;
+    noteFact(d.hi - d.lo);  // the range is nonempty
+
+    Proof atLo = prove(e.substitute(pick, d.lo));
+    Proof atHi = prove(e.substitute(pick, d.hi));
+    // Multilinear in `pick`: extremes over [lo, hi] sit at the endpoints.
+    if (atLo == Proof::Yes && atHi == Proof::Yes) return Proof::Yes;
+    if (atLo == Proof::No || atHi == Proof::No) return Proof::No;
+    return Proof::Unknown;
+  }
+
+  std::optional<IV> numeric(const Expr& e) const {
+    // Fresh elimination variables have scoped domains the public evaluator
+    // does not know; only use the fast path when none appear.
+    for (const auto& v : e.freeVars()) {
+      if (fresh.count(v)) return std::nullopt;
+    }
+    return p.numericInterval(e);
+  }
+};
+
+Prover::Result Prover::proveGE0(const Expr& e) const {
+  ProveCtx ctx(*this);
+  Proof pr = ctx.prove(resolve(e));
+  return Result{pr, ctx.exact};
+}
+
+Prover::Result Prover::provePositive(const Expr& e) const {
+  return proveGE0(e - Expr(1));
+}
+
+Proof Prover::proveNonZero(const Expr& e) const {
+  if (provePositive(e).proof == Proof::Yes) return Proof::Yes;
+  if (provePositive(Expr(0) - e).proof == Proof::Yes) return Proof::Yes;
+  return Proof::Unknown;
+}
+
+}  // namespace lifta::analysis

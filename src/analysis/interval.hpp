@@ -1,0 +1,113 @@
+// Interval/range engine and symbolic bounds prover for arith::Expr.
+//
+// The prover answers "is e >= 0 for every assignment consistent with the
+// registered variable domains and assumptions?" with a three-valued Proof.
+// It combines:
+//   * a sound numeric interval evaluation (Add/Mul/Div/Mod/Min/Max with
+//     saturating endpoints) for fully-concrete domains,
+//   * exact case splitting on Min/Max (min(a,b) is one of a,b),
+//   * bounded fresh-variable elimination for Div/Mod,
+//   * vertex substitution for expressions multilinear in domain variables
+//     (each iteration variable in [lo, hi] is replaced by its endpoints),
+//   * a residual check that shifts variables by their known lower bounds and
+//     verifies every monomial of the canonical polynomial is nonnegative.
+//
+// "No" verdicts (a proven violation, used for error-severity diagnostics)
+// are only produced when the reasoning chain was exact — no interval
+// overapproximation, no Div/Mod elimination — so a "No" always corresponds
+// to an attainable witness assignment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arith/expr.hpp"
+
+namespace lifta::analysis {
+
+enum class Proof { Yes, No, Unknown };
+
+/// Inclusive range of an integer variable. Endpoints are symbolic (they may
+/// mention size parameters). `exact` means both endpoints are attainable.
+struct Domain {
+  arith::Expr lo;
+  arith::Expr hi;
+  bool exact = true;
+};
+
+class Prover {
+ public:
+  /// Registers the domain of an iteration-style variable.
+  void setDomain(const std::string& var, Domain d);
+  const Domain* lookupDomain(const std::string& var) const;
+
+  /// Registers a definition (let-bound scalar): `var` expands to `value`
+  /// before proving. Definitions must be acyclic.
+  void define(const std::string& var, arith::Expr value);
+
+  /// Assumes `var >= bound` (used for size parameters, which are >= 0 by
+  /// construction, and for nonempty-range facts).
+  void assumeAtLeast(const std::string& var, std::int64_t bound);
+
+  /// Assumes `fact >= 0` for every assignment (used for nonempty-range
+  /// facts whose shape the var-level maps cannot hold, e.g. cells - segW).
+  void assumeNonNegative(arith::Expr fact);
+
+  /// Substitutes definitions to a fixpoint.
+  arith::Expr resolve(arith::Expr e) const;
+
+  struct Result {
+    Proof proof = Proof::Unknown;
+    /// True when a No verdict came from exact reasoning (witness exists).
+    bool exact = true;
+  };
+
+  /// e >= 0 for all consistent assignments? (resolves definitions first)
+  Result proveGE0(const arith::Expr& e) const;
+  /// e >= 1?
+  Result provePositive(const arith::Expr& e) const;
+  /// e != 0 for all consistent assignments?
+  Proof proveNonZero(const arith::Expr& e) const;
+
+  /// Sound numeric interval (saturating int64 endpoints; kIntMin/kIntMax act
+  /// as -inf/+inf). Returns nullopt when no finite reasoning applies at all
+  /// (e.g. possible division by zero).
+  struct NumInterval {
+    std::int64_t lo;
+    std::int64_t hi;
+    bool exact = true;  // endpoints attainable
+  };
+  std::optional<NumInterval> numericInterval(const arith::Expr& e) const;
+
+  static constexpr std::int64_t kIntMin = INT64_MIN / 4;
+  static constexpr std::int64_t kIntMax = INT64_MAX / 4;
+
+ private:
+  friend struct ProveCtx;
+  std::map<std::string, Domain> domains_;
+  std::map<std::string, arith::Expr> defs_;
+  std::map<std::string, std::int64_t> atLeast_;
+  std::vector<arith::Expr> facts_;  // each assumed >= 0
+};
+
+// --- polynomial helpers shared with the race detector -----------------------
+
+/// True when e contains only Const/Var/Add/Mul nodes.
+bool isPolynomial(const arith::Expr& e);
+
+bool containsVar(const arith::Expr& e, const std::string& var);
+
+/// Decomposes e == coeff*var + rest with coeff and rest free of `var`.
+/// Requires e polynomial with degree(var) <= 1; nullopt otherwise.
+std::optional<std::pair<arith::Expr, arith::Expr>> affineIn(
+    const arith::Expr& e, const std::string& var);
+
+/// True when every additive term of polynomial `e` carries `factor` (a Var,
+/// or a Const that divides every coefficient).
+bool divisibleBy(const arith::Expr& e, const arith::Expr& factor);
+
+}  // namespace lifta::analysis

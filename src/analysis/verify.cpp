@@ -1,0 +1,43 @@
+#include "analysis/verify.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lifta::analysis {
+
+namespace {
+std::atomic<int> gOverride{-1};  // -1 unset, 0 disabled, 1 enabled
+}
+
+bool verifyEnabled() {
+  const int o = gOverride.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  const char* env = std::getenv("LIFTA_SKIP_VERIFY");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return false;
+  }
+  return true;
+}
+
+void setVerifyEnabled(bool on) {
+  gOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void verifyKernel(const memory::KernelDef& def, const AnalysisOptions& opts) {
+  if (!verifyEnabled()) return;
+  const Report report = analyzeKernelDef(def, opts);
+  if (!report.hasErrors()) return;
+  std::string msg =
+      "kernel '" + def.name + "' failed static verification:\n";
+  for (const auto& d : report.diagnostics) {
+    if (d.severity != Severity::Error) continue;
+    msg += "  " + std::string(passName(d.pass)) + ": " + d.message + "\n";
+  }
+  msg += "(set LIFTA_SKIP_VERIFY=1 to bypass)";
+  throw AnalysisError(msg);
+}
+
+}  // namespace lifta::analysis

@@ -1,0 +1,28 @@
+// Codegen-time verification gate: every generated kernel runs through the
+// bounds prover and race detector, and error-severity findings abort code
+// generation with AnalysisError. On by default; opt out per-process with the
+// LIFTA_SKIP_VERIFY environment variable or programmatically via
+// setVerifyEnabled(false).
+#pragma once
+
+#include "analysis/passes.hpp"
+#include "memory/kernel_def.hpp"
+
+namespace lifta::analysis {
+
+/// True when codegen-time verification should run. Enabled unless
+/// setVerifyEnabled(false) was called or LIFTA_SKIP_VERIFY is set to a
+/// non-empty value other than "0".
+bool verifyEnabled();
+
+/// Programmatic override; wins over the environment variable.
+void setVerifyEnabled(bool on);
+
+/// Analyzes the kernel and throws lifta::AnalysisError when any
+/// error-severity diagnostic is found. Warnings and infos are not reported
+/// here — use analyzeKernelDef (or lifta-lint) for the full report.
+/// No-op when verification is disabled.
+void verifyKernel(const memory::KernelDef& def,
+                  const AnalysisOptions& opts = {});
+
+}  // namespace lifta::analysis

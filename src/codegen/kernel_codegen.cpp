@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "analysis/verify.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "ir/typecheck.hpp"
@@ -733,7 +734,11 @@ std::string kernelPreamble(ir::ScalarKind real) {
 
 GeneratedKernel generateKernel(const memory::KernelDef& def) {
   Emitter emitter(def);
-  return emitter.run();
+  GeneratedKernel out = emitter.run();
+  // Static verification runs after emission so malformed IR keeps reporting
+  // CodegenError; only well-formed kernels reach the bounds/race provers.
+  analysis::verifyKernel(def);
+  return out;
 }
 
 }  // namespace lifta::codegen

@@ -30,6 +30,15 @@ public:
       : Error("codegen error: " + what) {}
 };
 
+/// Thrown by the static-analysis suite when a kernel or host program has an
+/// error-severity finding (proven out-of-bounds access, proven write race,
+/// malformed host DAG). Carries the full diagnostic report text.
+class AnalysisError : public Error {
+public:
+  explicit AnalysisError(const std::string& what)
+      : Error("analysis error: " + what) {}
+};
+
 /// Thrown by the simulated OpenCL runtime (build failures, bad arguments...).
 class OclError : public Error {
 public:

@@ -8,24 +8,76 @@
 
 namespace lifta {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at bytes[i] (RFC 3629:
+/// continuation ranges, no overlong encodings, no surrogates, max U+10FFFF).
+/// Returns 0 when the byte does not start a valid sequence.
+std::size_t utf8SequenceLength(const unsigned char* bytes, std::size_t i,
+                               std::size_t n) {
+  const unsigned char c = bytes[i];
+  std::size_t len;
+  unsigned char lo2 = 0x80, hi2 = 0xBF;  // allowed range of the second byte
+  if (c >= 0xC2 && c <= 0xDF) {
+    len = 2;
+  } else if (c >= 0xE0 && c <= 0xEF) {
+    len = 3;
+    if (c == 0xE0) lo2 = 0xA0;  // overlong
+    if (c == 0xED) hi2 = 0x9F;  // surrogates
+  } else if (c >= 0xF0 && c <= 0xF4) {
+    len = 4;
+    if (c == 0xF0) lo2 = 0x90;  // overlong
+    if (c == 0xF4) hi2 = 0x8F;  // beyond U+10FFFF
+  } else {
+    return 0;  // lone continuation byte, 0xC0/0xC1, or 0xF5..0xFF
+  }
+  if (i + len > n) return 0;
+  if (bytes[i + 1] < lo2 || bytes[i + 1] > hi2) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    if (bytes[i + k] < 0x80 || bytes[i + k] > 0xBF) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string JsonWriter::escape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
-  for (const char c : raw) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(raw.data());
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = bytes[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strformat("\\u%04x", c);
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      default: break;
+    }
+    if (c < 0x20 || c == 0x7F) {  // control characters incl. DEL
+      out += strformat("\\u%04x", c);
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {  // printable ASCII
+      out += static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    // Non-ASCII: valid UTF-8 sequences pass through verbatim (JSON strings
+    // are UTF-8); anything else would corrupt the whole document, so each
+    // invalid byte is replaced with U+FFFD.
+    const std::size_t len = utf8SequenceLength(bytes, i, n);
+    if (len == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(raw, i, len);
+      i += len;
     }
   }
   return out;

@@ -1,5 +1,6 @@
 #include "host/host_program.hpp"
 
+#include "analysis/host_lint.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "ir/typecheck.hpp"
@@ -160,6 +161,10 @@ std::string HostProgram::generateHostCode(ir::ScalarKind real) const {
 
 std::shared_ptr<CompiledHostProgram> HostProgram::compile(ocl::Context& ctx,
                                                           ir::ScalarKind real) {
+  // Lint the DAG before building any kernel: catches host parameters used as
+  // device values, dead compute, and unordered overlapping writes at compile
+  // time instead of mid-run.
+  analysis::verifyHostProgram(*this);
   return std::shared_ptr<CompiledHostProgram>(
       new CompiledHostProgram(*this, ctx, real));
 }

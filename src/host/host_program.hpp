@@ -98,8 +98,20 @@ public:
   std::string generateHostCode(ir::ScalarKind real) const;
 
   /// Builds all kernels and allocates the schedule against a context.
+  /// Runs the host-program lint first (src/analysis/host_lint) and throws
+  /// AnalysisError on error-severity findings unless LIFTA_SKIP_VERIFY is
+  /// set.
   std::shared_ptr<CompiledHostProgram> compile(ocl::Context& ctx,
                                                ir::ScalarKind real);
+
+  /// Read-only views of the DAG for static analysis and tooling.
+  const std::vector<HostPtr>& nodes() const { return order_; }
+  const std::vector<std::pair<HostPtr, std::string>>& outputs() const {
+    return outputs_;
+  }
+  const std::map<std::string, ScalarType>& scalarDecls() const {
+    return scalars_;
+  }
 
 private:
   friend class CompiledHostProgram;

@@ -16,7 +16,7 @@ TypePtr typecheck(const ExprPtr& expr);
 
 /// Attempts to convert a *scalar Int* IR expression into a symbolic
 /// arith::Expr (used for the type-level lengths of Skip). Supported:
-/// literals, Int params / let-bound names, and +,-,* combinations thereof.
+/// literals, Int params / let-bound names, and +,-,*,/ combinations thereof.
 /// Throws TypeError when the expression is not convertible.
 arith::Expr toArith(const ExprPtr& expr);
 

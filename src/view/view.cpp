@@ -372,6 +372,182 @@ std::string resolveStore(const ViewPtr& v) {
   return resolve(v, /*forStore=*/true, "");
 }
 
+SymbolicAccess resolveSymbolic(const ViewPtr& view, int& guardCounter) {
+  std::vector<arith::Expr> idxStack;
+  std::vector<int> tupleStack;
+  SymbolicAccess out;
+  ViewPtr v = view;
+
+  auto pop = [&idxStack]() {
+    LIFTA_CHECK(!idxStack.empty(), "view resolution: index stack underflow");
+    arith::Expr e = idxStack.back();
+    idxStack.pop_back();
+    return e;
+  };
+
+  // A zero-Pad guard brackets its component in [0, innerSize); representing
+  // the component by a fresh variable with exactly that domain lets bounds
+  // proofs assume the guard without any extra plumbing.
+  auto guardVar = [&](const arith::Expr& actual, const arith::Expr& size) {
+    const std::string name = "pad$" + std::to_string(guardCounter++);
+    out.guards.push_back(SymbolicGuard{name, actual, size});
+    return arith::Expr::var(name);
+  };
+
+  for (;;) {
+    switch (v->kind) {
+      case ViewKind::Access:
+        idxStack.push_back(v->idx);
+        v = v->children[0];
+        break;
+
+      case ViewKind::TupleComponent:
+        tupleStack.push_back(v->comp);
+        v = v->children[0];
+        break;
+
+      case ViewKind::Zip: {
+        LIFTA_CHECK(!tupleStack.empty(),
+                    "view resolution: zip without tuple projection");
+        const int c = tupleStack.back();
+        tupleStack.pop_back();
+        v = v->children[static_cast<std::size_t>(c)];
+        break;
+      }
+
+      case ViewKind::Slide: {
+        const arith::Expr w = pop();
+        const arith::Expr u = pop();
+        idxStack.push_back(w * v->b + u);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Pad: {
+        const arith::Expr i = pop();
+        const arith::Expr adjusted = i - v->a;
+        const arith::Expr innerSize = v->children[0]->type->size();
+        if (v->padMode == ir::PadMode::Zero) {
+          idxStack.push_back(guardVar(adjusted, innerSize));
+        } else {
+          out.clamped = true;
+          idxStack.push_back(arith::min(
+              arith::max(adjusted, arith::Expr(0)), innerSize - arith::Expr(1)));
+        }
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Split: {
+        const arith::Expr i = pop();
+        const arith::Expr j = pop();
+        idxStack.push_back(i * v->a + j);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Join: {
+        const arith::Expr k = pop();
+        idxStack.push_back(k % v->a);
+        idxStack.push_back(k / v->a);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Transpose: {
+        const arith::Expr i = pop();
+        const arith::Expr j = pop();
+        idxStack.push_back(i);
+        idxStack.push_back(j);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Slide3: {
+        const arith::Expr z = pop();
+        const arith::Expr y = pop();
+        const arith::Expr x = pop();
+        const arith::Expr dz = pop();
+        const arith::Expr dy = pop();
+        const arith::Expr dx = pop();
+        idxStack.push_back(x * v->b + dx);
+        idxStack.push_back(y * v->b + dy);
+        idxStack.push_back(z * v->b + dz);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Pad3: {
+        const arith::Expr z = pop();
+        const arith::Expr y = pop();
+        const arith::Expr x = pop();
+        const ViewPtr& inner = v->children[0];
+        const arith::Expr sx = inner->type->elem()->elem()->size();
+        const arith::Expr sy = inner->type->elem()->size();
+        const arith::Expr sz = inner->type->size();
+        const arith::Expr ax = x - v->a;
+        const arith::Expr ay = y - v->a;
+        const arith::Expr az = z - v->a;
+        if (v->padMode == ir::PadMode::Zero) {
+          // Guard order matches resolve(): z, then y, then x.
+          const arith::Expr gz = guardVar(az, sz);
+          const arith::Expr gy = guardVar(ay, sy);
+          const arith::Expr gx = guardVar(ax, sx);
+          idxStack.push_back(gx);
+          idxStack.push_back(gy);
+          idxStack.push_back(gz);
+        } else {
+          out.clamped = true;
+          auto clamp = [](const arith::Expr& i, const arith::Expr& s) {
+            return arith::min(arith::max(i, arith::Expr(0)),
+                              s - arith::Expr(1));
+          };
+          idxStack.push_back(clamp(ax, sx));
+          idxStack.push_back(clamp(ay, sy));
+          idxStack.push_back(clamp(az, sz));
+        }
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Offset: {
+        const arith::Expr i = pop();
+        idxStack.push_back(i + v->idx);
+        v = v->children[0];
+        break;
+      }
+
+      case ViewKind::Iota: {
+        out.kind = SymbolicAccess::Kind::Iota;
+        out.index = pop();
+        return out;
+      }
+
+      case ViewKind::Constant: {
+        out.kind = SymbolicAccess::Kind::Constant;
+        return out;
+      }
+
+      case ViewKind::Mem: {
+        arith::Expr addr(0);
+        ir::TypePtr t = v->type;
+        while (t->isArray()) {
+          const arith::Expr i = pop();
+          addr = addr + i * t->elem()->flatCount();
+          t = t->elem();
+        }
+        LIFTA_CHECK(idxStack.empty(),
+                    "view resolution: leftover indices at memory view");
+        out.kind = SymbolicAccess::Kind::Mem;
+        out.mem = v->mem;
+        out.index = addr;
+        out.extent = v->type->flatCount();
+        return out;
+      }
+    }
+  }
+}
+
 std::string describe(const ViewPtr& v) {
   switch (v->kind) {
     case ViewKind::Mem:

@@ -90,4 +90,38 @@ std::string resolveStore(const ViewPtr& v);
 /// "TupleAccessView(0, ArrayAccessView(i, ZipView(MemView(A), MemView(B))))").
 std::string describe(const ViewPtr& v);
 
+// --- symbolic resolution (static analysis) ---------------------------------
+
+/// A zero-Pad guard encountered while resolving a view chain: the access only
+/// happens when `0 <= actual < size`; inside the resolved index the guarded
+/// component is represented by the fresh variable `var` with domain
+/// [0, size-1], so provers automatically assume the guard.
+struct SymbolicGuard {
+  std::string var;     // fresh variable standing for the guarded component
+  arith::Expr actual;  // the real (unguarded) component expression
+  arith::Expr size;    // inner extent the guard checks against
+};
+
+/// The result of symbolically resolving a scalar-typed view chain: which
+/// memory is touched and at which flat element index — the analysis-side twin
+/// of resolveLoad/resolveStore, producing arith::Expr instead of C text.
+struct SymbolicAccess {
+  enum class Kind {
+    Mem,       // buffer access: `mem[index]`, extent = flat element count
+    Iota,      // no memory touched; `index` is the value itself
+    Constant,  // ArrayCons element; no memory touched here
+  };
+  Kind kind = Kind::Mem;
+  std::string mem;                    // Kind::Mem only
+  arith::Expr index;                  // flat element index (or Iota value)
+  arith::Expr extent;                 // Kind::Mem: flat element count
+  std::vector<SymbolicGuard> guards;  // zero-Pad guards wrapping the access
+  bool clamped = false;               // a Clamp pad contributed min/max terms
+};
+
+/// Resolves a scalar-typed view chain symbolically. `guardCounter` supplies
+/// unique suffixes for guard variables across one kernel's analysis. Throws
+/// CodegenError on malformed chains (same conditions as resolveLoad).
+SymbolicAccess resolveSymbolic(const ViewPtr& v, int& guardCounter);
+
 }  // namespace lifta::view

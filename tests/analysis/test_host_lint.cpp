@@ -1,0 +1,195 @@
+// Host-program lint tests: each seeded defect class over the HOp DAG is
+// reported at the documented severity, a well-formed Listing-5-style program
+// stays clean, and HostProgram::compile refuses programs with error-severity
+// findings.
+#include "analysis/host_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "host/host_program.hpp"
+#include "ir/expr.hpp"
+#include "memory/kernel_def.hpp"
+#include "ocl/runtime.hpp"
+
+namespace lifta::analysis {
+namespace {
+
+using namespace lifta::host;
+using arith::Expr;
+
+/// mapGlb(i => A[i] * 2, iota(N)): allocates an implicit output buffer, so
+/// the call IS a device value.
+memory::KernelDef valueKernel() {
+  using namespace lifta::ir;
+  memory::KernelDef def;
+  def.name = "scale";
+  const Expr n = Expr::var("N");
+  auto a = param("A", Type::array(Type::float_(), n));
+  auto np = param("N", Type::int_());
+  auto i = param("i", nullptr);
+  def.params = {a, np};
+  def.body = mapGlb(lambda({i}, arrayAccess(a, i) * litFloat(2.0f)), iota(n));
+  return def;
+}
+
+/// mapGlb(i => writeTo(A[i], 3), iota(N)): updates A in place, no output
+/// buffer — the call is effect-only.
+memory::KernelDef effectKernel() {
+  using namespace lifta::ir;
+  memory::KernelDef def;
+  def.name = "fill";
+  const Expr n = Expr::var("N");
+  auto a = param("A", Type::array(Type::float_(), n));
+  auto np = param("N", Type::int_());
+  auto i = param("i", nullptr);
+  def.params = {a, np};
+  def.body = mapGlb(
+      lambda({i}, writeTo(arrayAccess(a, i), litFloat(3.0f))), iota(n));
+  return def;
+}
+
+KernelSpec specOver(memory::KernelDef def, HostPtr buf) {
+  KernelSpec s;
+  s.def = std::move(def);
+  s.args = {{buf, ""}, {nullptr, "N"}};
+  s.launchCountScalar = "N";
+  return s;
+}
+
+HostProgram freshProgram() {
+  HostProgram prog;
+  prog.declareScalar("N", ScalarType::Int);
+  return prog;
+}
+
+std::size_t findingsAt(const Report& r, Severity sev,
+                       const std::string& needle) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.severity == sev && d.pass == PassId::HostLint &&
+        d.message.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(HostLint, CleanProgramHasNoFindings) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto out = prog.kernelCall(specOver(valueKernel(), aG));
+  prog.toHost(out, "out_h");
+  const Report r = lintHostProgram(prog, "clean");
+  EXPECT_EQ(r.count(Severity::Error), 0u) << r.toText();
+  EXPECT_EQ(r.count(Severity::Warning), 0u) << r.toText();
+}
+
+TEST(HostLint, ParamUsedDirectlyAsKernelArg) {
+  HostProgram prog = freshProgram();
+  auto aH = prog.hostParam("a_h");  // never uploaded
+  auto out = prog.kernelCall(specOver(valueKernel(), aH));
+  prog.toHost(out, "out_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Error, "toGPU"), 1u) << r.toText();
+}
+
+TEST(HostLint, EffectOnlyCallUsedAsValue) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto call = prog.kernelCall(specOver(effectKernel(), aG));
+  prog.toHost(call, "out_h");  // the call has no output buffer to copy
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Error, "writeTo"), 1u) << r.toText();
+}
+
+TEST(HostLint, DeadComputeIsAnError) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto used = prog.kernelCall(specOver(valueKernel(), aG));
+  prog.kernelCall(specOver(valueKernel(), aG));  // result dropped
+  prog.toHost(used, "out_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Error, "dead"), 1u) << r.toText();
+}
+
+TEST(HostLint, UnorderedOverlappingWritesAreAnError) {
+  // Two kernels write into the same destination buffer with no dependence
+  // path between them: the final contents depend on evaluation order.
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto bG = prog.toGPU(prog.hostParam("b_h"));
+  auto w1 = prog.writeTo(aG, prog.kernelCall(specOver(valueKernel(), bG)));
+  auto w2 = prog.writeTo(aG, prog.kernelCall(specOver(valueKernel(), bG)));
+  prog.toHost(w1, "first_h");
+  prog.toHost(w2, "second_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Error, "overlapping writes"), 1u)
+      << r.toText();
+}
+
+TEST(HostLint, SerializedWritesAreNotFlagged) {
+  // Same two writers, but the second kernel reads the first write, so the
+  // DAG orders them.
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto w1 = prog.writeTo(aG, prog.kernelCall(specOver(valueKernel(), aG)));
+  auto w2 = prog.writeTo(aG, prog.kernelCall(specOver(valueKernel(), w1)));
+  prog.toHost(w2, "out_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_EQ(r.count(Severity::Error), 0u) << r.toText();
+}
+
+TEST(HostLint, DuplicateUploadWarns) {
+  HostProgram prog = freshProgram();
+  auto aH = prog.hostParam("a_h");
+  auto up1 = prog.toGPU(aH);
+  auto up2 = prog.toGPU(aH);  // second copy of the same host buffer
+  auto c1 = prog.kernelCall(specOver(valueKernel(), up1));
+  auto c2 = prog.kernelCall(specOver(valueKernel(), up2));
+  prog.toHost(c1, "c1_h");
+  prog.toHost(c2, "c2_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Warning, "upload"), 1u) << r.toText();
+}
+
+TEST(HostLint, DeviceRoundTripWarns) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  prog.toHost(aG, "copy_h");  // upload immediately read back
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Warning, "round trip"), 1u)
+      << r.toText();
+  EXPECT_EQ(r.count(Severity::Error), 0u) << r.toText();
+}
+
+TEST(HostLint, DeadUploadWarns) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  prog.toGPU(prog.hostParam("unused_h"));  // uploaded, never consumed
+  auto out = prog.kernelCall(specOver(valueKernel(), aG));
+  prog.toHost(out, "out_h");
+  const Report r = lintHostProgram(prog);
+  EXPECT_GE(findingsAt(r, Severity::Warning, "unused"), 1u) << r.toText();
+  EXPECT_EQ(r.count(Severity::Error), 0u) << r.toText();
+}
+
+TEST(HostLint, CompileRefusesErrorFindings) {
+  HostProgram prog = freshProgram();
+  auto aH = prog.hostParam("a_h");
+  auto out = prog.kernelCall(specOver(valueKernel(), aH));  // raw param
+  prog.toHost(out, "out_h");
+  ocl::Context ctx;
+  EXPECT_THROW(prog.compile(ctx, ir::ScalarKind::Double), AnalysisError);
+}
+
+TEST(HostLint, VerifyHostProgramPassesCleanPrograms) {
+  HostProgram prog = freshProgram();
+  auto aG = prog.toGPU(prog.hostParam("a_h"));
+  auto out = prog.kernelCall(specOver(valueKernel(), aG));
+  prog.toHost(out, "out_h");
+  EXPECT_NO_THROW(verifyHostProgram(prog, "clean"));
+}
+
+}  // namespace
+}  // namespace lifta::analysis

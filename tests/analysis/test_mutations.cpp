@@ -1,0 +1,196 @@
+// Mutation harness for the static-analysis suite: each test seeds one
+// distinct defect class into a small kernel and asserts the right pass
+// reports it at error severity (or, for uncontracted scatter, warns). The
+// companion negative controls keep the detector honest about false
+// positives; tests/analysis/test_passes.cpp checks the shipped kernels are
+// error-free. Host-program defect classes live in test_host_lint.cpp.
+#include <gtest/gtest.h>
+
+#include "analysis/passes.hpp"
+#include "ir/expr.hpp"
+#include "memory/kernel_def.hpp"
+
+namespace lifta::analysis {
+namespace {
+
+using namespace lifta::ir;
+using memory::KernelDef;
+
+arith::Expr N() { return arith::Expr::var("N"); }
+
+std::size_t errorsIn(const Report& r, PassId pass) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.severity == Severity::Error && d.pass == pass) ++n;
+  }
+  return n;
+}
+
+std::size_t warningsIn(const Report& r, PassId pass) {
+  std::size_t n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.severity == Severity::Warning && d.pass == pass) ++n;
+  }
+  return n;
+}
+
+/// mapGlb(i => body(i, N), iota(N)) over positions 0..N-1.
+KernelDef positionKernel(
+    const std::string& name, const ExprPtr& a,
+    std::vector<ExprPtr> extraParams,
+    const std::function<ExprPtr(ExprPtr, ExprPtr)>& body) {
+  KernelDef def;
+  def.name = name;
+  auto n = param("N", Type::int_());
+  auto i = param("i", nullptr);
+  def.params = {a, n};
+  for (auto& p : extraParams) def.params.push_back(p);
+  def.body = mapGlb(lambda({i}, body(i, n)), iota(N()));
+  return def;
+}
+
+// --- seeded bounds defects --------------------------------------------------
+
+TEST(Mutations, ReadPastEndDetected) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("read_past_end", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return arrayAccess(a, i + litInt(1));  // A[N] at the last work item
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Bounds), 1u);
+}
+
+TEST(Mutations, ReadBeforeStartDetected) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("read_before_start", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return arrayAccess(a, i - litInt(1));  // A[-1] at work item 0
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Bounds), 1u);
+}
+
+TEST(Mutations, ScatterWritePastEndDetected) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("write_past_end", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return writeTo(arrayAccess(a, i + litInt(1)), litFloat(1.0f));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Bounds), 1u);
+}
+
+TEST(Mutations, GuardedNeighborReadIsNotAnError) {
+  // Negative control: the same off-by-one read behind a Select guard must
+  // not be an error (the guard is data-dependent; severity drops to info).
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("guarded_read", a, {}, [&](ExprPtr i, ExprPtr n) {
+    return select(binary(BinOp::Lt, i, n - litInt(1)),
+                  arrayAccess(a, i + litInt(1)), litFloat(0.0f));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_EQ(errorsIn(r, PassId::Bounds), 0u);
+}
+
+TEST(Mutations, InRangeAccessesAreClean) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("clean_read", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return arrayAccess(a, i) * litFloat(2.0f);
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_EQ(r.count(Severity::Error), 0u);
+  EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+// --- seeded race defects ----------------------------------------------------
+
+TEST(Mutations, AllWorkItemsWriteSameElementDetected) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("write_elem0", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    (void)i;
+    return writeTo(arrayAccess(a, litInt(0)), litFloat(1.0f));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Race), 1u);
+}
+
+TEST(Mutations, WorkItemsCoverSameLoopRangeDetected) {
+  // Every work item runs the same inner loop over all of A: the write index
+  // ignores the work-item id entirely.
+  auto a = param("A", Type::array(Type::int_(), arith::Expr::var("M")));
+  auto m = param("M", Type::int_());
+  auto j = param("j", nullptr);
+  auto def = positionKernel("full_range_write", a, {m}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    (void)i;
+    return mapSeq(lambda({j}, writeTo(arrayAccess(a, j), j + litInt(1))),
+                  iota(arith::Expr::var("M")));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Race), 1u);
+}
+
+TEST(Mutations, ShiftedReadWriteHazardDetected) {
+  // Work item g writes A[g] while g+1 reads A[g+1]... i.e. the read of one
+  // work item aliases the write of another (extent N+1 keeps it in bounds,
+  // isolating the hazard from the bounds pass).
+  auto a = param("A", Type::array(Type::float_(), N() + arith::Expr(1)));
+  auto def = positionKernel("shifted_rw", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return writeTo(arrayAccess(a, i),
+                   arrayAccess(a, i + litInt(1)) * litFloat(0.5f));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_GE(errorsIn(r, PassId::Race), 1u);
+}
+
+TEST(Mutations, UncontractedScatterWarnsButContractSilences) {
+  // WriteTo through a data-dependent index buffer: without a contract the
+  // detector must warn (it cannot prove disjointness); an injectivity
+  // contract discharges it.
+  KernelDef def;
+  def.name = "scatter";
+  auto grid = param("grid", Type::array(Type::float_(), N()));
+  auto idxs =
+      param("indices", Type::array(Type::int_(), arith::Expr::var("M")));
+  auto n = param("N", Type::int_());
+  auto m = param("M", Type::int_());
+  auto idx = param("idx", nullptr);
+  def.params = {grid, idxs, n, m};
+  def.body = mapGlb(
+      lambda({idx}, writeTo(arrayAccess(grid, idx),
+                            arrayAccess(grid, idx) * litFloat(2.0f))),
+      idxs);
+
+  const Report plain = analyzeKernelDef(def);
+  EXPECT_GE(warningsIn(plain, PassId::Race), 1u);
+  EXPECT_EQ(plain.count(Severity::Error), 0u);  // not provable, not proven
+
+  AnalysisOptions opts;
+  BufferContract c;
+  c.valueLo = arith::Expr(0);
+  c.valueHi = N() - arith::Expr(1);
+  c.injective = true;
+  opts.contracts["indices"] = c;
+  const Report contracted = analyzeKernelDef(def, opts);
+  EXPECT_EQ(contracted.count(Severity::Error), 0u);
+  EXPECT_EQ(warningsIn(contracted, PassId::Race), 0u);
+}
+
+TEST(Mutations, DisjointStridedWritesAreClean) {
+  // Negative control for the race pass: out[g] written once per work item.
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto def = positionKernel("ident_write", a, {}, [&](ExprPtr i, ExprPtr n) {
+    (void)n;
+    return writeTo(arrayAccess(a, i), litFloat(3.0f));
+  });
+  const Report r = analyzeKernelDef(def);
+  EXPECT_EQ(r.count(Severity::Error), 0u);
+  EXPECT_EQ(r.count(Severity::Warning), 0u);
+}
+
+}  // namespace
+}  // namespace lifta::analysis

@@ -118,6 +118,46 @@ TEST(JsonWriter, IncompleteDocumentsThrow) {
   }
 }
 
+TEST(JsonWriter, EscapesControlCharactersIncludingDel) {
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonWriter::escape("\x1f"), "\\u001f");
+  EXPECT_EQ(JsonWriter::escape("\x7f"), "\\u007f");  // DEL is a control char
+  EXPECT_EQ(JsonWriter::escape("\"\\\n\r\t\b\f"),
+            "\\\"\\\\\\n\\r\\t\\b\\f");
+}
+
+TEST(JsonWriter, ValidUtf8PassesThroughVerbatim) {
+  const std::string twoByte = "\xc3\xa9";          // é
+  const std::string threeByte = "\xe2\x82\xac";    // €
+  const std::string fourByte = "\xf0\x9f\x94\x8a"; // speaker emoji
+  EXPECT_EQ(JsonWriter::escape(twoByte), twoByte);
+  EXPECT_EQ(JsonWriter::escape(threeByte), threeByte);
+  EXPECT_EQ(JsonWriter::escape(fourByte), fourByte);
+  EXPECT_EQ(JsonWriter::escape("mix " + twoByte + " end"),
+            "mix " + twoByte + " end");
+}
+
+TEST(JsonWriter, InvalidUtf8BytesBecomeReplacementCharacter) {
+  // Lone continuation byte, truncated sequence, and bytes UTF-8 never uses.
+  EXPECT_EQ(JsonWriter::escape("\x80"), "\\ufffd");
+  EXPECT_EQ(JsonWriter::escape("\xc3"), "\\ufffd");        // truncated é
+  EXPECT_EQ(JsonWriter::escape("\xc0\xaf"), "\\ufffd\\ufffd");  // overlong
+  EXPECT_EQ(JsonWriter::escape("\xed\xa0\x80"),            // surrogate half
+            "\\ufffd\\ufffd\\ufffd");
+  EXPECT_EQ(JsonWriter::escape("\xff\xfe"), "\\ufffd\\ufffd");
+  EXPECT_EQ(JsonWriter::escape("ok\xc3 done"), "ok\\ufffd done");
+}
+
+TEST(JsonWriter, HostileStringsStillFormValidDocuments) {
+  JsonWriter json;
+  json.beginObject()
+      .field("k\x01", std::string("\x7f\xc3\xa9\x80"))
+      .endObject();
+  EXPECT_EQ(json.str(),
+            "{\n  \"k\\u0001\": \"\\u007f\xc3\xa9\\ufffd\"\n}");
+}
+
 TEST(JsonWriter, WriteFileRoundTripsAndFailsOnBadPath) {
   const std::string path = std::string(::testing::TempDir()) + "jw_test.json";
   JsonWriter json;

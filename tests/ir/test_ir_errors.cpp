@@ -1,0 +1,85 @@
+// Negative-path coverage for the IR front end: malformed programs must be
+// rejected with TypeError (carrying a useful message), never by crashing or
+// by silently producing a bogus type. Well-formed-program behavior lives in
+// test_typecheck.cpp.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/typecheck.hpp"
+
+namespace lifta::ir {
+namespace {
+
+arith::Expr N() { return arith::Expr::var("N"); }
+
+TEST(IrErrors, MapOverScalarThrows) {
+  auto s = param("s", Type::float_());
+  auto x = param("x", nullptr);
+  EXPECT_THROW(typecheck(mapSeq(lambda({x}, x), s)), TypeError);
+}
+
+TEST(IrErrors, ArrayAccessOnScalarThrows) {
+  auto s = param("s", Type::float_());
+  EXPECT_THROW(typecheck(arrayAccess(s, litInt(0))), TypeError);
+}
+
+TEST(IrErrors, NonIntegerIndexThrows) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  EXPECT_THROW(typecheck(arrayAccess(a, litFloat(1.5f))), TypeError);
+}
+
+TEST(IrErrors, MixedScalarBinaryThrows) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto s = param("s", Type::float_());
+  EXPECT_THROW(typecheck(binary(BinOp::Add, a, s)), TypeError);
+}
+
+TEST(IrErrors, GetOnNonTupleThrows) {
+  auto s = param("s", Type::int_());
+  EXPECT_THROW(typecheck(get(s, 0)), TypeError);
+}
+
+TEST(IrErrors, ConcatMismatchedElementTypesThrows) {
+  auto a = param("A", Type::array(Type::float_(), N()));
+  auto b = param("B", Type::array(Type::int_(), N()));
+  EXPECT_THROW(typecheck(concat({a, b})), TypeError);
+}
+
+TEST(IrErrors, ErrorsCarryAMessage) {
+  auto s = param("s", Type::float_());
+  try {
+    typecheck(arrayAccess(s, litInt(0)));
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& e) {
+    EXPECT_STRNE(e.what(), "");
+  }
+}
+
+// --- toArith: only literals, Int names, and +,-,*,/ are convertible --------
+
+TEST(IrErrors, ToArithRejectsFloatLiteral) {
+  EXPECT_THROW(toArith(litFloat(2.5f)), TypeError);
+}
+
+TEST(IrErrors, ToArithRejectsUnsupportedOperator) {
+  // Comparisons have no symbolic-arithmetic counterpart.
+  auto n = param("n", Type::int_());
+  EXPECT_THROW(toArith(binary(BinOp::Lt, n, litInt(2))), TypeError);
+}
+
+TEST(IrErrors, ToArithRejectsStructuredExpressions) {
+  auto a = param("A", Type::array(Type::int_(), N()));
+  auto x = param("x", nullptr);
+  EXPECT_THROW(toArith(mapSeq(lambda({x}, x), a)), TypeError);
+}
+
+TEST(IrErrors, ToArithAcceptsTheSupportedFragment) {
+  auto n = param("n", Type::int_());
+  const arith::Expr e =
+      toArith(binary(BinOp::Add, binary(BinOp::Mul, n, litInt(3)),
+                     litInt(1)));
+  EXPECT_EQ(e, arith::Expr::var("n") * arith::Expr(3) + arith::Expr(1));
+}
+
+}  // namespace
+}  // namespace lifta::ir

@@ -33,7 +33,7 @@ std::pair<Expr, std::int64_t> randomExpr(
   }
   auto [lhs, lv] = randomExpr(rng, depth - 1, env);
   auto [rhs, rv] = randomExpr(rng, depth - 1, env);
-  switch (rng.uniformInt(0, 5)) {
+  switch (rng.uniformInt(0, 6)) {
     case 0:
       return {lhs + rhs, lv + rv};
     case 1:
@@ -44,6 +44,9 @@ std::pair<Expr, std::int64_t> randomExpr(
       if (rv == 0) return {lhs + rhs, lv + rv};
       return {lhs / rhs, lv / rv};
     case 4:
+      if (rv == 0) return {lhs - rhs, lv - rv};
+      return {lhs % rhs, lv % rv};
+    case 5:
       return {min(lhs, rhs), std::min(lv, rv)};
     default:
       return {max(lhs, rhs), std::max(lv, rv)};
@@ -98,6 +101,49 @@ TEST_P(ArithFuzz, CanonicalFormIsStable) {
     } else if (expr.kind() == Kind::Mul) {
       ASSERT_EQ(mul(expr.operands()).toString(), expr.toString());
     }
+  }
+}
+
+TEST(ArithDivMod, ConstantFoldingFollowsCTruncation) {
+  // Exhaustive sweep over small signed operands: the canonicalizing Div/Mod
+  // constructors must fold constants exactly like C (truncation toward
+  // zero, remainder takes the dividend's sign): -7/2 == -3, -7%2 == -1,
+  // 7%-2 == 1.
+  for (std::int64_t a = -24; a <= 24; ++a) {
+    for (std::int64_t b = -7; b <= 7; ++b) {
+      if (b == 0) continue;
+      const Expr q = Expr(a) / Expr(b);
+      const Expr r = Expr(a) % Expr(b);
+      ASSERT_TRUE(q.isConst()) << a << "/" << b << " -> " << q.toString();
+      ASSERT_TRUE(r.isConst()) << a << "%" << b << " -> " << r.toString();
+      EXPECT_EQ(q.constValue(), a / b) << a << "/" << b;
+      EXPECT_EQ(r.constValue(), a % b) << a << "%" << b;
+      // The C invariant ties them together: (a/b)*b + a%b == a.
+      EXPECT_EQ(q.constValue() * b + r.constValue(), a);
+    }
+  }
+}
+
+TEST(ArithDivMod, NegativeConstantDivisorsOnSymbolicDividends) {
+  // Symbolic dividend, negative constant divisor: whatever simplification
+  // fires must agree with direct C evaluation across signs of the dividend.
+  const Expr a = Expr::var("a");
+  for (std::int64_t divisor : {-1, -2, -3, -5}) {
+    const Expr q = a / Expr(divisor);
+    const Expr r = a % Expr(divisor);
+    for (std::int64_t value = -15; value <= 15; ++value) {
+      const std::map<std::string, std::int64_t> env{{"a", value}};
+      EXPECT_EQ(q.evaluate(env), value / divisor)
+          << q.toString() << " at a=" << value;
+      EXPECT_EQ(r.evaluate(env), value % divisor)
+          << r.toString() << " at a=" << value;
+    }
+  }
+  // Nested: (a / -2) % 3 evaluated both symbolically and directly.
+  const Expr nested = (a / Expr(-2)) % Expr(3);
+  for (std::int64_t value = -15; value <= 15; ++value) {
+    EXPECT_EQ(nested.evaluate({{"a", value}}), (value / -2) % 3)
+        << nested.toString() << " at a=" << value;
   }
 }
 
