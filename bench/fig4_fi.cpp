@@ -26,7 +26,10 @@ void runRows(ocl::Context& ctx, const std::string& platform,
     AcousticBench<T> bench(ctx, sized.room, 1, 0);
     double ms[2];
     for (Impl impl : {Impl::Handwritten, Impl::Lift}) {
-      auto bound = bench.fusedFi(impl, opt.localSize);
+      const std::size_t local = pickLocalSize(
+          ctx, opt.autotune, opt.localSize,
+          [&](std::size_t ls) { return bench.fusedFi(impl, ls); });
+      auto bound = bench.fusedFi(impl, local);
       ocl::CommandQueue q(ctx);
       const double med = medianKernelMs(
           [&] { return bound.run(q).milliseconds; }, opt);
@@ -76,7 +79,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: LIFT on par with the hand-optimized OpenCL version\n"
       "across all sizes (Fig. 4, Table IV; ratios ~0.85-1.20x).  %s\n",
-      (avgRatio > 0.8 && avgRatio < 1.25) ? "[reproduced]"
-                                          : "[deviates — see EXPERIMENTS.md]");
+      parityVerdict(avgRatio));
   return 0;
 }

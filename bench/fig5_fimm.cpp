@@ -23,7 +23,10 @@ void runRows(ocl::Context& ctx, const std::string& platform,
     AcousticBench<T> bench(ctx, sized.room, 3, 0);
     double ms[2];
     for (Impl impl : {Impl::Handwritten, Impl::Lift}) {
-      auto bound = bench.fiMm(impl, opt.localSize);
+      const std::size_t local = pickLocalSize(
+          ctx, opt.autotune, opt.localSize,
+          [&](std::size_t ls) { return bench.fiMm(impl, ls); });
+      auto bound = bench.fiMm(impl, local);
       ocl::CommandQueue q(ctx);
       const double med = medianKernelMs(
           [&] { return bound.run(q).milliseconds; }, opt);
@@ -73,7 +76,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: LIFT achieves performance on par with the manually\n"
       "written and tuned version (Fig. 5, Table V).  %s\n",
-      (avgRatio > 0.8 && avgRatio < 1.25) ? "[reproduced]"
-                                          : "[deviates — see EXPERIMENTS.md]");
+      parityVerdict(avgRatio));
   return 0;
 }

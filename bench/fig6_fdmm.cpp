@@ -24,7 +24,10 @@ void runRows(ocl::Context& ctx, const std::string& platform,
     AcousticBench<T> bench(ctx, sized.room, 3, opt.branches);
     double ms[2];
     for (Impl impl : {Impl::Handwritten, Impl::Lift}) {
-      auto bound = bench.fdMm(impl, opt.localSize);
+      const std::size_t local = pickLocalSize(
+          ctx, opt.autotune, opt.localSize,
+          [&](std::size_t ls) { return bench.fdMm(impl, ls); });
+      auto bound = bench.fdMm(impl, local);
       ocl::CommandQueue q(ctx);
       const double med = medianKernelMs(
           [&] { return bound.run(q).milliseconds; }, opt);
@@ -81,7 +84,6 @@ int main(int argc, char** argv) {
       "paper shape: comparable results with the hand-written version on\n"
       "all platforms; FD-MM throughput is much lower than FI-MM's because\n"
       "of the extra state traffic (compare fig5_fimm output).  %s\n",
-      (avgRatio > 0.8 && avgRatio < 1.25) ? "[reproduced]"
-                                          : "[deviates — see EXPERIMENTS.md]");
+      parityVerdict(avgRatio));
   return 0;
 }

@@ -1,94 +1,228 @@
-// Micro-benchmarks of the compiler infrastructure itself (google-benchmark):
-// symbolic index simplification, view resolution, kernel code generation,
-// JIT cache hits, and NDRange launch overhead. These quantify the
-// "compile-time" costs of the paper's approach, which are paid once per
-// kernel, not per launch.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the compiler infrastructure itself: symbolic index
+// algebra, view resolution, kernel code generation, JIT compilation cold
+// vs. warm cache, and the optimizer pipeline's effect on generated-kernel
+// throughput. These quantify the "compile-time" costs of the paper's
+// approach (paid once per kernel, not per launch) and the run-time payoff
+// of the optimizer. Results are written to BENCH_codegen.json.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
 
 #include "arith/expr.hpp"
 #include "codegen/kernel_codegen.hpp"
+#include "common/json_writer.hpp"
+#include "common/stats.hpp"
+#include "harness/acoustic_bench.hpp"
+#include "harness/bench_common.hpp"
 #include "lift_acoustics/kernels.hpp"
+#include "ocl/jit.hpp"
 #include "ocl/runtime.hpp"
 #include "view/view.hpp"
 
 using namespace lifta;
+using namespace lifta::harness;
 
-static void BM_ArithSimplifyConcatOffset(benchmark::State& state) {
-  // The Concat length algebra of §IV-B: idx + 1 + (N - 1 - idx) -> N.
-  const auto idx = arith::Expr::var("idx");
-  const auto n = arith::Expr::var("N");
-  for (auto _ : state) {
-    auto e = idx + arith::Expr(1) + (n - arith::Expr(1) - idx);
-    benchmark::DoNotOptimize(e);
-  }
-}
-BENCHMARK(BM_ArithSimplifyConcatOffset);
+namespace {
 
-static void BM_ViewResolveStencilChain(benchmark::State& state) {
-  // slide(3,1, pad(1,1, A)) resolved at (w, u) — the §III-B stencil chain.
-  const auto t = ir::Type::array(ir::Type::float_(), arith::Expr::var("N"));
-  for (auto _ : state) {
-    auto chain = view::slideView(
-        view::padView(view::memView("A", t), 1, 1, ir::PadMode::Zero), 3, 1);
-    auto elem = view::accessView(
-        view::accessView(chain, arith::Expr::var("w")), arith::Expr::var("u"));
-    auto code = view::resolveLoad(elem, "(real)0");
-    benchmark::DoNotOptimize(code);
-  }
+template <typename F>
+double timeMs(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
-BENCHMARK(BM_ViewResolveStencilChain);
 
-static void BM_CodegenFiMmKernel(benchmark::State& state) {
-  for (auto _ : state) {
-    auto gen = codegen::generateKernel(
-        lift_acoustics::liftFiMmKernel(ir::ScalarKind::Float));
-    benchmark::DoNotOptimize(gen.source);
-  }
+template <typename F>
+double medianMsOf(int iters, F&& f) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) samples.push_back(timeMs(f));
+  return median(std::move(samples));
 }
-BENCHMARK(BM_CodegenFiMmKernel);
 
-static void BM_CodegenFdMmKernel(benchmark::State& state) {
-  for (auto _ : state) {
-    auto gen = codegen::generateKernel(
-        lift_acoustics::liftFdMmKernel(ir::ScalarKind::Double, 3));
-    benchmark::DoNotOptimize(gen.source);
-  }
+/// All four acoustics kernels generated under `opts`.
+std::vector<std::string> generatedSources(const codegen::CodegenOptions& opts) {
+  namespace la = lift_acoustics;
+  return {
+      codegen::generateKernel(la::liftVolumeKernel(ir::ScalarKind::Double),
+                              opts)
+          .source,
+      codegen::generateKernel(la::liftFusedFiKernel(ir::ScalarKind::Double),
+                              opts)
+          .source,
+      codegen::generateKernel(la::liftFiMmKernel(ir::ScalarKind::Double), opts)
+          .source,
+      codegen::generateKernel(la::liftFdMmKernel(ir::ScalarKind::Double, 3),
+                              opts)
+          .source,
+  };
 }
-BENCHMARK(BM_CodegenFdMmKernel);
 
-static void BM_JitCacheHit(benchmark::State& state) {
-  ocl::Context ctx;
-  const auto gen = codegen::generateKernel(
-      lift_acoustics::liftVolumeKernel(ir::ScalarKind::Float));
-  ctx.buildProgram(gen.source);  // cold build outside the loop
-  for (auto _ : state) {
-    auto p = ctx.buildProgram(gen.source);
-    benchmark::DoNotOptimize(p);
-  }
-}
-BENCHMARK(BM_JitCacheHit);
+struct KernelRow {
+  std::string model;
+  std::size_t updates = 0;
+  double optMs = 0.0;
+  double nooptMs = 0.0;
+};
 
-static void BM_NDRangeLaunchOverhead(benchmark::State& state) {
-  // An empty-ish kernel: measures executor dispatch cost per launch.
-  ocl::Context ctx;
-  auto program = ctx.buildProgram(R"(
-typedef struct { long gid[3]; long gsz[3]; long lid[3]; long lsz[3];
-                 long wg[3]; long nwg[3]; } lifta_wi_ctx;
-extern "C" void nop(void** args, const lifta_wi_ctx* ctx) {
-  (void)args; (void)ctx;
-}
-)");
-  ocl::Kernel k(program, "nop");
-  auto buf = ctx.allocate(4);
-  k.setArg(0, buf);
+template <typename MakeBound>
+double medianLaunchMs(ocl::Context& ctx, const BenchOptions& opt,
+                      MakeBound&& make) {
+  auto bound = make();
   ocl::CommandQueue q(ctx);
-  const auto range = ocl::NDRange::linear(
-      static_cast<std::size_t>(state.range(0)), 64);
-  for (auto _ : state) {
-    auto ev = q.enqueueNDRange(k, range);
-    benchmark::DoNotOptimize(ev);
-  }
+  return medianKernelMs([&] { return bound.run(q).milliseconds; }, opt);
 }
-BENCHMARK(BM_NDRangeLaunchOverhead)->Arg(64)->Arg(4096)->Arg(65536);
 
-BENCHMARK_MAIN();
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = BenchOptions::fromArgs(argc, argv);
+  printBenchBanner("Compiler micro-benchmarks: codegen, JIT cache, optimizer",
+                   opt);
+
+  codegen::CodegenOptions optOn;
+  codegen::CodegenOptions optOff;
+  optOff.optimize = false;
+
+  // --- symbolic/codegen front-end costs ----------------------------------
+  const double arithMs = medianMsOf(9, [] {
+    for (int i = 0; i < 1000; ++i) {
+      const auto idx = arith::Expr::var("idx");
+      const auto n = arith::Expr::var("N");
+      auto e = idx + arith::Expr(1) + (n - arith::Expr(1) - idx);
+      (void)e;
+    }
+  });
+  const double codegenFiMmMs = medianMsOf(9, [&] {
+    auto gen = codegen::generateKernel(
+        lift_acoustics::liftFiMmKernel(ir::ScalarKind::Float), optOn);
+    (void)gen.source;
+  });
+  const double codegenFdMmMs = medianMsOf(9, [&] {
+    auto gen = codegen::generateKernel(
+        lift_acoustics::liftFdMmKernel(ir::ScalarKind::Double, 3), optOn);
+    (void)gen.source;
+  });
+  std::printf("arith algebra (1000 Concat offsets): %.3f ms\n", arithMs);
+  std::printf("codegen FI-MM kernel: %.3f ms, FD-MM kernel: %.3f ms\n\n",
+              codegenFiMmMs, codegenFdMmMs);
+
+  // --- JIT cache: cold compile vs. warm (memory) vs. warm (disk) ---------
+  // A nonce makes the sources unique to this run, so "cold" really invokes
+  // the compiler even when a disk cache is configured in the environment.
+  auto& jit = ocl::Jit::instance();
+  const std::string nonce =
+      "// micro_compiler nonce " + std::to_string(std::time(nullptr)) + "\n";
+  std::vector<std::string> sources;
+  for (auto& s : generatedSources(optOn)) sources.push_back(nonce + s);
+
+  const std::string diskDir = jit.scratchDir() + "/diskcache";
+  jit.setDiskCacheDir(diskDir);
+  const double coldMs = timeMs([&] {
+    for (const auto& s : sources) jit.compile(s);
+  });
+  const double warmMs = timeMs([&] {
+    for (const auto& s : sources) jit.compile(s);
+  });
+  jit.clearMemoryCache();
+  const double diskWarmMs = timeMs([&] {
+    for (const auto& s : sources) jit.compile(s);
+  });
+  jit.setDiskCacheDir("");
+  const double warmSpeedup = warmMs > 0 ? coldMs / warmMs : 0.0;
+  const auto stats = jit.stats();
+  std::printf(
+      "JIT build of 4 generated kernels: cold %.1f ms, warm (memory) %.3f ms "
+      "(%.0fx), warm (disk) %.1f ms\n",
+      coldMs, warmMs, warmSpeedup, diskWarmMs);
+  std::printf(
+      "cache stats: %zu memory hits, %zu disk hits, %zu misses, %zu "
+      "compiles\n\n",
+      stats.hits, stats.diskHits, stats.misses, stats.compiled);
+
+  // --- optimizer pipeline: kernel throughput opt-on vs. opt-off ----------
+  ocl::Context ctx;
+  const auto rooms = benchRooms(acoustics::RoomShape::Box, opt.full);
+  const auto& room = rooms.front().room;  // the "602" aspect-ratio room
+  std::vector<KernelRow> rows;
+  {
+    AcousticBench<double> bench(ctx, room, 1, 0);
+    KernelRow r{"FI", bench.cells(), 0.0, 0.0};
+    bench.setCodegenOptions(optOn);
+    r.optMs = medianLaunchMs(ctx, opt,
+                             [&] { return bench.fusedFi(Impl::Lift, 64); });
+    bench.setCodegenOptions(optOff);
+    r.nooptMs = medianLaunchMs(ctx, opt,
+                               [&] { return bench.fusedFi(Impl::Lift, 64); });
+    rows.push_back(r);
+  }
+  {
+    AcousticBench<double> bench(ctx, room, 3, 0);
+    KernelRow r{"FI-MM", bench.boundaryPoints(), 0.0, 0.0};
+    bench.setCodegenOptions(optOn);
+    r.optMs =
+        medianLaunchMs(ctx, opt, [&] { return bench.fiMm(Impl::Lift, 64); });
+    bench.setCodegenOptions(optOff);
+    r.nooptMs =
+        medianLaunchMs(ctx, opt, [&] { return bench.fiMm(Impl::Lift, 64); });
+    rows.push_back(r);
+  }
+  {
+    AcousticBench<double> bench(ctx, room, 3, opt.branches);
+    KernelRow r{"FD-MM", bench.boundaryPoints(), 0.0, 0.0};
+    bench.setCodegenOptions(optOn);
+    r.optMs =
+        medianLaunchMs(ctx, opt, [&] { return bench.fdMm(Impl::Lift, 64); });
+    bench.setCodegenOptions(optOff);
+    r.nooptMs =
+        medianLaunchMs(ctx, opt, [&] { return bench.fdMm(Impl::Lift, 64); });
+    rows.push_back(r);
+  }
+
+  std::printf("%-6s %12s %12s %12s %12s %8s\n", "model", "opt ms", "noopt ms",
+              "opt MU/s", "noopt MU/s", "speedup");
+  for (const auto& r : rows) {
+    std::printf("%-6s %12.4f %12.4f %12.2f %12.2f %7.2fx\n", r.model.c_str(),
+                r.optMs, r.nooptMs, mups(r.updates, r.optMs),
+                mups(r.updates, r.nooptMs),
+                r.optMs > 0 ? r.nooptMs / r.optMs : 0.0);
+  }
+
+  // --- BENCH_codegen.json -------------------------------------------------
+  JsonWriter w;
+  w.beginObject();
+  w.field("bench", "micro_compiler");
+  w.field("full", opt.full);
+  w.field("iters", opt.iters);
+  w.key("frontend").beginObject();
+  w.field("arith_1000_concat_offsets_ms", arithMs);
+  w.field("codegen_fimm_ms", codegenFiMmMs);
+  w.field("codegen_fdmm_ms", codegenFdMmMs);
+  w.endObject();
+  w.key("jit_cache").beginObject();
+  w.field("kernels_built", static_cast<std::uint64_t>(sources.size()));
+  w.field("cold_ms", coldMs);
+  w.field("warm_memory_ms", warmMs);
+  w.field("warm_disk_ms", diskWarmMs);
+  w.field("warm_speedup", warmSpeedup, 2);
+  w.endObject();
+  w.key("kernels").beginArray();
+  for (const auto& r : rows) {
+    w.beginObject();
+    w.field("model", r.model);
+    w.field("updates", static_cast<std::uint64_t>(r.updates));
+    w.field("opt_ms", r.optMs);
+    w.field("noopt_ms", r.nooptMs);
+    w.field("opt_mups", mups(r.updates, r.optMs), 2);
+    w.field("noopt_mups", mups(r.updates, r.nooptMs), 2);
+    w.field("speedup", r.optMs > 0 ? r.nooptMs / r.optMs : 0.0, 3);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  w.writeFile("BENCH_codegen.json");
+  std::printf("\nwrote BENCH_codegen.json\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/interval.hpp"
+#include "analysis/simplify.hpp"
 
 namespace lifta::analysis {
 
@@ -115,7 +116,30 @@ void boundsPass(const KernelAccessInfo& info, const AnalysisOptions& opts,
   for (const auto& a : info.accesses) {
     Prover::Result lower = p.proveGE0(a.index);
     Prover::Result upper = p.proveGE0(a.extent - Expr(1) - a.index);
-    if (lower.proof == Proof::Yes && upper.proof == Proof::Yes) continue;
+    if (lower.proof == Proof::Yes && upper.proof == Proof::Yes) {
+      // The codegen optimizer may emit simplifyIndex(index) in place of the
+      // original expression; its rewrites are licensed by exactly the facts
+      // this prover holds, so the simplified form must stay provably in
+      // range too. A failure here means the optimizer would emit an index
+      // the verifier can no longer stand behind — treat it as an error.
+      const Expr simplified = simplifyIndex(p.resolve(a.index), p);
+      if (!(simplified == p.resolve(a.index)) &&
+          (p.proveGE0(simplified).proof != Proof::Yes ||
+           p.proveGE0(a.extent - Expr(1) - simplified).proof != Proof::Yes)) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.pass = PassId::Bounds;
+        d.kernel = info.kernelName;
+        d.node = a.buffer;
+        d.indexExpr = simplified.toString();
+        d.message = a.context +
+                    ": optimizer-simplified index loses the bounds proof "
+                    "(original form proves in range; simplified form does "
+                    "not, extent " + a.extent.toString() + ")";
+        report.add(std::move(d));
+      }
+      continue;
+    }
 
     const bool provenBad = (lower.proof == Proof::No && lower.exact) ||
                            (upper.proof == Proof::No && upper.exact);

@@ -1,0 +1,168 @@
+#include "analysis/simplify.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lifta::analysis {
+
+using arith::Expr;
+using arith::Kind;
+
+namespace {
+
+bool yes(const Prover::Result& r) { return r.proof == Proof::Yes; }
+
+/// Exact division of a single product term by a divisor: a constant divisor
+/// divides the term's constant coefficient, a Var divisor cancels against an
+/// equal factor. Returns nullopt when the term does not carry the divisor.
+std::optional<Expr> termDiv(const Expr& term, const Expr& divisor) {
+  if (divisor.isConst()) {
+    const std::int64_t c = divisor.constValue();
+    if (c == 0) return std::nullopt;
+    if (term.isConst()) {
+      if (term.constValue() % c != 0) return std::nullopt;
+      return Expr(term.constValue() / c);
+    }
+    if (term.kind() == Kind::Mul && term.operands().front().isConst()) {
+      const std::int64_t coef = term.operands().front().constValue();
+      if (coef % c != 0) return std::nullopt;
+      std::vector<Expr> rest(term.operands().begin() + 1,
+                             term.operands().end());
+      rest.insert(rest.begin(), Expr(coef / c));
+      return arith::mul(std::move(rest));
+    }
+    return std::nullopt;
+  }
+  if (divisor.kind() != Kind::Var) return std::nullopt;
+  if (term == divisor) return Expr(1);
+  if (term.kind() == Kind::Mul) {
+    std::vector<Expr> factors = term.operands();
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      if (factors[i] == divisor) {
+        factors.erase(factors.begin() + static_cast<std::ptrdiff_t>(i));
+        return arith::mul(std::move(factors));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Splits the additive terms of polynomial `a` into (quotient, remainder)
+/// with a = divisor*quotient + remainder, by moving every term that carries
+/// `divisor` as an exact factor into the quotient. Returns false when no
+/// term is divisible (the split would be the trivial q=0).
+bool splitByDivisor(const Expr& a, const Expr& divisor, Expr& quotient,
+                    Expr& remainder) {
+  const std::vector<Expr> terms =
+      a.kind() == Kind::Add ? a.operands() : std::vector<Expr>{a};
+  std::vector<Expr> q, r;
+  for (const auto& t : terms) {
+    if (auto d = termDiv(t, divisor)) {
+      q.push_back(std::move(*d));
+    } else {
+      r.push_back(t);
+    }
+  }
+  if (q.empty()) return false;
+  quotient = arith::add(std::move(q));
+  remainder = arith::add(std::move(r));
+  return true;
+}
+
+/// True when the prover shows a = divisor*q + r is a valid Euclidean split
+/// for C's truncating operators: 0 <= r < divisor and a >= 0 (which forces
+/// q >= 0, so truncation toward zero agrees with floor division).
+bool splitIsExact(const Expr& a, const Expr& divisor, const Expr& remainder,
+                  const Prover& p) {
+  return yes(p.proveGE0(remainder)) &&
+         yes(p.proveGE0(divisor - Expr(1) - remainder)) &&
+         yes(p.proveGE0(a));
+}
+
+}  // namespace
+
+Expr simplifyIndex(const Expr& e, const Prover& p) {
+  switch (e.kind()) {
+    case Kind::Const:
+    case Kind::Var:
+      return e;
+
+    case Kind::Add: {
+      std::vector<Expr> terms;
+      terms.reserve(e.operands().size());
+      for (const auto& op : e.operands()) terms.push_back(simplifyIndex(op, p));
+      return arith::distribute(arith::add(std::move(terms)));
+    }
+
+    case Kind::Mul: {
+      std::vector<Expr> factors;
+      factors.reserve(e.operands().size());
+      for (const auto& op : e.operands()) {
+        factors.push_back(simplifyIndex(op, p));
+      }
+      return arith::distribute(arith::mul(std::move(factors)));
+    }
+
+    case Kind::Div: {
+      const Expr a =
+          arith::distribute(simplifyIndex(e.operands()[0], p));
+      const Expr b = simplifyIndex(e.operands()[1], p);
+      if (isPolynomial(a) && (b.isConst() || b.kind() == Kind::Var)) {
+        Expr q, r;
+        if (splitByDivisor(a, b, q, r) && splitIsExact(a, b, r, p)) {
+          return q;
+        }
+        // No divisible term: a / b == 0 whenever 0 <= a < b.
+        if (yes(p.proveGE0(a)) && yes(p.proveGE0(b - Expr(1) - a))) {
+          return Expr(0);
+        }
+      }
+      return arith::div(a, b);
+    }
+
+    case Kind::Mod: {
+      const Expr a =
+          arith::distribute(simplifyIndex(e.operands()[0], p));
+      const Expr b = simplifyIndex(e.operands()[1], p);
+      if (isPolynomial(a) && (b.isConst() || b.kind() == Kind::Var)) {
+        Expr q, r;
+        if (splitByDivisor(a, b, q, r) && splitIsExact(a, b, r, p)) {
+          return r;
+        }
+        if (yes(p.proveGE0(a)) && yes(p.proveGE0(b - Expr(1) - a))) {
+          return a;
+        }
+      }
+      return arith::mod(a, b);
+    }
+
+    case Kind::Min: {
+      const Expr a = simplifyIndex(e.operands()[0], p);
+      const Expr b = simplifyIndex(e.operands()[1], p);
+      if (yes(p.proveGE0(b - a))) return a;
+      if (yes(p.proveGE0(a - b))) return b;
+      return arith::min(a, b);
+    }
+
+    case Kind::Max: {
+      const Expr a = simplifyIndex(e.operands()[0], p);
+      const Expr b = simplifyIndex(e.operands()[1], p);
+      if (yes(p.proveGE0(b - a))) return b;
+      if (yes(p.proveGE0(a - b))) return a;
+      return arith::max(a, b);
+    }
+  }
+  return e;
+}
+
+GuardSides proveGuardSides(const Expr& adj, const Expr& size,
+                           const Prover& p) {
+  GuardSides sides;
+  sides.lowerProven = yes(p.proveGE0(adj));
+  sides.upperProven = yes(p.proveGE0(size - Expr(1) - adj));
+  return sides;
+}
+
+}  // namespace lifta::analysis

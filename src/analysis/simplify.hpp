@@ -1,0 +1,42 @@
+// Prover-backed simplification of symbolic index expressions.
+//
+// The codegen optimizer pipeline (src/codegen) canonicalizes every resolved
+// view access before printing it as C. Plain arith canonicalization (constant
+// folding, like-term collection) is value-blind; the rewrites here use the
+// range facts held by an analysis::Prover — loop-variable domains and
+// size-parameter nonnegativity — to do more:
+//
+//   * sum-of-products normal form (arith::distribute), so additive terms can
+//     be partitioned by loop depth for invariant hoisting,
+//   * Div/Mod elimination: (q*c + r) / c -> q and (q*c + r) % c -> r when
+//     the prover shows 0 <= r < c and the numerator is nonnegative (the
+//     exact precondition under which C's truncating division agrees with
+//     the algebraic identity),
+//   * Min/Max collapse when the prover orders the operands (clamp-mode Pad
+//     indices that are provably in range).
+//
+// All rewrites are value-preserving for every assignment consistent with the
+// prover's facts; the bounds pass re-proves safety of the simplified form
+// (see passes.cpp), so an unsound rewrite cannot reach emitted code silently.
+#pragma once
+
+#include "analysis/interval.hpp"
+#include "arith/expr.hpp"
+
+namespace lifta::analysis {
+
+/// Simplifies `e` using the prover's range facts. Returns an expression
+/// equal to `e` under every assignment consistent with `p`.
+arith::Expr simplifyIndex(const arith::Expr& e, const Prover& p);
+
+/// Provability of the two sides of a zero-Pad guard `0 <= adj && adj < size`.
+struct GuardSides {
+  bool lowerProven = false;  // 0 <= adj holds for every assignment
+  bool upperProven = false;  // adj < size holds for every assignment
+  bool proven() const { return lowerProven && upperProven; }
+};
+
+GuardSides proveGuardSides(const arith::Expr& adj, const arith::Expr& size,
+                           const Prover& p);
+
+}  // namespace lifta::analysis

@@ -169,6 +169,51 @@ Expr mul(std::vector<Expr> factors) {
   return Expr(std::make_shared<ExprNode>(Kind::Mul, std::move(flat)));
 }
 
+Expr distribute(const Expr& e, std::size_t maxTerms) {
+  switch (e.kind()) {
+    case Kind::Const:
+    case Kind::Var:
+      return e;
+    case Kind::Add: {
+      std::vector<Expr> terms;
+      terms.reserve(e.operands().size());
+      for (const auto& op : e.operands()) terms.push_back(distribute(op, maxTerms));
+      return add(std::move(terms));
+    }
+    case Kind::Mul: {
+      // Cross-multiply the additive terms of each factor.
+      std::vector<Expr> sum{Expr(1)};
+      for (const auto& op : e.operands()) {
+        const Expr f = distribute(op, maxTerms);
+        const std::vector<Expr> fTerms = f.kind() == Kind::Add
+                                             ? f.operands()
+                                             : std::vector<Expr>{f};
+        if (sum.size() * fTerms.size() > maxTerms) return e;
+        std::vector<Expr> next;
+        next.reserve(sum.size() * fTerms.size());
+        for (const auto& s : sum) {
+          for (const auto& t : fTerms) next.push_back(mul({s, t}));
+        }
+        sum = std::move(next);
+      }
+      return add(std::move(sum));
+    }
+    case Kind::Div:
+      return div(distribute(e.operands()[0], maxTerms),
+                 distribute(e.operands()[1], maxTerms));
+    case Kind::Mod:
+      return mod(distribute(e.operands()[0], maxTerms),
+                 distribute(e.operands()[1], maxTerms));
+    case Kind::Min:
+      return min(distribute(e.operands()[0], maxTerms),
+                 distribute(e.operands()[1], maxTerms));
+    case Kind::Max:
+      return max(distribute(e.operands()[0], maxTerms),
+                 distribute(e.operands()[1], maxTerms));
+  }
+  return e;
+}
+
 Expr div(const Expr& a, const Expr& b) {
   if (b.isConst(1)) return a;
   if (a.isConst(0) && !b.isConst(0)) return Expr(0);

@@ -87,6 +87,12 @@ private:
 
 // Canonicalizing constructors.
 Expr add(std::vector<Expr> terms);
+/// Distributes products over sums recursively (sum-of-products normal form),
+/// e.g. nx*(i + ny*g) -> nx*i + nx*ny*g, so additive terms can be grouped by
+/// the loop variables they mention. Div/Mod/Min/Max operands are normalized
+/// but the nodes themselves are kept. Gives up (returns the input subterm
+/// undistributed) when expansion would exceed `maxTerms` additive terms.
+Expr distribute(const Expr& e, std::size_t maxTerms = 64);
 Expr mul(std::vector<Expr> factors);
 Expr div(const Expr& a, const Expr& b);   // integer (truncating) division
 Expr mod(const Expr& a, const Expr& b);

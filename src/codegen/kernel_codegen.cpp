@@ -1,7 +1,12 @@
 #include "codegen/kernel_codegen.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <vector>
 
+#include "analysis/interval.hpp"
+#include "analysis/simplify.hpp"
 #include "analysis/verify.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -39,9 +44,33 @@ bool isDecimalInteger(const std::string& s) {
   return true;
 }
 
+/// Div/Mod can trap (divide by zero) and depend on evaluation context; index
+/// terms containing them are never hoisted or named out of their original
+/// position unless the simplifier already eliminated them.
+bool containsDivMod(const arith::Expr& e) {
+  if (e.kind() == arith::Kind::Div || e.kind() == arith::Kind::Mod) {
+    return true;
+  }
+  if (e.kind() == arith::Kind::Const || e.kind() == arith::Kind::Var) {
+    return false;
+  }
+  for (const auto& op : e.operands()) {
+    if (containsDivMod(op)) return true;
+  }
+  return false;
+}
+
 class Emitter {
  public:
-  explicit Emitter(const memory::KernelDef& def) : def_(def) {}
+  Emitter(const memory::KernelDef& def, CodegenOptions opts)
+      : def_(def), opts_(opts) {
+    if (!opts_.optimize) {
+      opts_.simplify = false;
+      opts_.cse = false;
+      opts_.chunkSchedule = false;
+      opts_.restrictPointers = false;
+    }
+  }
 
   GeneratedKernel run() {
     checkPrecision();
@@ -49,6 +78,9 @@ class Emitter {
     GeneratedKernel out;
     out.name = def_.name;
     out.plan = memory::planMemory(def_);
+
+    seedProver();
+    scopes_.emplace_back();  // function-top scope (level 0)
 
     bindParams(out.plan);
     emitUnpack(out.plan);
@@ -63,7 +95,10 @@ class Emitter {
     }
     emitArray(def_.body, topDest);
 
-    out.body = body_.str();
+    LIFTA_CHECK(scopes_.size() == 1, "unbalanced codegen scopes");
+    out.body = scopes_.front().text.str();
+    out.optimized = opts_.optimize;
+    if (usedChunk_) out.preferredChunk = opts_.chunk;
     out.source = assemble(out);
     return out;
   }
@@ -110,24 +145,69 @@ class Emitter {
         env_[p.get()] = Binding{nullptr, p->name};
       }
       declared_.insert(p->name);
+      varLevel_[p->name] = 0;
     }
     (void)plan;
   }
 
-  // --- output helpers -----------------------------------------------------
+  // --- prover -------------------------------------------------------------
 
-  void stmt(const std::string& s) {
-    body_ << std::string(static_cast<std::size_t>(indent_) * 2, ' ') << s
-          << "\n";
+  /// Size parameters appearing in array extents are nonnegative by
+  /// construction — the same fact base the analysis passes start from.
+  void seedProver() {
+    if (!opts_.optimize) return;
+    for (const auto& p : def_.params) {
+      if (!p->type->isArray()) continue;
+      for (const auto& v : p->type->flatCount().freeVars()) {
+        prover_.assumeAtLeast(v, 0);
+      }
+    }
   }
 
+  /// Registers a loop variable's range after its scope was opened. Inside
+  /// the body iv is in [0, len-1] and the range is nonempty — exactly the
+  /// fact set the verifier's bounds pass uses, so every rewrite licensed
+  /// here re-proves there.
+  void enterLoopDomain(const std::string& iv, const arith::Expr& len) {
+    varLevel_[iv] = curLevel();
+    if (!opts_.optimize) return;
+    prover_.setDomain(iv, analysis::Domain{arith::Expr(0),
+                                           len - arith::Expr(1), true});
+    prover_.assumeNonNegative(len - arith::Expr(1));
+  }
+
+  // --- output helpers -----------------------------------------------------
+
+  /// A pending block of generated code. Loop scopes buffer their body and
+  /// only splice it (after the header) into the parent when they close, so
+  /// hoisted declarations appended to an outer scope mid-loop physically
+  /// land *before* the loop.
+  struct Scope {
+    std::string header;  // loop header; emitted at close ("" for the top)
+    std::ostringstream text;
+    std::map<std::string, std::string> cse;  // canonical expr -> local name
+  };
+
+  int curLevel() const { return static_cast<int>(scopes_.size()) - 1; }
+
+  void emitTo(int level, const std::string& s) {
+    scopes_[static_cast<std::size_t>(level)].text
+        << std::string(static_cast<std::size_t>(level) * 2, ' ') << s << "\n";
+  }
+
+  void stmt(const std::string& s) { emitTo(curLevel(), s); }
+
   void open(const std::string& s) {
-    stmt(s + " {");
-    ++indent_;
+    Scope sc;
+    sc.header = s;
+    scopes_.push_back(std::move(sc));
   }
 
   void close() {
-    --indent_;
+    Scope sc = std::move(scopes_.back());
+    scopes_.pop_back();
+    stmt(sc.header + " {");
+    scopes_.back().text << sc.text.str();
     stmt("}");
   }
 
@@ -139,6 +219,7 @@ class Emitter {
     if (!declared_.insert(name).second) {
       throw CodegenError("duplicate local name in kernel: " + name);
     }
+    varLevel_[name] = curLevel();
   }
 
   std::string realName() const {
@@ -146,6 +227,125 @@ class Emitter {
   }
 
   std::string zeroLiteral() const { return "(real)0"; }
+
+  // --- optimized access emission ------------------------------------------
+
+  /// The deepest loop level any variable of `t` is bound at; unknown names
+  /// conservatively pin the term to the current level (never hoisted).
+  int termLevel(const arith::Expr& t) const {
+    int lvl = 0;
+    for (const auto& v : t.freeVars()) {
+      auto it = varLevel_.find(v);
+      lvl = std::max(lvl, it == varLevel_.end() ? curLevel() : it->second);
+    }
+    return lvl;
+  }
+
+  /// Names `e` as a `const long` local in the scope at `level`, reusing an
+  /// existing local when the same canonical expression was named there
+  /// before. Trivial expressions are returned as-is.
+  std::string hoistLocal(int level, const arith::Expr& e) {
+    if (e.isConst() || e.kind() == arith::Kind::Var) return e.toString();
+    Scope& sc = scopes_[static_cast<std::size_t>(level)];
+    const std::string key = e.toString();
+    auto it = sc.cse.find(key);
+    if (it != sc.cse.end()) return it->second;
+    const std::string name = fresh("cse");
+    declared_.insert(name);
+    varLevel_[name] = level;
+    emitTo(level, "const long " + name + " = " + key + ";");
+    sc.cse.emplace(key, name);
+    return name;
+  }
+
+  /// Prints an index expression. With CSE enabled the additive terms are
+  /// partitioned by loop level; the cumulative partial sums invariant at
+  /// each outer level become named locals hoisted to that level, so inner
+  /// loops only add their own per-iteration terms to a precomputed base.
+  std::string indexCode(const arith::Expr& e) {
+    if (!opts_.cse) return e.toString();
+    if (e.isConst() || e.kind() == arith::Kind::Var) return e.toString();
+    if (containsDivMod(e)) return e.toString();  // never lift a possible trap
+
+    const std::vector<arith::Expr> terms =
+        e.kind() == arith::Kind::Add ? e.operands()
+                                     : std::vector<arith::Expr>{e};
+    std::map<int, std::vector<arith::Expr>> byLevel;
+    for (const auto& t : terms) byLevel[termLevel(t)].push_back(t);
+    const int maxLevel = byLevel.rbegin()->first;
+
+    arith::Expr acc(0);
+    bool haveAcc = false;
+    for (auto& [lvl, group] : byLevel) {
+      arith::Expr sum = arith::add(std::move(group));
+      if (haveAcc) sum = acc + sum;
+      if (lvl == maxLevel) {
+        // Innermost terms: if even they are invariant at the current depth,
+        // hoist the whole expression; otherwise print it inline on top of
+        // the hoisted base.
+        if (lvl < curLevel()) return hoistLocal(lvl, sum);
+        return sum.toString();
+      }
+      acc = arith::Expr::var(hoistLocal(lvl, sum));
+      haveAcc = true;
+    }
+    return e.toString();  // unreachable: the maxLevel group always returns
+  }
+
+  /// Optimized twin of view::resolveLoad/resolveStore: simplify the flat
+  /// address and the pad guards against the prover's facts, drop guard
+  /// sides that are provably true, and print through the CSE/hoisting
+  /// index printer. Guard nesting order matches the unoptimized printer.
+  std::string accessCode(view::ResolvedAccess a, bool forStore) {
+    if (opts_.simplify) {
+      a.index = analysis::simplifyIndex(a.index, prover_);
+      for (auto& g : a.guards) {
+        g.adjusted = analysis::simplifyIndex(g.adjusted, prover_);
+      }
+    }
+    std::string inner;
+    switch (a.kind) {
+      case view::ResolvedAccess::Kind::Iota:
+        inner = "((int)(" + indexCode(a.index) + "))";
+        break;
+      case view::ResolvedAccess::Kind::Constant:
+        inner = a.code;
+        break;
+      case view::ResolvedAccess::Kind::Mem:
+        inner = a.mem + "[" + indexCode(a.index) + "]";
+        break;
+    }
+    if (forStore) return inner;
+    // Innermost guard first so the ternaries nest naturally.
+    for (auto it = a.guards.rbegin(); it != a.guards.rend(); ++it) {
+      analysis::GuardSides sides;
+      if (opts_.simplify) {
+        sides = analysis::proveGuardSides(it->adjusted, it->size, prover_);
+      }
+      if (sides.proven()) continue;  // access provably in range
+      const std::string adj = indexCode(it->adjusted);
+      std::string cond;
+      if (sides.lowerProven) {
+        cond = adj + " < " + it->size.toString();
+      } else if (sides.upperProven) {
+        cond = "0 <= " + adj;
+      } else {
+        cond = "0 <= " + adj + " && " + adj + " < " + it->size.toString();
+      }
+      inner = "((" + cond + ") ? " + inner + " : " + zeroLiteral() + ")";
+    }
+    return inner;
+  }
+
+  std::string loadCode(const ViewPtr& v) {
+    if (!opts_.optimize) return view::resolveLoad(v, zeroLiteral());
+    return accessCode(view::resolveAccess(v, /*forStore=*/false), false);
+  }
+
+  std::string storeCode(const ViewPtr& v) {
+    if (!opts_.optimize) return view::resolveStore(v);
+    return accessCode(view::resolveAccess(v, /*forStore=*/true), true);
+  }
 
   // --- scalar literal / op printing ---------------------------------------
 
@@ -197,7 +397,7 @@ class Emitter {
           throw CodegenError("unbound parameter: " + n.name);
         }
         if (it->second.view) {
-          return view::resolveLoad(it->second.view, zeroLiteral());
+          return loadCode(it->second.view);
         }
         return it->second.scalarCode;
       }
@@ -252,13 +452,13 @@ class Emitter {
         }
         const ViewPtr v =
             view::tupleComponentView(viewOf(n.args[0]), n.tupleIndex);
-        return view::resolveLoad(v, zeroLiteral());
+        return loadCode(v);
       }
 
       case Op::ArrayAccess: {
         const ViewPtr v =
             view::accessView(viewOf(n.args[0]), indexExpr(n.args[1]));
-        return view::resolveLoad(v, zeroLiteral());
+        return loadCode(v);
       }
 
       case Op::Let: {
@@ -273,7 +473,7 @@ class Emitter {
         // Scalar in-place update: dest is an element position.
         const std::string value = emitScalar(n.args[1]);
         const ViewPtr destView = viewOf(n.args[0]);
-        const std::string lhs = view::resolveStore(destView);
+        const std::string lhs = storeCode(destView);
         stmt(lhs + " = " + value + ";");
         return lhs;
       }
@@ -351,6 +551,7 @@ class Emitter {
     const arith::Expr len = input->type->size();
     open("for (long " + iv + " = 0; " + iv + " < " + len.toString() + "; ++" +
          iv + ")");
+    enterLoopDomain(iv, len);
     bindElement(n.lambda->params[1], input, arith::Expr::var(iv));
     env_[n.lambda->params[0].get()] = Binding{nullptr, acc};
     const std::string bodyCode = emitScalar(n.lambda->body);
@@ -515,14 +716,15 @@ class Emitter {
         const std::string code = emitScalar(n.args[0]);
         if (n.size1.isConst(1)) {
           const ViewPtr slot = view::accessView(dest, arith::Expr(0));
-          stmt(view::resolveStore(slot) + " = " + code + ";");
+          stmt(storeCode(slot) + " = " + code + ";");
           return;
         }
         const std::string iv = fresh("i");
         open("for (long " + iv + " = 0; " + iv + " < " + n.size1.toString() +
              "; ++" + iv + ")");
+        enterLoopDomain(iv, n.size1);
         const ViewPtr slot = view::accessView(dest, arith::Expr::var(iv));
-        stmt(view::resolveStore(slot) + " = " + code + ";");
+        stmt(storeCode(slot) + " = " + code + ";");
         close();
         return;
       }
@@ -594,9 +796,31 @@ class Emitter {
       iv = fresh("g");
       declareLocal(iv);
       const std::string d = std::to_string(n.mapDim);
-      open("for (long " + iv + " = get_global_id(ctx, " + d + "); " + iv +
-           " < " + len.toString() + "; " + iv + " += get_global_size(ctx, " +
-           d + "))");
+      if (opts_.chunkSchedule && n.mapDim == 0) {
+        // Contiguous-chunk schedule: work item i covers the index range
+        // [i*c, min((i+1)*c, len)) with c = max(ceil(len/gsz), chunk).
+        // gsz*c >= len and the ranges are disjoint, so every launch
+        // geometry covers [0, len) exactly once — the host may (and does)
+        // shrink the launch to ~ceil(len/chunk) items to cut per-item
+        // dispatch overhead.
+        usedChunk_ = true;
+        const std::string len_s = len.toString();
+        const std::string c = std::to_string(opts_.chunk);
+        stmt("const long " + iv + "_n = get_global_size(ctx, 0);");
+        stmt("long " + iv + "_c = (" + len_s + " + " + iv + "_n - 1) / " +
+             iv + "_n;");
+        stmt("if (" + iv + "_c < " + c + ") " + iv + "_c = " + c + ";");
+        stmt("const long " + iv + "_lo = get_global_id(ctx, 0) * " + iv +
+             "_c;");
+        stmt("const long " + iv + "_hi = lifta_imin(" + iv + "_lo + " + iv +
+             "_c, " + len_s + ");");
+        open("for (long " + iv + " = " + iv + "_lo; " + iv + " < " + iv +
+             "_hi; ++" + iv + ")");
+      } else {
+        open("for (long " + iv + " = get_global_id(ctx, " + d + "); " + iv +
+             " < " + len.toString() + "; " + iv +
+             " += get_global_size(ctx, " + d + "))");
+      }
     } else if (n.mapKind == ir::MapKind::Seq) {
       iv = fresh("i");
       declareLocal(iv);
@@ -606,6 +830,7 @@ class Emitter {
       throw CodegenError("MapWrg/MapLcl require local-memory support, which "
                          "the barrier-free generator does not emit");
     }
+    enterLoopDomain(iv, len);
     emitMapIteration(n, dest, collapsed, arith::Expr::var(iv));
     close();
   }
@@ -620,7 +845,7 @@ class Emitter {
       const std::string code = emitScalar(bodyExpr);
       if (dest) {
         const ViewPtr slot = view::accessView(dest, index);
-        stmt(view::resolveStore(slot) + " = " + code + ";");
+        stmt(storeCode(slot) + " = " + code + ";");
       }
       // Without a destination the body must act through WriteTo; its
       // statements were already emitted.
@@ -647,20 +872,24 @@ class Emitter {
   // --- kernel assembly -------------------------------------------------------
 
   void emitUnpack(const memory::MemoryPlan& plan) {
+    // The kernel ABI never passes the same buffer through two array slots,
+    // so the optimizer may promise the compiler non-aliasing pointers.
+    const std::string rq = opts_.restrictPointers ? "__restrict " : "";
     for (std::size_t i = 0; i < plan.args.size(); ++i) {
       const auto& a = plan.args[i];
       if (a.isArray) {
         const std::string ty =
             ir::cTypeName(a.type->scalarElem()->scalarKind(), realName());
         const std::string cv = a.writable ? "" : "const ";
-        stmt(cv + ty + "* " + a.name + " = (" + cv + ty + "*)lifta_args[" +
-             std::to_string(i) + "];");
+        stmt(cv + ty + "* " + rq + a.name + " = (" + cv + ty +
+             "*)lifta_args[" + std::to_string(i) + "];");
       } else {
         const std::string ty =
             ir::cTypeName(a.type->scalarKind(), realName());
         stmt("const " + ty + " " + a.name + " = *(const " + ty +
              "*)lifta_args[" + std::to_string(i) + "];");
       }
+      varLevel_[a.name] = 0;
     }
   }
 
@@ -689,11 +918,14 @@ class Emitter {
   }
 
   const memory::KernelDef& def_;
+  CodegenOptions opts_;
+  analysis::Prover prover_;
   std::map<const Node*, Binding> env_;
   std::map<std::string, ir::UserFunPtr> usedFuns_;
   std::set<std::string> declared_;
-  std::ostringstream body_;
-  int indent_ = 0;
+  std::map<std::string, int> varLevel_;  // name -> loop level it lives at
+  std::vector<Scope> scopes_;
+  bool usedChunk_ = false;
   int counter_ = 0;
 };
 
@@ -732,13 +964,25 @@ std::string kernelPreamble(ir::ScalarKind real) {
   return s;
 }
 
-GeneratedKernel generateKernel(const memory::KernelDef& def) {
-  Emitter emitter(def);
+CodegenOptions CodegenOptions::fromEnv() {
+  CodegenOptions o;
+  const char* v = std::getenv("LIFTA_CODEGEN_OPT");
+  if (v != nullptr && std::string(v) == "0") o.optimize = false;
+  return o;
+}
+
+GeneratedKernel generateKernel(const memory::KernelDef& def,
+                               const CodegenOptions& opts) {
+  Emitter emitter(def, opts);
   GeneratedKernel out = emitter.run();
   // Static verification runs after emission so malformed IR keeps reporting
   // CodegenError; only well-formed kernels reach the bounds/race provers.
   analysis::verifyKernel(def);
   return out;
+}
+
+GeneratedKernel generateKernel(const memory::KernelDef& def) {
+  return generateKernel(def, CodegenOptions::fromEnv());
 }
 
 }  // namespace lifta::codegen

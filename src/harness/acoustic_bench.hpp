@@ -16,6 +16,7 @@
 #include "acoustics/sim_params.hpp"
 #include "codegen/kernel_codegen.hpp"
 #include "common/rng.hpp"
+#include "harness/autotune.hpp"
 #include "harness/launcher.hpp"
 #include "lift_acoustics/kernels.hpp"
 #include "ocl/runtime.hpp"
@@ -45,6 +46,22 @@ struct BoundKernel {
 
   ocl::Event run(ocl::CommandQueue& q) { return q.enqueueNDRange(*kernel, range); }
 };
+
+/// Work-group size for one bench configuration: the fixed size from the
+/// command line, or — with --autotune — autotuneWorkGroup's pick over the
+/// candidate set, re-binding the kernel at each candidate. The JIT kernel
+/// cache makes the repeated rebuilds cheap.
+template <typename MakeBound>
+std::size_t pickLocalSize(ocl::Context& ctx, bool autotune, std::size_t fixed,
+                          MakeBound&& make) {
+  if (!autotune) return fixed;
+  ocl::CommandQueue q(ctx);
+  return autotuneWorkGroup([&](std::size_t ls) {
+           auto bound = make(ls);
+           return bound.run(q).milliseconds;
+         })
+      .bestLocalSize;
+}
 
 template <typename T>
 class AcousticBench {
@@ -100,6 +117,11 @@ public:
   std::size_t boundaryPoints() const { return grid_->boundaryPoints(); }
   const acoustics::RoomGrid& grid() const { return *grid_; }
 
+  /// Overrides the optimizer options used for the LIFT tier (defaults to
+  /// CodegenOptions::fromEnv(), i.e. optimized unless LIFTA_CODEGEN_OPT=0).
+  void setCodegenOptions(const codegen::CodegenOptions& opts) { copts_ = opts; }
+  const codegen::CodegenOptions& codegenOptions() const { return copts_; }
+
   BoundKernel volume(Impl impl, std::size_t local) {
     constexpr auto rk = realKindOf<T>();
     BoundKernel b;
@@ -118,7 +140,8 @@ public:
       return b;
     }
     const auto gen =
-        codegen::generateKernel(lift_acoustics::liftVolumeKernel(rk));
+        codegen::generateKernel(lift_acoustics::liftVolumeKernel(rk), copts_);
+    b.range = launchConfigFor(gen, cells(), local);
     auto program = ctx_.buildProgram(gen.source);
     b.kernel = std::make_shared<ocl::Kernel>(program, gen.name);
     bindKernelArgs(*b.kernel, gen.plan,
@@ -152,8 +175,9 @@ public:
       b.kernel->setArg(9, betaScalar());
       return b;
     }
-    const auto gen =
-        codegen::generateKernel(lift_acoustics::liftFusedFiKernel(rk));
+    const auto gen = codegen::generateKernel(
+        lift_acoustics::liftFusedFiKernel(rk), copts_);
+    b.range = launchConfigFor(gen, cells(), local);
     auto program = ctx_.buildProgram(gen.source);
     b.kernel = std::make_shared<ocl::Kernel>(program, gen.name);
     bindKernelArgs(*b.kernel, gen.plan,
@@ -188,7 +212,8 @@ public:
       return b;
     }
     const auto gen =
-        codegen::generateKernel(lift_acoustics::liftFiMmKernel(rk));
+        codegen::generateKernel(lift_acoustics::liftFiMmKernel(rk), copts_);
+    b.range = launchConfigFor(gen, boundaryPoints(), local);
     auto program = ctx_.buildProgram(gen.source);
     b.kernel = std::make_shared<ocl::Kernel>(program, gen.name);
     bindKernelArgs(*b.kernel, gen.plan,
@@ -231,7 +256,8 @@ public:
       return b;
     }
     const auto gen = codegen::generateKernel(
-        lift_acoustics::liftFdMmKernel(rk, branches_));
+        lift_acoustics::liftFdMmKernel(rk, branches_), copts_);
+    b.range = launchConfigFor(gen, boundaryPoints(), local);
     auto program = ctx_.buildProgram(gen.source);
     b.kernel = std::make_shared<ocl::Kernel>(program, gen.name);
     bindKernelArgs(*b.kernel, gen.plan,
@@ -275,6 +301,7 @@ private:
   ocl::CommandQueue q_;
   std::shared_ptr<const acoustics::RoomGrid> grid_;
   acoustics::SimParams params_;
+  codegen::CodegenOptions copts_ = codegen::CodegenOptions::fromEnv();
   int branches_ = 0;
   ocl::BufferPtr prev_, curr_, next_, nbrs_, bidx_, mat_, beta_;
   ocl::BufferPtr bi_, d_, di_, f_, g1_, v1_, v2_;

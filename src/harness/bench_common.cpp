@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "codegen/kernel_codegen.hpp"
 #include "common/stats.hpp"
 
 namespace lifta::harness {
@@ -14,6 +15,7 @@ BenchOptions BenchOptions::fromArgs(int argc, const char* const* argv) {
   opt.warmup = static_cast<int>(args.getInt("warmup", opt.warmup));
   opt.localSize =
       static_cast<std::size_t>(args.getInt("local", static_cast<int>(opt.localSize)));
+  opt.autotune = args.getBool("autotune", opt.autotune);
   opt.branches = static_cast<int>(args.getInt("branches", opt.branches));
   opt.allPlatforms = args.getBool("all-platforms", opt.allPlatforms);
   return opt;
@@ -59,19 +61,33 @@ double mups(std::size_t updates, double medianMs) {
 
 void printBenchBanner(const std::string& title, const BenchOptions& opt) {
   std::printf("=== %s ===\n", title.c_str());
+  const std::string local =
+      opt.autotune ? "autotuned" : std::to_string(opt.localSize);
   std::printf(
       "substrate: simulated OpenCL runtime on the host CPU (no GPU in this\n"
       "environment); LIFT-generated and hand-written kernels both execute\n"
       "through the same JIT + NDRange executor, preserving the paper's\n"
       "LIFT-vs-handwritten comparison. rooms: %s (use --full for Table II\n"
-      "sizes), iters=%d, local=%zu\n\n",
+      "sizes), iters=%d, local=%s\n\n",
       opt.full ? "paper Table II sizes" : "1/8-scale Table II sizes",
-      opt.iters, opt.localSize);
+      opt.iters, local.c_str());
 }
 
 void printStepProfile(const std::string& label,
                       const acoustics::StepProfiler& profiler) {
   std::printf("%s", profiler.report(label).c_str());
+}
+
+const char* parityVerdict(double liftOverOpenclRatio) {
+  if (liftOverOpenclRatio > 0.8 && liftOverOpenclRatio < 1.25) {
+    return "[reproduced]";
+  }
+  if (liftOverOpenclRatio <= 0.8 &&
+      codegen::CodegenOptions::fromEnv().optimize) {
+    return "[exceeds paper — codegen optimizer on; set LIFTA_CODEGEN_OPT=0 "
+           "for the paper-form comparison]";
+  }
+  return "[deviates — see EXPERIMENTS.md]";
 }
 
 }  // namespace lifta::harness

@@ -59,4 +59,16 @@ ocl::NDRange launchConfig(std::size_t n, std::size_t local,
   return ocl::NDRange::linear(global, local);
 }
 
+ocl::NDRange launchConfigFor(const codegen::GeneratedKernel& gen,
+                             std::size_t n, std::size_t local,
+                             std::size_t maxGlobal) {
+  if (gen.preferredChunk <= 0) return launchConfig(n, local, maxGlobal);
+  const auto chunk = static_cast<std::size_t>(gen.preferredChunk);
+  std::size_t items = (n + chunk - 1) / chunk;
+  if (items < 256) items = 256;
+  if (items > n) items = n;
+  if (items == 0) items = 1;
+  return launchConfig(items, local, maxGlobal);
+}
+
 }  // namespace lifta::harness

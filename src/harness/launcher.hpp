@@ -45,4 +45,15 @@ std::vector<T> download(ocl::CommandQueue& q, const ocl::BufferPtr& buf,
 ocl::NDRange launchConfig(std::size_t n, std::size_t local,
                           std::size_t maxGlobal = 1u << 16);
 
+/// Launch geometry matched to how a generated kernel distributes work.
+/// Grid-stride kernels get the plain launchConfig over `n`; chunk-scheduled
+/// kernels (gen.preferredChunk > 0 — each work item covers a contiguous
+/// chunk by itself) shrink the launch to ~ceil(n / chunk) items, with a
+/// 256-item floor for parallel slack. The kernel's own chunk computation
+/// covers [0, n) under any geometry, so this is purely a dispatch-overhead
+/// optimization.
+ocl::NDRange launchConfigFor(const codegen::GeneratedKernel& gen,
+                             std::size_t n, std::size_t local,
+                             std::size_t maxGlobal = 1u << 16);
+
 }  // namespace lifta::harness

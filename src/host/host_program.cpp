@@ -177,6 +177,7 @@ CompiledHostProgram::CompiledHostProgram(HostProgram prog, ocl::Context& ctx,
     if (node->op != HOp::KernelCall) continue;
     KernelInstance inst;
     inst.node = node.get();
+    inst.localSize = node->kernel.localSize;
     if (node->kernel.def.has_value()) {
       auto def = *node->kernel.def;
       def.real = real_;
@@ -186,6 +187,7 @@ CompiledHostProgram::CompiledHostProgram(HostProgram prog, ocl::Context& ctx,
       inst.plan = gen.plan;
       inst.generated = true;
       inst.hasOut = gen.plan.hasOutBuffer;
+      inst.launchChunk = gen.preferredChunk;
       if (static_cast<std::size_t>(inst.hasOut ? 1 : 0) +
               node->kernel.args.size() !=
           gen.plan.args.size()) {
@@ -235,6 +237,33 @@ ocl::BufferPtr CompiledHostProgram::deviceBuffer(const HostPtr& node) const {
 void CompiledHostProgram::setDeviceBuffer(const HostPtr& node,
                                           ocl::BufferPtr buffer) {
   deviceBuffers_[node.get()] = std::move(buffer);
+}
+
+CompiledHostProgram::KernelInstance& CompiledHostProgram::instanceFor(
+    const HostPtr& node) {
+  const HostNode* k = (node && node->op == HOp::WriteTo) ? node->call.get()
+                                                         : node.get();
+  auto it = kernels_.find(k);
+  if (it == kernels_.end()) {
+    throw Error("node '" + (node ? node->name : std::string("<null>")) +
+                "' is not a kernel call");
+  }
+  return it->second;
+}
+
+const CompiledHostProgram::KernelInstance& CompiledHostProgram::instanceFor(
+    const HostPtr& node) const {
+  return const_cast<CompiledHostProgram*>(this)->instanceFor(node);
+}
+
+void CompiledHostProgram::setLocalSize(const HostPtr& node,
+                                       std::size_t local) {
+  LIFTA_CHECK(local > 0, "local size must be positive");
+  instanceFor(node).localSize = local;
+}
+
+std::size_t CompiledHostProgram::localSize(const HostPtr& node) const {
+  return instanceFor(node).localSize;
 }
 
 ocl::BufferPtr CompiledHostProgram::evalDevice(const HostPtr& node,
@@ -326,8 +355,18 @@ ocl::BufferPtr CompiledHostProgram::evalDevice(const HostPtr& node,
       }
       const auto n = static_cast<std::size_t>(
           ints_.at(node->kernel.launchCountScalar));
-      std::size_t local = node->kernel.localSize;
-      std::size_t global = (n + local - 1) / local * local;
+      const std::size_t local = inst.localSize;
+      // Chunk-scheduled kernels cover [0, n) themselves under any launch
+      // geometry; shrink the launch to ~n/chunk items (256-item floor for
+      // parallel slack) to cut per-work-item dispatch overhead.
+      std::size_t items = n;
+      if (inst.launchChunk > 0) {
+        const auto chunk = static_cast<std::size_t>(inst.launchChunk);
+        items = (n + chunk - 1) / chunk;
+        if (items < 256) items = 256;
+        if (items > n) items = n;
+      }
+      std::size_t global = (items + local - 1) / local * local;
       if (global > node->kernel.maxGlobal) {
         global = node->kernel.maxGlobal / local * local;
       }

@@ -151,6 +151,12 @@ public:
   /// Replaces the buffer behind a node (e.g. prev/curr rotation).
   void setDeviceBuffer(const HostPtr& node, ocl::BufferPtr buffer);
 
+  /// Overrides the work-group size of one kernel call (accepts the
+  /// KernelCall node or a WriteTo wrapping it) — the hook the autotuner
+  /// drives. The KernelSpec default applies until this is called.
+  void setLocalSize(const HostPtr& node, std::size_t local);
+  std::size_t localSize(const HostPtr& node) const;
+
 private:
   friend class HostProgram;
   struct KernelInstance {
@@ -161,9 +167,14 @@ private:
     memory::MemoryPlan plan;   // generated kernels only
     bool generated = false;
     bool hasOut = false;
+    std::size_t localSize = 64;  // spec default; setLocalSize overrides
+    int launchChunk = 0;         // GeneratedKernel::preferredChunk
     ocl::BufferPtr outBuffer;  // fresh output (when !aliased)
     ocl::BufferPtr aliasOut;   // host WriteTo destination buffer
   };
+
+  KernelInstance& instanceFor(const HostPtr& node);
+  const KernelInstance& instanceFor(const HostPtr& node) const;
 
   CompiledHostProgram(HostProgram prog, ocl::Context& ctx,
                       ir::ScalarKind real);

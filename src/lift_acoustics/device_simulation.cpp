@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "harness/autotune.hpp"
 #include "lift_acoustics/kernels.hpp"
 
 namespace lifta::lift_acoustics {
@@ -12,6 +13,7 @@ using acoustics::RoomGrid;
 struct DeviceSimulation::Impl {
   host::HostProgram prog;
   host::HostPtr prev1G, prev2G, nextG, v1G, v2G;
+  host::HostPtr volNode, bndNode;  // the two kernel launches (for tuning)
   std::shared_ptr<host::CompiledHostProgram> compiled;
 
   // Host staging (double master copies; float shadows when needed).
@@ -168,6 +170,8 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
   }
   boundary.launchCountScalar = "numB";
   auto updated = prog.writeTo(volNode, prog.kernelCall(boundary));
+  im.volNode = volNode;
+  im.bndNode = updated;
   // The output copy-back is on demand via sample(); bind next as output so
   // the ToHost transfer lands in im.next each run.
   prog.toHost(updated, "next_h");
@@ -236,6 +240,57 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
   c.setInt("M", static_cast<int>(im.beta.size()));
   c.setReal("l", config_.params.l());
   c.setReal("l2", config_.params.l2());
+
+  if (config_.autoTuneLocalSize) autotuneLocalSizes();
+}
+
+void DeviceSimulation::autotuneLocalSizes() {
+  Impl& im = *impl_;
+  auto& c = *im.compiled;
+  const bool dbl = config_.precision == ir::ScalarKind::Double;
+  // Bind the zero-filled initial state so the schedule can run. `uploaded`
+  // stays false, so the first real step() re-binds and re-uploads pristine
+  // state — the tuning runs leave no trace in simulation output.
+  if (dbl) {
+    bindVec(c, "prev1_h", im.curr);
+    bindVec(c, "prev2_h", im.prev);
+    c.bindOutput("next_h", im.next.data(), im.next.size() * sizeof(double));
+  } else {
+    im.currF = toF(im.curr);
+    im.prevF = toF(im.prev);
+    im.nextF.assign(im.next.size(), 0.0f);
+    bindVec(c, "prev1_h", im.currF);
+    bindVec(c, "prev2_h", im.prevF);
+    c.bindOutput("next_h", im.nextF.data(), im.nextF.size() * sizeof(float));
+  }
+  c.run();  // materialize device buffers once at the spec defaults
+
+  struct Target {
+    host::HostPtr node;
+    std::size_t kernelIdx;
+  };
+  std::vector<Target> targets;
+  // The stencil3d volume kernel parallelizes over z planes with one plane
+  // per work item; localSize = 1 is part of its contract, so skip it.
+  if (!config_.useStencil3DVolume) targets.push_back({im.volNode, 0});
+  targets.push_back({im.bndNode, 1});
+  for (const auto& t : targets) {
+    const auto tuned = harness::autotuneWorkGroup(
+        [&](std::size_t ls) {
+          c.setLocalSize(t.node, ls);
+          return c.run(/*skipUploads=*/true).kernels.at(t.kernelIdx).second;
+        },
+        {16, 32, 64, 128, 256}, /*iters=*/5, /*warmup=*/1);
+    c.setLocalSize(t.node, tuned.bestLocalSize);
+  }
+}
+
+std::size_t DeviceSimulation::volumeLocalSize() const {
+  return impl_->compiled->localSize(impl_->volNode);
+}
+
+std::size_t DeviceSimulation::boundaryLocalSize() const {
+  return impl_->compiled->localSize(impl_->bndNode);
 }
 
 DeviceSimulation::~DeviceSimulation() = default;

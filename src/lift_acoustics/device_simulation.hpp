@@ -39,6 +39,12 @@ public:
     /// pure-interior segments). Output is bit-identical to the flat
     /// kernel. Mutually exclusive with useStencil3DVolume.
     bool useRunTableVolume = false;
+    /// Time each kernel at several work-group sizes during construction
+    /// (harness::autotuneWorkGroup) and keep the fastest, instead of the
+    /// hard-coded spec default. Tuning runs execute over the zero-filled
+    /// initial state and the first real step() re-uploads everything, so
+    /// simulation output is unaffected.
+    bool autoTuneLocalSize = false;
     std::vector<acoustics::Material> materials;  // default palette if empty
   };
 
@@ -68,7 +74,13 @@ public:
   double totalVolumeMs() const { return volumeMs_; }
   double totalBoundaryMs() const { return boundaryMs_; }
 
+  /// Work-group sizes in effect (spec defaults, or the autotuned picks).
+  std::size_t volumeLocalSize() const;
+  std::size_t boundaryLocalSize() const;
+
 private:
+  void autotuneLocalSizes();
+
   struct Impl;
   Config config_;
   /// Shared immutable grid from the voxelization cache (keyed on shape,

@@ -3,17 +3,22 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
-#include <functional>
+#include <list>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace lifta::ocl {
+
+namespace fs = std::filesystem;
 
 namespace {
 
@@ -31,6 +36,10 @@ std::string compilerCommand() {
   return "c++";
 }
 
+// No -march=native and contraction off: the JIT'd kernels must execute the
+// identical FP operation sequence as the reference build (see header).
+const char* kBaseFlags = "-O2 -ffp-contract=off -std=c++17 -shared -fPIC";
+
 std::string readFile(const std::string& path) {
   std::ifstream f(path);
   std::stringstream ss;
@@ -38,11 +47,62 @@ std::string readFile(const std::string& path) {
   return ss.str();
 }
 
+std::string hashHex(std::uint64_t h) {
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
+/// Removes the registered paths on destruction unless released — compile
+/// failures must not litter the scratch directory.
+class TempFiles {
+public:
+  ~TempFiles() {
+    if (released_) return;
+    std::error_code ec;
+    for (const auto& p : paths_) fs::remove(p, ec);
+  }
+  void add(const std::string& p) { paths_.push_back(p); }
+  void release() { released_ = true; }
+
+private:
+  std::vector<std::string> paths_;
+  bool released_ = false;
+};
+
 }  // namespace
 
 struct Jit::Impl {
-  std::mutex mu;
-  std::map<std::uint64_t, std::shared_ptr<SharedObject>> cache;
+  mutable std::mutex mu;
+
+  struct Entry {
+    std::shared_ptr<SharedObject> obj;
+    std::list<std::uint64_t>::iterator lruPos;
+  };
+  std::map<std::uint64_t, Entry> cache;
+  std::list<std::uint64_t> lru;  // front = most recently used
+  std::size_t capacity = 256;
+
+  std::string diskDir;  // "" = disabled
+  Stats stats;
+
+  /// Must be called with `mu` held.
+  void evictOverCapacity() {
+    while (cache.size() > capacity) {
+      const std::uint64_t victim = lru.back();
+      lru.pop_back();
+      cache.erase(victim);
+      ++stats.evictions;
+    }
+  }
+
+  /// Must be called with `mu` held.
+  void insert(std::uint64_t key, std::shared_ptr<SharedObject> obj) {
+    lru.push_front(key);
+    cache[key] = Entry{std::move(obj), lru.begin()};
+    evictOverCapacity();
+  }
 };
 
 SharedObject::~SharedObject() {
@@ -65,6 +125,13 @@ Jit::Jit() : impl_(std::make_shared<Impl>()) {
   const char* dir = mkdtemp(tmpl);
   if (dir == nullptr) throw OclError("cannot create JIT scratch directory");
   scratchDir_ = dir;
+  if (const char* cap = std::getenv("LIFTA_JIT_MEM_CACHE")) {
+    const long n = std::atol(cap);
+    if (n >= 1) impl_->capacity = static_cast<std::size_t>(n);
+  }
+  if (const char* disk = std::getenv("LIFTA_JIT_CACHE_DIR")) {
+    if (disk[0] != '\0') setDiskCacheDir(disk);
+  }
 }
 
 Jit& Jit::instance() {
@@ -72,21 +139,100 @@ Jit& Jit::instance() {
   return jit;
 }
 
-std::shared_ptr<SharedObject> Jit::compile(const std::string& source) {
-  const std::uint64_t h = fnv1a(source);
+Jit::Stats Jit::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+void Jit::setMemoryCacheCapacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = n < 1 ? 1 : n;
+  impl_->evictOverCapacity();
+}
+
+void Jit::clearMemoryCache() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->cache.clear();
+  impl_->lru.clear();
+}
+
+void Jit::setDiskCacheDir(const std::string& dir) {
+  std::string canonical = dir;
+  if (!canonical.empty()) {
+    std::error_code ec;
+    fs::create_directories(canonical, ec);
+    if (ec) {
+      throw OclError("cannot create JIT disk cache directory '" + canonical +
+                     "': " + ec.message());
+    }
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->diskDir = std::move(canonical);
+}
+
+std::string Jit::diskCacheDir() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->diskDir;
+}
+
+std::shared_ptr<SharedObject> Jit::compile(const std::string& source,
+                                           const std::string& extraFlags) {
+  // Content address: compiler identity, every flag and the full source all
+  // feed the key, so a cached object can never be served for a build that
+  // would have produced different code.
+  const std::string flags =
+      extraFlags.empty() ? std::string(kBaseFlags)
+                         : std::string(kBaseFlags) + " " + extraFlags;
+  const std::uint64_t h =
+      fnv1a(compilerCommand() + '\x1f' + flags + '\x1f' + source);
+
+  std::string diskDir;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     auto it = impl_->cache.find(h);
-    if (it != impl_->cache.end()) return it->second;
+    if (it != impl_->cache.end()) {
+      ++impl_->stats.hits;
+      // Refresh LRU position.
+      impl_->lru.erase(it->second.lruPos);
+      impl_->lru.push_front(h);
+      it->second.lruPos = impl_->lru.begin();
+      return it->second.obj;
+    }
+    ++impl_->stats.misses;
+    diskDir = impl_->diskDir;
   }
 
-  char hex[32];
-  std::snprintf(hex, sizeof hex, "%016llx",
-                static_cast<unsigned long long>(h));
+  const std::string hex = hashHex(h);
+
+  // Disk cache: a previously compiled object under the same content hash is
+  // loaded directly — the warm path never invokes the compiler.
+  if (!diskDir.empty()) {
+    const std::string cached = diskDir + "/k_" + hex + ".so";
+    std::error_code ec;
+    if (fs::exists(cached, ec)) {
+      void* handle = dlopen(cached.c_str(), RTLD_NOW | RTLD_LOCAL);
+      if (handle != nullptr) {
+        auto obj = std::shared_ptr<SharedObject>(
+            new SharedObject(handle, cached));
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        ++impl_->stats.diskHits;
+        impl_->insert(h, obj);
+        return obj;
+      }
+      // Corrupt/foreign cache entry: fall through and recompile.
+      fs::remove(cached, ec);
+    }
+  }
+
   const std::string base = scratchDir_ + "/k_" + hex;
   const std::string src = base + ".cpp";
   const std::string so = base + ".so";
   const std::string log = base + ".log";
+
+  TempFiles temps;
+  temps.add(src);
+  temps.add(so);
+  temps.add(log);
 
   {
     std::ofstream f(src);
@@ -94,14 +240,11 @@ std::shared_ptr<SharedObject> Jit::compile(const std::string& source) {
     if (!f) throw OclError("cannot write kernel source: " + src);
   }
 
-  // No -march=native and contraction off: the JIT'd kernels must execute the
-  // identical FP operation sequence as the reference build (see header).
-  const std::string cmd = compilerCommand() +
-                          " -O2 -ffp-contract=off -std=c++17 -shared -fPIC " +
-                          "-x c++ '" + src + "' -o '" + so + "' 2> '" + log +
-                          "'";
+  const std::string cmd = compilerCommand() + " " + flags + " -x c++ '" + src +
+                          "' -o '" + so + "' 2> '" + log + "'";
   const int rc = std::system(cmd.c_str());
   if (rc != 0) {
+    // TempFiles removes src/so/log on unwind: failed builds leave nothing.
     throw OclError("kernel build failed (exit " + std::to_string(rc) +
                    ")\n--- source ---\n" + source + "\n--- compiler log ---\n" +
                    readFile(log));
@@ -111,11 +254,25 @@ std::shared_ptr<SharedObject> Jit::compile(const std::string& source) {
   if (handle == nullptr) {
     throw OclError(std::string("dlopen failed: ") + dlerror());
   }
+  temps.release();  // the object (and its source, for debugging) stay live
   auto obj = std::shared_ptr<SharedObject>(new SharedObject(handle, so));
+
+  if (!diskDir.empty()) {
+    // Atomic publish: copy to a per-process temp name, then rename into
+    // place so concurrent readers never see a partial object.
+    const std::string tmp =
+        diskDir + "/.k_" + hex + "." + std::to_string(getpid()) + ".tmp";
+    const std::string fin = diskDir + "/k_" + hex + ".so";
+    std::error_code ec;
+    fs::copy_file(so, tmp, fs::copy_options::overwrite_existing, ec);
+    if (!ec) fs::rename(tmp, fin, ec);
+    if (ec) fs::remove(tmp, ec);  // best-effort: disk cache is an accelerator
+  }
+
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->cache[h] = obj;
-    ++compiled_;
+    ++impl_->stats.compiled;
+    impl_->insert(h, obj);
   }
   return obj;
 }

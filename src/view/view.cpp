@@ -161,32 +161,17 @@ ViewPtr constantView(const std::string& cExpr, ir::TypePtr type) {
   return v;
 }
 
-namespace {
-
-struct Guard {
-  std::string cond;  // C boolean expression; false means "read padding value"
-};
-
-/// Shared walk for loads and stores. Descends the view chain maintaining the
-/// index and tuple-component stacks exactly as in the LIFT code generator.
-std::string resolve(ViewPtr v, bool forStore, const std::string& zeroLiteral) {
+ResolvedAccess resolveAccess(const ViewPtr& view, bool forStore) {
   std::vector<arith::Expr> idxStack;
   std::vector<int> tupleStack;
-  std::vector<Guard> guards;
+  ResolvedAccess out;
+  ViewPtr v = view;
 
   auto pop = [&idxStack]() {
     LIFTA_CHECK(!idxStack.empty(), "view resolution: index stack underflow");
     arith::Expr e = idxStack.back();
     idxStack.pop_back();
     return e;
-  };
-
-  auto wrap = [&guards, &zeroLiteral](std::string load) {
-    // Innermost guard first so the generated ternaries nest naturally.
-    for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
-      load = "((" + it->cond + ") ? " + load + " : " + zeroLiteral + ")";
-    }
-    return load;
   };
 
   for (;;) {
@@ -226,9 +211,7 @@ std::string resolve(ViewPtr v, bool forStore, const std::string& zeroLiteral) {
           if (forStore) {
             throw CodegenError("zero-Pad cannot appear in an output view");
           }
-          guards.push_back(Guard{"0 <= " + adjusted.toString() + " && " +
-                                 adjusted.toString() + " < " +
-                                 innerSize.toString()});
+          out.guards.push_back(AccessGuard{adjusted, innerSize});
           idxStack.push_back(adjusted);
         } else {
           idxStack.push_back(arith::min(
@@ -297,13 +280,9 @@ std::string resolve(ViewPtr v, bool forStore, const std::string& zeroLiteral) {
           if (forStore) {
             throw CodegenError("zero-Pad3 cannot appear in an output view");
           }
-          auto guard = [&](const arith::Expr& i, const arith::Expr& s) {
-            guards.push_back(Guard{"0 <= " + i.toString() + " && " +
-                                   i.toString() + " < " + s.toString()});
-          };
-          guard(az, sz);
-          guard(ay, sy);
-          guard(ax, sx);
+          out.guards.push_back(AccessGuard{az, sz});
+          out.guards.push_back(AccessGuard{ay, sy});
+          out.guards.push_back(AccessGuard{ax, sx});
           idxStack.push_back(ax);
           idxStack.push_back(ay);
           idxStack.push_back(az);
@@ -329,13 +308,16 @@ std::string resolve(ViewPtr v, bool forStore, const std::string& zeroLiteral) {
 
       case ViewKind::Iota: {
         if (forStore) throw CodegenError("Iota cannot be written to");
-        const arith::Expr i = pop();
-        return wrap("((int)(" + i.toString() + "))");
+        out.kind = ResolvedAccess::Kind::Iota;
+        out.index = pop();
+        return out;
       }
 
       case ViewKind::Constant: {
         if (forStore) throw CodegenError("constant view cannot be written to");
-        return wrap(v->code);
+        out.kind = ResolvedAccess::Kind::Constant;
+        out.code = v->code;
+        return out;
       }
 
       case ViewKind::Mem: {
@@ -350,26 +332,56 @@ std::string resolve(ViewPtr v, bool forStore, const std::string& zeroLiteral) {
         }
         LIFTA_CHECK(idxStack.empty(),
                     "view resolution: leftover indices at memory view");
-        const std::string access = v->mem + "[" + addr.toString() + "]";
         if (forStore) {
-          LIFTA_CHECK(guards.empty(),
+          LIFTA_CHECK(out.guards.empty(),
                       "view resolution: guarded store is not representable");
-          return access;
         }
-        return wrap(access);
+        out.kind = ResolvedAccess::Kind::Mem;
+        out.mem = v->mem;
+        out.index = addr;
+        return out;
       }
     }
   }
 }
 
+namespace {
+
+/// Shared string assembly for loads and stores: prints the structured access
+/// exactly as the pre-optimizer generator did, so the opt-off path stays
+/// byte-identical.
+std::string printAccess(const ResolvedAccess& a, bool forStore,
+                        const std::string& zeroLiteral) {
+  auto wrap = [&](std::string load) {
+    // Innermost guard first so the generated ternaries nest naturally.
+    for (auto it = a.guards.rbegin(); it != a.guards.rend(); ++it) {
+      const std::string adj = it->adjusted.toString();
+      load = "((0 <= " + adj + " && " + adj + " < " + it->size.toString() +
+             ") ? " + load + " : " + zeroLiteral + ")";
+    }
+    return load;
+  };
+  switch (a.kind) {
+    case ResolvedAccess::Kind::Iota:
+      return wrap("((int)(" + a.index.toString() + "))");
+    case ResolvedAccess::Kind::Constant:
+      return wrap(a.code);
+    case ResolvedAccess::Kind::Mem: {
+      const std::string access = a.mem + "[" + a.index.toString() + "]";
+      return forStore ? access : wrap(access);
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string resolveLoad(const ViewPtr& v, const std::string& zeroLiteral) {
-  return resolve(v, /*forStore=*/false, zeroLiteral);
+  return printAccess(resolveAccess(v, /*forStore=*/false), false, zeroLiteral);
 }
 
 std::string resolveStore(const ViewPtr& v) {
-  return resolve(v, /*forStore=*/true, "");
+  return printAccess(resolveAccess(v, /*forStore=*/true), true, "");
 }
 
 SymbolicAccess resolveSymbolic(const ViewPtr& view, int& guardCounter) {

@@ -90,6 +90,33 @@ std::string resolveStore(const ViewPtr& v);
 /// "TupleAccessView(0, ArrayAccessView(i, ZipView(MemView(A), MemView(B))))").
 std::string describe(const ViewPtr& v);
 
+// --- structured resolution (codegen optimizer) -----------------------------
+
+/// A zero-Pad guard kept as expressions rather than C text: the access is in
+/// bounds iff `0 <= adjusted && adjusted < size`.
+struct AccessGuard {
+  arith::Expr adjusted;
+  arith::Expr size;
+};
+
+/// The structured twin of resolveLoad/resolveStore: the same walk, but the
+/// flat address and the pad guards come back as arith::Expr so the codegen
+/// optimizer can simplify, prove and CSE them before printing C. Guards are
+/// listed in the order resolve() pushes them (the first guard ends up as the
+/// outermost ternary).
+struct ResolvedAccess {
+  enum class Kind { Mem, Iota, Constant };
+  Kind kind = Kind::Mem;
+  std::string mem;                  // Kind::Mem: buffer name
+  arith::Expr index;                // Kind::Mem flat address / Iota value
+  std::string code;                 // Kind::Constant: C expression
+  std::vector<AccessGuard> guards;  // zero-Pad guards (loads only)
+};
+
+/// Resolves a scalar-typed view chain into a structured access. Same error
+/// conditions as resolveLoad/resolveStore (stores reject pads/constants).
+ResolvedAccess resolveAccess(const ViewPtr& v, bool forStore);
+
 // --- symbolic resolution (static analysis) ---------------------------------
 
 /// A zero-Pad guard encountered while resolving a view chain: the access only

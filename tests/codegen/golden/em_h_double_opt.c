@@ -1,0 +1,18 @@
+real* __restrict hx = (real*)lifta_args[0];
+real* __restrict hy = (real*)lifta_args[1];
+const real* __restrict ez = (const real*)lifta_args[2];
+const int nx = *(const int*)lifta_args[3];
+const int ny = *(const int*)lifta_args[4];
+const int cells = *(const int*)lifta_args[5];
+const real S = *(const real*)lifta_args[6];
+const long g_0_n = get_global_size(ctx, 0);
+long g_0_c = (cells + g_0_n - 1) / g_0_n;
+if (g_0_c < 64) g_0_c = 64;
+const long g_0_lo = get_global_id(ctx, 0) * g_0_c;
+const long g_0_hi = lifta_imin(g_0_lo + g_0_c, cells);
+for (long g_0 = g_0_lo; g_0 < g_0_hi; ++g_0) {
+  const int y = (g_0 / nx);
+  const int x = (g_0 - (y * nx));
+  hx[g_0] = ((y <= (ny - 2)) ? (hx[g_0] - (S * (ez[(g_0 + nx)] - ez[g_0]))) : hx[g_0]);
+  hy[g_0] = ((x <= (nx - 2)) ? (hy[g_0] + (S * (ez[(1 + g_0)] - ez[g_0]))) : hy[g_0]);
+}

@@ -1,0 +1,52 @@
+const int* __restrict boundaryIndices = (const int*)lifta_args[0];
+const int* __restrict material = (const int*)lifta_args[1];
+const int* __restrict nbrs = (const int*)lifta_args[2];
+const real* __restrict beta = (const real*)lifta_args[3];
+const real* __restrict BI = (const real*)lifta_args[4];
+const real* __restrict D = (const real*)lifta_args[5];
+const real* __restrict DI = (const real*)lifta_args[6];
+const real* __restrict F = (const real*)lifta_args[7];
+real* __restrict next = (real*)lifta_args[8];
+const real* __restrict prev = (const real*)lifta_args[9];
+real* __restrict g1 = (real*)lifta_args[10];
+real* __restrict v1 = (real*)lifta_args[11];
+const real* __restrict v2 = (const real*)lifta_args[12];
+const int cells = *(const int*)lifta_args[13];
+const int numB = *(const int*)lifta_args[14];
+const int M = *(const int*)lifta_args[15];
+const real l = *(const real*)lifta_args[16];
+const long g_0_n = get_global_size(ctx, 0);
+long g_0_c = (numB + g_0_n - 1) / g_0_n;
+if (g_0_c < 64) g_0_c = 64;
+const long g_0_lo = get_global_id(ctx, 0) * g_0_c;
+const long g_0_hi = lifta_imin(g_0_lo + g_0_c, numB);
+for (long g_0 = g_0_lo; g_0 < g_0_hi; ++g_0) {
+  const int idx = boundaryIndices[g_0];
+  const int mi = material[g_0];
+  const int i = ((int)(g_0));
+  const int nbr = nbrs[idx];
+  const real cf1 = (l * ((real)(6 - nbr)));
+  const real cf = ((0.5 * cf1) * beta[mi]);
+  const real _prev = prev[idx];
+  real _g1[3];
+  for (long i_1 = 0; i_1 < 3; ++i_1) {
+    _g1[i_1] = g1[(i + (i_1 * numB))];
+  }
+  real _v2[3];
+  for (long i_2 = 0; i_2 < 3; ++i_2) {
+    _v2[i_2] = v2[(i + (i_2 * numB))];
+  }
+  real acc_3 = next[idx];
+  const long cse_5 = (3 * mi);
+  for (long r_4 = 0; r_4 < 3; ++r_4) {
+    acc_3 = (acc_3 - ((cf1 * BI[(cse_5 + r_4)]) * (((2.0 * D[(cse_5 + r_4)]) * _v2[r_4]) - (F[(cse_5 + r_4)] * _g1[r_4]))));
+  }
+  const real _nextAcc = acc_3;
+  const real _next = ((_nextAcc + (cf * _prev)) / (1.0 + cf));
+  next[idx] = _next;
+  for (long i_6 = 0; i_6 < 3; ++i_6) {
+    const real _v1 = (BI[(cse_5 + i_6)] * (((_next - _prev) + (DI[(cse_5 + i_6)] * _v2[i_6])) - ((2.0 * F[(cse_5 + i_6)]) * _g1[i_6])));
+    g1[(i + (i_6 * numB))] = (_g1[i_6] + (0.5 * (_v1 + _v2[i_6])));
+    v1[(i + (i_6 * numB))] = _v1;
+  }
+}

@@ -27,7 +27,12 @@ TEST(Codegen, SimpleMapAddsToOut) {
   auto x = param("x", nullptr);
   def.params = {a, n};
   def.body = mapGlb(lambda({x}, x + litFloat(1.0f)), a);
-  const auto k = generateKernel(def);
+  // Pin the optimizer off: this test asserts the paper's literal
+  // grid-stride shape (the optimized schedule is covered in
+  // test_codegen_opt.cpp).
+  CodegenOptions paperForm;
+  paperForm.optimize = false;
+  const auto k = generateKernel(def, paperForm);
   EXPECT_TRUE(contains(k.source, "extern \"C\""));
   EXPECT_TRUE(contains(k.source, "void add1(void** lifta_args"));
   EXPECT_TRUE(contains(flat(k.body), "out[g_0] = (A[g_0] + 1.0f);"));
@@ -131,8 +136,8 @@ TEST(Codegen, WriteToScalarUpdatesInPlace) {
   EXPECT_TRUE(contains(body, "grid[idx] = (grid[idx] * 2.0f);"));
   // No output buffer: the kernel acts purely by side effect.
   EXPECT_FALSE(contains(body, "out"));
-  EXPECT_TRUE(contains(k.body, "real* grid"));       // writable
-  EXPECT_TRUE(contains(k.body, "const int* indices"));
+  EXPECT_TRUE(contains(k.body, "real* __restrict grid"));  // writable
+  EXPECT_TRUE(contains(k.body, "const int* __restrict indices"));
 }
 
 TEST(Codegen, CollapsedConcatSkipWritesSingleElement) {
@@ -230,8 +235,8 @@ TEST(Codegen, TupleOfWritesEmitsAllStores) {
   const std::string body = flat(k.body);
   EXPECT_TRUE(contains(body, "next[idx] = 1.0f;"));
   EXPECT_TRUE(contains(body, "v1[idx] = 2.0f;"));
-  EXPECT_TRUE(contains(k.body, "real* next"));
-  EXPECT_TRUE(contains(k.body, "real* v1"));
+  EXPECT_TRUE(contains(k.body, "real* __restrict next"));
+  EXPECT_TRUE(contains(k.body, "real* __restrict v1"));
 }
 
 TEST(Codegen, DoublePrecisionTypedefAndLiterals) {

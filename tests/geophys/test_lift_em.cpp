@@ -233,9 +233,9 @@ TEST(LiftEm, GeneratedSourceHasTwoInPlaceStores) {
   const std::string body = collapseWhitespace(gen.body);
   EXPECT_TRUE(contains(body, "hx[g_0] ="));
   EXPECT_TRUE(contains(body, "hy[g_0] ="));
-  EXPECT_TRUE(contains(gen.body, "real* hx"));
-  EXPECT_TRUE(contains(gen.body, "real* hy"));
-  EXPECT_TRUE(contains(gen.body, "const real* ez"));
+  EXPECT_TRUE(contains(gen.body, "real* __restrict hx"));
+  EXPECT_TRUE(contains(gen.body, "real* __restrict hy"));
+  EXPECT_TRUE(contains(gen.body, "const real* __restrict ez"));
 }
 
 }  // namespace

@@ -72,6 +72,34 @@ TEST(DeviceSimulation, FdMmTracksReferenceBitwiseOver100Steps) {
   }
 }
 
+TEST(DeviceSimulation, AutotunedLocalSizesLeaveResultsBitIdentical) {
+  Room room{RoomShape::Dome, 14, 12, 10};
+
+  DeviceSimulation::Config cfg;
+  cfg.room = room;
+  cfg.model = DeviceModel::FiMm;
+  cfg.numMaterials = 2;
+  DeviceSimulation plain(sharedContext(), cfg);
+  plain.addImpulse(7, 6, 5, 1.0);
+  const auto plainRec = plain.record(40, 4, 4, 4);
+
+  cfg.autoTuneLocalSize = true;
+  DeviceSimulation tuned(sharedContext(), cfg);
+  // The tuner must have settled on one of the candidate sizes, and the
+  // throwaway tuning launches must not leak into the simulation state.
+  const auto picked = tuned.boundaryLocalSize();
+  EXPECT_TRUE(picked == 16 || picked == 32 || picked == 64 ||
+              picked == 128 || picked == 256)
+      << "picked " << picked;
+  tuned.addImpulse(7, 6, 5, 1.0);
+  const auto tunedRec = tuned.record(40, 4, 4, 4);
+
+  ASSERT_EQ(plainRec.size(), tunedRec.size());
+  for (std::size_t i = 0; i < plainRec.size(); ++i) {
+    ASSERT_EQ(tunedRec[i], plainRec[i]) << "step " << i;
+  }
+}
+
 TEST(DeviceSimulation, SinglePrecisionTracksFloatReference) {
   Room room{RoomShape::Box, 14, 12, 10};
 

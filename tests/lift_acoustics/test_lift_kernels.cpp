@@ -397,8 +397,8 @@ TEST(LiftKernelSource, FiMmGeneratesSingleInPlaceStore) {
   // Skips generate no loops over their lengths.
   EXPECT_FALSE(contains(body, "< idx;"));
   // next is writable, prev is const.
-  EXPECT_TRUE(contains(gen.body, "real* next"));
-  EXPECT_TRUE(contains(gen.body, "const real* prev"));
+  EXPECT_TRUE(contains(gen.body, "real* __restrict next"));
+  EXPECT_TRUE(contains(gen.body, "const real* __restrict prev"));
 }
 
 TEST(LiftKernelSource, FdMmWritesAllThreeArrays) {
@@ -407,9 +407,9 @@ TEST(LiftKernelSource, FdMmWritesAllThreeArrays) {
   const std::string body = collapseWhitespace(gen.body);
   EXPECT_TRUE(contains(body, "next[idx] = _next;"));
   EXPECT_TRUE(contains(body, "_g1[3];") || contains(body, "real _g1[3]"));
-  EXPECT_TRUE(contains(gen.body, "real* g1"));
-  EXPECT_TRUE(contains(gen.body, "real* v1"));
-  EXPECT_TRUE(contains(gen.body, "const real* v2"));
+  EXPECT_TRUE(contains(gen.body, "real* __restrict g1"));
+  EXPECT_TRUE(contains(gen.body, "real* __restrict v1"));
+  EXPECT_TRUE(contains(gen.body, "const real* __restrict v2"));
 }
 
 TEST(LiftKernelSource, VolumeUsesGridStrideLoop) {

@@ -1,0 +1,125 @@
+// The content-addressed JIT cache: memory hits return the loaded object
+// without recompiling, the LRU evicts, the disk cache survives a memory
+// clear, flags are part of the key, and a failed compile leaves no
+// temporary files behind (regression for the old leak).
+#include "ocl/jit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace lifta::ocl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A trivially compilable source, unique per call so tests sharing the
+/// process-wide Jit singleton never collide on cache keys.
+std::string uniqueSource(const std::string& tag) {
+  static int counter = 0;
+  return "// jit-cache-test " + tag + " " + std::to_string(++counter) +
+         "\nextern \"C\" int lifta_test_sym() { return 42; }\n";
+}
+
+std::size_t entryCount(const std::string& dir) {
+  std::size_t n = 0;
+  for (auto it = fs::recursive_directory_iterator(dir);
+       it != fs::recursive_directory_iterator(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(JitCache, MemoryHitReturnsSameObjectWithoutRecompiling) {
+  auto& jit = Jit::instance();
+  const auto src = uniqueSource("hit");
+  const auto s0 = jit.stats();
+  auto a = jit.compile(src);
+  auto b = jit.compile(src);
+  const auto s1 = jit.stats();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(s1.compiled, s0.compiled + 1);
+  EXPECT_EQ(s1.hits, s0.hits + 1);
+  EXPECT_NE(a->symbol("lifta_test_sym"), nullptr);
+}
+
+TEST(JitCache, ExtraFlagsArePartOfTheKey) {
+  auto& jit = Jit::instance();
+  const auto src = uniqueSource("flags");
+  const auto s0 = jit.stats();
+  auto a = jit.compile(src);
+  auto b = jit.compile(src, "-DLIFTA_TEST_FLAG=1");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 2);
+}
+
+TEST(JitCache, LruEvictsTheLeastRecentlyUsedEntry) {
+  auto& jit = Jit::instance();
+  jit.setMemoryCacheCapacity(2);
+  const auto a = uniqueSource("lru-a");
+  const auto b = uniqueSource("lru-b");
+  const auto c = uniqueSource("lru-c");
+  jit.compile(a);
+  jit.compile(b);
+  const auto s0 = jit.stats();
+  jit.compile(c);  // evicts a (least recently used)
+  EXPECT_GT(jit.stats().evictions, s0.evictions);
+  jit.compile(c);  // still resident
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 1);
+  jit.compile(a);  // gone from memory: recompiled
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 2);
+  jit.setMemoryCacheCapacity(256);
+}
+
+TEST(JitCache, DiskCacheServesAfterMemoryClearWithoutRecompiling) {
+  auto& jit = Jit::instance();
+  const std::string dir = jit.scratchDir() + "/disk_test";
+  jit.setDiskCacheDir(dir);
+  const auto src = uniqueSource("disk");
+  jit.compile(src);
+  const auto s0 = jit.stats();
+  jit.clearMemoryCache();
+  auto reloaded = jit.compile(src);
+  const auto s1 = jit.stats();
+  EXPECT_EQ(s1.diskHits, s0.diskHits + 1);
+  EXPECT_EQ(s1.compiled, s0.compiled);  // dlopen'ed from disk, not rebuilt
+  EXPECT_NE(reloaded->symbol("lifta_test_sym"), nullptr);
+  jit.setDiskCacheDir("");
+}
+
+TEST(JitCache, CorruptDiskEntryFallsBackToCompiling) {
+  auto& jit = Jit::instance();
+  const std::string dir = jit.scratchDir() + "/disk_corrupt";
+  jit.setDiskCacheDir(dir);
+  const auto src = uniqueSource("corrupt");
+  jit.compile(src);
+  jit.clearMemoryCache();
+  const auto s0 = jit.stats();
+  // Truncate every cached object: dlopen must fail and fall through.
+  for (auto& e : fs::directory_iterator(dir)) {
+    std::ofstream(e.path(), std::ios::trunc);
+  }
+  auto rebuilt = jit.compile(src);
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 1);
+  EXPECT_NE(rebuilt->symbol("lifta_test_sym"), nullptr);
+  jit.setDiskCacheDir("");
+}
+
+TEST(JitCache, FailedCompileThrowsWithLogAndLeavesNoTempFiles) {
+  auto& jit = Jit::instance();
+  const auto before = entryCount(jit.scratchDir());
+  try {
+    jit.compile("this is not C++ }{" + uniqueSource("fail"));
+    FAIL() << "expected OclError";
+  } catch (const OclError& e) {
+    EXPECT_NE(std::string(e.what()).find("build failed"), std::string::npos);
+  }
+  EXPECT_EQ(entryCount(jit.scratchDir()), before);
+}
+
+}  // namespace
+}  // namespace lifta::ocl
