@@ -10,6 +10,17 @@
 
 namespace lifta::acoustics {
 
+/// How the reference stepper schedules work across threads.
+enum class StepperKind {
+  /// Dependency-driven task graph on the pool's work-stealing scheduler:
+  /// per-z-slab volume tasks, per-slab boundary tasks, cross-step
+  /// pipelining. Bit-identical to Barrier and to the serial path.
+  TaskGraph,
+  /// Legacy fork/join: two barriered parallelForChunked dispatches per step.
+  /// Kept for A/B comparison in bench/ref_step_scaling.
+  Barrier,
+};
+
 /// How the reference stepper executes the volume phase.
 enum class VolumePath {
   /// Interior-run plan: branch-free SIMD-friendly loops over the maximal
@@ -33,11 +44,14 @@ struct SimParams {
   /// 0 = share the process-wide pool (hardware concurrency); 1 = serial
   /// (never touches a thread pool); N > 1 = private pool of N threads.
   int threads = 0;
-  /// Number of z-slabs per volume tile handed to one pool chunk
-  /// (Lookup path only; the Runs path partitions runs, not slabs).
+  /// Number of z-slabs per tile. Under the TaskGraph stepper this is the
+  /// volume-task granularity (one task per tile per step, for both volume
+  /// paths); under the Barrier stepper it sizes Lookup-path pool chunks.
   int tileZ = 4;
   /// Volume-phase execution plan; Runs and Lookup are bit-identical.
   VolumePath volumePath = VolumePath::Runs;
+  /// Parallel stepping schedule; both kinds are bit-identical to serial.
+  StepperKind stepper = StepperKind::TaskGraph;
 
   double Ts() const { return 1.0 / sampleRate; }
   /// Grid spacing implied by c, Ts and lambda.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "acoustics/step_graph.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -76,6 +78,9 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
     v2_ = velB_.data();
   }
 }
+
+template <typename T>
+Simulation<T>::~Simulation() = default;
 
 template <typename T>
 void Simulation<T>::addImpulse(int x, int y, int z, T amplitude) {
@@ -217,7 +222,7 @@ void Simulation<T>::stepBoundary(T l, std::int64_t numB) {
 }
 
 template <typename T>
-void Simulation<T>::step() {
+void Simulation<T>::stepBarrier() {
   const T l = static_cast<T>(config_.params.l());
   const T l2 = static_cast<T>(config_.params.l2());
   const auto numB = static_cast<std::int64_t>(grid_->boundaryPoints());
@@ -247,20 +252,256 @@ void Simulation<T>::step() {
 }
 
 template <typename T>
-std::vector<T> Simulation<T>::record(int steps, int x, int y, int z) {
-  std::vector<T> out;
-  out.reserve(static_cast<std::size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    step();
-    out.push_back(sample(x, y, z));
+void Simulation<T>::step() {
+  if (usingTaskGraph()) {
+    runTaskGraph(1, nullptr, nullptr, 0, nullptr);
+  } else {
+    stepBarrier();
   }
-  return out;
+}
+
+template <typename T>
+int Simulation<T>::run(int steps, const std::atomic<bool>* cancel) {
+  if (steps <= 0) return 0;
+  if (usingTaskGraph()) {
+    return runTaskGraph(steps, nullptr, nullptr, 0, cancel);
+  }
+  int done = 0;
+  for (; done < steps; ++done) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) break;
+    stepBarrier();
+  }
+  return done;
+}
+
+template <typename T>
+void Simulation<T>::ensureStepGraph(int steps,
+                                    const std::vector<std::size_t>* recvIdx) {
+  const bool hasRecv = recvIdx != nullptr && !recvIdx->empty();
+  if (stepGraph_ && cachedBatchSteps_ == steps && cachedHasRecv_ == hasRecv &&
+      (!hasRecv || cachedRecvIdx_ == *recvIdx)) {
+    return;
+  }
+  static const std::vector<std::size_t> kNoReceivers;
+  graphSpec_ = std::make_unique<StepGraphSpec>(StepGraphSpec::build(
+      *grid_, config_.model, config_.params.volumePath, config_.params.tileZ,
+      config_.numBranches, steps, hasRecv ? *recvIdx : kNoReceivers));
+  stepGraph_ = std::make_unique<TaskGraph>();
+  for (std::size_t ti = 0; ti < graphSpec_->tasks.size(); ++ti) {
+    stepGraph_->add([this, ti] { runGraphTask(ti); });
+  }
+  for (const auto& e : graphSpec_->edges) {
+    stepGraph_->addEdge(e.first, e.second);
+  }
+  cachedBatchSteps_ = steps;
+  cachedHasRecv_ = hasRecv;
+  cachedRecvIdx_ = hasRecv ? *recvIdx : kNoReceivers;
+}
+
+template <typename T>
+void Simulation<T>::runGraphTask(std::size_t ti) {
+  const StepTaskSpec& t = graphSpec_->tasks[ti];
+  if (taskHook_) taskHook_();
+  if (batchCancel_) {
+    // Cancellation cutoff protocol; the order matters. (1) publish that
+    // this step has started; (2) if cancelled and no cutoff chosen yet,
+    // propose the max started step; (3) skip if past the cutoff. Any task
+    // that executes its body has step <= cutoff, and every task of a step
+    // <= cutoff executes, so the completed steps form an exact prefix.
+    int started = batchMaxStarted_.load();
+    while (t.step > started &&
+           !batchMaxStarted_.compare_exchange_weak(started, t.step)) {
+    }
+    if (batchCancel_->load(std::memory_order_relaxed) &&
+        batchCutoff_.load() == std::numeric_limits<int>::max()) {
+      int expected = std::numeric_limits<int>::max();
+      batchCutoff_.compare_exchange_strong(expected, batchMaxStarted_.load());
+    }
+    if (t.step > batchCutoff_.load()) return;
+  }
+
+  const int k = t.step;
+  const T* prev = batchBuf_[StepGraphSpec::pressurePhys(0, k)];
+  const T* curr = batchBuf_[StepGraphSpec::pressurePhys(1, k)];
+  T* next = batchBuf_[StepGraphSpec::pressurePhys(2, k)];
+  const T l = static_cast<T>(config_.params.l());
+  const T l2 = static_cast<T>(config_.params.l2());
+  const int nx = grid_->nx;
+  const int ny = grid_->ny;
+  const bool fused = config_.model == BoundaryModel::FusedFi;
+  const std::uint64_t cpu0 = profActive_ ? threadCpuTimeNs() : 0;
+
+  switch (t.phase) {
+    case StepTaskSpec::Phase::Volume: {
+      if (config_.params.volumePath == VolumePath::Runs) {
+        const auto& plan = grid_->interiorRuns;
+        refVolumeRunsRange(plan.runBegin.data(), plan.runLen.data(), t.run0,
+                           t.run1, prev, curr, next, nx, ny, l2);
+        if (t.b0 < t.b1) {
+          if (fused) {
+            refFusedFiResidualRange(grid_->boundaryIndices.data(),
+                                    grid_->boundaryNbr.data(), t.b0, t.b1,
+                                    prev, curr, next, nx, ny, l, l2, beta_[0]);
+          } else {
+            refVolumeResidualRange(grid_->boundaryIndices.data(),
+                                   grid_->boundaryNbr.data(), t.b0, t.b1,
+                                   prev, curr, next, nx, ny, l2);
+          }
+        }
+      } else if (fused) {
+        refFusedFiLookupSlab(grid_->nbrs.data(), prev, curr, next, nx, ny,
+                             t.z0, t.z1, l, l2, beta_[0]);
+      } else {
+        refVolumeSlab(grid_->nbrs.data(), prev, curr, next, nx, ny, t.z0,
+                      t.z1, l2);
+      }
+      break;
+    }
+    case StepTaskSpec::Phase::Boundary: {
+      switch (config_.model) {
+        case BoundaryModel::FusedFi:
+          break;  // never planned
+        case BoundaryModel::FiSplit:
+          refFiBoundaryRange(grid_->boundaryIndices.data(),
+                             grid_->nbrs.data(), prev, next, t.b0, t.b1, l,
+                             beta_[0]);
+          break;
+        case BoundaryModel::FiMm:
+          refFiMmBoundaryRange(grid_->boundaryIndices.data(),
+                               grid_->nbrs.data(), grid_->material.data(),
+                               beta_.data(), prev, next, t.b0, t.b1, l);
+          break;
+        case BoundaryModel::FdMm: {
+          T* v1 = batchVel_[StepGraphSpec::velocityWritePhys(k)];
+          const T* v2 = batchVel_[1 - StepGraphSpec::velocityWritePhys(k)];
+          refFdMmBoundaryRange(
+              grid_->boundaryIndices.data(), grid_->nbrs.data(),
+              grid_->material.data(), beta_.data(), bi_.data(), d_.data(),
+              di_.data(), f_.data(), config_.numBranches, prev, next,
+              g1_.data(), v1, v2,
+              static_cast<std::int64_t>(grid_->boundaryPoints()), t.b0, t.b1,
+              l);
+          break;
+        }
+      }
+      break;
+    }
+    case StepTaskSpec::Phase::Sample: {
+      const auto& recv = *batchRecv_;
+      for (std::size_t r = 0; r < recv.size(); ++r) {
+        (*batchOut_)[r][batchOutBase_ + static_cast<std::size_t>(k)] =
+            next[recv[r]];
+      }
+      return;  // sampling is not attributed to either kernel phase
+    }
+  }
+
+  if (profActive_) {
+    auto& acc = t.phase == StepTaskSpec::Phase::Boundary ? profBndNs_
+                                                         : profVolNs_;
+    acc[static_cast<std::size_t>(k)].fetch_add(threadCpuTimeNs() - cpu0,
+                                               std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
+int Simulation<T>::runTaskGraph(int steps,
+                                const std::vector<std::size_t>* recvIdx,
+                                std::vector<std::vector<T>>* out,
+                                std::size_t outBase,
+                                const std::atomic<bool>* cancel) {
+  // Batch size: enough steps in flight for the pipeline to cover the
+  // boundary-phase tail of each step, small enough to bound cancellation
+  // latency and graph size.
+  constexpr int kBatchSteps = 16;
+  int done = 0;
+  while (done < steps) {
+    if (cancel && cancel->load(std::memory_order_relaxed) && done > 0) break;
+    const int batch = std::min(kBatchSteps, steps - done);
+    ensureStepGraph(batch, recvIdx);
+
+    batchBuf_[0] = prev_;
+    batchBuf_[1] = curr_;
+    batchBuf_[2] = next_;
+    batchVel_[0] = v1_;
+    batchVel_[1] = v2_;
+    batchOut_ = out;
+    batchOutBase_ = outBase + static_cast<std::size_t>(done);
+    batchRecv_ = recvIdx;
+    batchCancel_ = cancel;
+    batchMaxStarted_.store(-1);
+    batchCutoff_.store(std::numeric_limits<int>::max());
+    profActive_ = profiler_.enabled();
+    if (profActive_) {
+      profVolNs_ = std::vector<std::atomic<std::uint64_t>>(
+          static_cast<std::size_t>(batch));
+      profBndNs_ = std::vector<std::atomic<std::uint64_t>>(
+          static_cast<std::size_t>(batch));
+    }
+
+    Timer wall;
+    pool_->run(*stepGraph_);
+
+    int completed = batch;
+    if (cancel) {
+      const int cutoff = batchCutoff_.load();
+      if (cutoff != std::numeric_limits<int>::max()) {
+        completed = std::min(batch, cutoff + 1);
+      }
+    }
+    if (profActive_ && completed > 0) {
+      const double wallMs = wall.milliseconds() / completed;
+      for (int k = 0; k < completed; ++k) {
+        profiler_.recordStepTasked(
+            static_cast<double>(
+                profVolNs_[static_cast<std::size_t>(k)].load()) /
+                1e6,
+            static_cast<double>(
+                profBndNs_[static_cast<std::size_t>(k)].load()) /
+                1e6,
+            grid_->cells(), wallMs);
+      }
+    }
+
+    // Land the member pointers on the rotation of the last completed step.
+    T* base[3] = {batchBuf_[0], batchBuf_[1], batchBuf_[2]};
+    prev_ = base[StepGraphSpec::pressurePhys(0, completed)];
+    curr_ = base[StepGraphSpec::pressurePhys(1, completed)];
+    next_ = base[StepGraphSpec::pressurePhys(2, completed)];
+    if (config_.model == BoundaryModel::FdMm && completed % 2 == 1) {
+      std::swap(v1_, v2_);
+    }
+    steps_ += completed;
+    done += completed;
+    if (completed < batch) break;  // cancelled inside the batch
+  }
+  batchOut_ = nullptr;
+  batchRecv_ = nullptr;
+  batchCancel_ = nullptr;
+  return done;
+}
+
+template <typename T>
+std::vector<T> Simulation<T>::record(int steps, int x, int y, int z) {
+  std::vector<std::vector<T>> out;
+  record(steps, {Receiver{x, y, z}}, out, nullptr);
+  return std::move(out[0]);
 }
 
 template <typename T>
 std::vector<std::vector<T>> Simulation<T>::record(
     int steps, const std::vector<Receiver>& receivers) {
+  std::vector<std::vector<T>> out;
+  record(steps, receivers, out, nullptr);
+  return out;
+}
+
+template <typename T>
+int Simulation<T>::record(int steps, const std::vector<Receiver>& receivers,
+                          std::vector<std::vector<T>>& out,
+                          const std::atomic<bool>* cancel) {
   LIFTA_CHECK(!receivers.empty(), "need at least one receiver");
+  LIFTA_CHECK(steps >= 0, "steps must be >= 0");
   std::vector<std::size_t> indices;
   indices.reserve(receivers.size());
   for (const auto& r : receivers) {
@@ -268,15 +509,23 @@ std::vector<std::vector<T>> Simulation<T>::record(
                 "receiver point is outside");
     indices.push_back(config_.room.index(r.x, r.y, r.z));
   }
-  std::vector<std::vector<T>> out(receivers.size());
-  for (auto& trace : out) trace.reserve(static_cast<std::size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    step();
-    for (std::size_t r = 0; r < indices.size(); ++r) {
-      out[r].push_back(curr_[indices[r]]);
+  out.assign(receivers.size(), std::vector<T>(static_cast<std::size_t>(steps)));
+  int done = 0;
+  if (usingTaskGraph()) {
+    done = runTaskGraph(steps, &indices, &out, 0, cancel);
+  } else {
+    for (; done < steps; ++done) {
+      if (cancel && cancel->load(std::memory_order_relaxed)) break;
+      stepBarrier();
+      for (std::size_t r = 0; r < indices.size(); ++r) {
+        out[r][static_cast<std::size_t>(done)] = curr_[indices[r]];
+      }
     }
   }
-  return out;
+  if (done < steps) {
+    for (auto& trace : out) trace.resize(static_cast<std::size_t>(done));
+  }
+  return done;
 }
 
 template <typename T>

@@ -7,6 +7,7 @@
 // LIFT-generated tiers (src/lift_acoustics) are validated against it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +31,8 @@ enum class BoundaryModel {
 };
 
 const char* modelName(BoundaryModel m);
+
+struct StepGraphSpec;  // step_graph.hpp
 
 /// A receiver position on the grid (must be inside the room).
 struct Receiver {
@@ -57,6 +60,7 @@ public:
   };
 
   explicit Simulation(Config config);
+  ~Simulation();
 
   const Config& config() const { return config_; }
   const RoomGrid& grid() const { return *grid_; }
@@ -68,7 +72,18 @@ public:
   void addImpulse(int x, int y, int z, T amplitude);
 
   /// Advances one time step (volume kernel + boundary kernel, per model).
+  /// Routed through the task-graph stepper when one is active; a single
+  /// step has no cross-step pipelining but the same schedule semantics.
   void step();
+
+  /// Advances up to `steps` steps. Under the task-graph stepper the steps
+  /// of a batch pipeline across the pool; otherwise this is a step() loop.
+  /// If `cancel` is non-null and becomes true, stepping stops at a step
+  /// boundary — at task granularity under the task graph: tasks of steps
+  /// past the cutoff become no-ops while the in-flight graph drains — and
+  /// the number of fully completed steps is returned (== `steps` when never
+  /// cancelled). The state always lands exactly on the returned step.
+  int run(int steps, const std::atomic<bool>* cancel = nullptr);
 
   /// Runs `steps` steps recording the pressure at (x,y,z) after each —
   /// a room impulse response when combined with addImpulse.
@@ -80,6 +95,18 @@ public:
   /// never perturbs the field).
   std::vector<std::vector<T>> record(int steps,
                                      const std::vector<Receiver>& receivers);
+
+  /// Cancellable multi-receiver recording: fills out[r][s] for the steps
+  /// that completed and truncates every trace to that count. Returns the
+  /// completed step count (see run()).
+  int record(int steps, const std::vector<Receiver>& receivers,
+             std::vector<std::vector<T>>& out, const std::atomic<bool>* cancel);
+
+  /// Test-only: invoked at the start of every task-graph task body (jitter
+  /// injection for scheduling stress tests). Must be thread-safe.
+  void testSetTaskHook(std::function<void()> hook) {
+    taskHook_ = std::move(hook);
+  }
 
   int stepsTaken() const { return steps_; }
 
@@ -131,6 +158,23 @@ private:
   void forEachRunRange(const std::function<void(std::size_t, std::size_t)>& fn);
   void stepVolume(T l, T l2);
   void stepBoundary(T l, std::int64_t numB);
+  /// Legacy barriered step (two parallelForChunked dispatches + rotation).
+  void stepBarrier();
+
+  /// True when stepping goes through the dependency task graph.
+  bool usingTaskGraph() const {
+    return pool_ != nullptr && config_.params.stepper == StepperKind::TaskGraph;
+  }
+  /// (Re)builds the cached batch graph for `steps` steps and the given
+  /// receiver set (nullptr = none).
+  void ensureStepGraph(int steps, const std::vector<std::size_t>* recvIdx);
+  /// Executes up to `steps` steps through the task graph in batches;
+  /// returns completed steps (< steps only when cancelled).
+  int runTaskGraph(int steps, const std::vector<std::size_t>* recvIdx,
+                   std::vector<std::vector<T>>* out, std::size_t outBase,
+                   const std::atomic<bool>* cancel);
+  /// Body of task `ti` of the cached graph (runs on any pool thread).
+  void runGraphTask(std::size_t ti);
 
   Config config_;
   /// Shared immutable grid from the voxelization cache: repeated configs
@@ -154,6 +198,36 @@ private:
   T* v2_ = nullptr;
 
   int steps_ = 0;
+
+  // ---- Task-graph batch state ----------------------------------------
+  // The graph's task bodies are closures over `this` + a task index; all
+  // per-batch inputs (buffer rotation bases, receiver output, cancel flag)
+  // live in these members, so the same graph object is reusable across
+  // batches of the same shape.
+  std::unique_ptr<TaskGraph> stepGraph_;
+  std::unique_ptr<StepGraphSpec> graphSpec_;
+  int cachedBatchSteps_ = -1;
+  std::vector<std::size_t> cachedRecvIdx_;
+  bool cachedHasRecv_ = false;
+
+  /// Physical pressure buffers in batch-start role order (prev,curr,next).
+  T* batchBuf_[3] = {nullptr, nullptr, nullptr};
+  /// FD-MM velocity arrays in batch-start role order (v1,v2).
+  T* batchVel_[2] = {nullptr, nullptr};
+  std::vector<std::vector<T>>* batchOut_ = nullptr;
+  std::size_t batchOutBase_ = 0;
+  const std::vector<std::size_t>* batchRecv_ = nullptr;
+  const std::atomic<bool>* batchCancel_ = nullptr;
+  /// Highest batch-relative step any task has started.
+  std::atomic<int> batchMaxStarted_{-1};
+  /// Once cancellation is observed: last step allowed to execute. Tasks of
+  /// later steps become no-ops (the graph still drains), so exactly the
+  /// steps [0, cutoff] complete — a clean step boundary.
+  std::atomic<int> batchCutoff_{0};
+  /// Per-step per-phase CPU-time accumulators (profiling only).
+  std::vector<std::atomic<std::uint64_t>> profVolNs_, profBndNs_;
+  bool profActive_ = false;
+  std::function<void()> taskHook_;
 };
 
 extern template class Simulation<float>;

@@ -8,21 +8,23 @@ void StepProfiler::recordStep(double volumeMs, double boundaryMs,
                               std::size_t cells) {
   volumeMs_.push_back(volumeMs);
   boundaryMs_.push_back(boundaryMs);
+  stepWallMs_.push_back(volumeMs + boundaryMs);
+  cellsPerStep_ = cells;
+}
+
+void StepProfiler::recordStepTasked(double volumeCpuMs, double boundaryCpuMs,
+                                    std::size_t cells, double wallMs) {
+  volumeMs_.push_back(volumeCpuMs);
+  boundaryMs_.push_back(boundaryCpuMs);
+  stepWallMs_.push_back(wallMs);
   cellsPerStep_ = cells;
 }
 
 void StepProfiler::reset() {
   volumeMs_.clear();
   boundaryMs_.clear();
+  stepWallMs_.clear();
   cellsPerStep_ = 0;
-}
-
-SampleStats StepProfiler::stepStats() const {
-  std::vector<double> total(volumeMs_.size());
-  for (std::size_t i = 0; i < total.size(); ++i) {
-    total[i] = volumeMs_[i] + boundaryMs_[i];
-  }
-  return summarize(std::move(total));
 }
 
 double StepProfiler::boundaryFraction() const {
@@ -35,12 +37,10 @@ double StepProfiler::boundaryFraction() const {
 
 double StepProfiler::cellsPerSecond() const {
   double totalMs = 0.0;
-  for (std::size_t i = 0; i < volumeMs_.size(); ++i) {
-    totalMs += volumeMs_[i] + boundaryMs_[i];
-  }
+  for (double v : stepWallMs_) totalMs += v;
   if (totalMs <= 0.0) return 0.0;
   return static_cast<double>(cellsPerStep_) *
-         static_cast<double>(volumeMs_.size()) / (totalMs * 1e-3);
+         static_cast<double>(stepWallMs_.size()) / (totalMs * 1e-3);
 }
 
 std::string StepProfiler::report(const std::string& label) const {
@@ -70,11 +70,7 @@ std::string StepProfiler::report(const std::string& label) const {
 }
 
 std::string StepProfiler::stepHistogramRender() const {
-  std::vector<double> total(volumeMs_.size());
-  for (std::size_t i = 0; i < total.size(); ++i) {
-    total[i] = volumeMs_[i] + boundaryMs_[i];
-  }
-  return Histogram::fromSamples(total, 8).render();
+  return Histogram::fromSamples(stepWallMs_, 8).render();
 }
 
 }  // namespace lifta::acoustics

@@ -1,11 +1,15 @@
 // Opt-in per-kernel instrumentation of the reference stepper (Fig. 2, §III).
 //
-// When enabled, Simulation<T>::step records the wall time of the volume and
-// boundary phases of every step here. The profiler keeps the raw per-step
-// samples so the paper's quantities — median kernel time, boundary share of
-// a step, sustained cell updates per second — and a distribution histogram
-// can all be derived from the same instrumentation, instead of from ad-hoc
-// timers scattered over the benchmarks.
+// When enabled, the stepper records per-step volume/boundary attribution and
+// per-step wall time here. The barrier/serial stepper times the two phases
+// back to back (attribution == wall); the task-graph stepper accumulates
+// per-task thread-CPU time per phase — wall intervals stop meaning anything
+// once tasks from adjacent pipelined steps overlap on the cores — and
+// divides the batch wall time evenly over its steps. The profiler keeps the
+// raw per-step samples so the paper's quantities — median kernel time,
+// boundary share of a step, sustained cell updates per second — and a
+// distribution histogram can all be derived from the same instrumentation,
+// instead of from ad-hoc timers scattered over the benchmarks.
 //
 // For the fused single-kernel model (Listing 1) the whole step is one
 // kernel; it is recorded as volume time with zero boundary time.
@@ -24,8 +28,19 @@ public:
   bool enabled() const { return enabled_; }
   void setEnabled(bool on) { enabled_ = on; }
 
-  /// Called by the stepper once per step (only when enabled).
+  /// Called by the barrier/serial stepper once per step (only when
+  /// enabled): the two phases ran back to back on the submitting thread, so
+  /// their wall times are also their attribution and the step's wall time
+  /// is their sum.
   void recordStep(double volumeMs, double boundaryMs, std::size_t cells);
+
+  /// Called by the task-graph stepper once per completed step of a batch.
+  /// volume/boundary are per-phase *CPU* time summed over the step's tasks
+  /// (wall intervals would double-count once tasks from adjacent pipelined
+  /// steps overlap on the cores); wallMs is the step's share of the batch
+  /// wall time and is what throughput (cellsPerSecond, stepStats) uses.
+  void recordStepTasked(double volumeCpuMs, double boundaryCpuMs,
+                        std::size_t cells, double wallMs);
 
   /// Drops all recorded samples; keeps the enabled flag.
   void reset();
@@ -33,14 +48,18 @@ public:
   std::size_t steps() const { return volumeMs_.size(); }
   const std::vector<double>& volumeMs() const { return volumeMs_; }
   const std::vector<double>& boundaryMs() const { return boundaryMs_; }
+  const std::vector<double>& stepWallMs() const { return stepWallMs_; }
 
   SampleStats volumeStats() const { return summarize(volumeMs_); }
   SampleStats boundaryStats() const { return summarize(boundaryMs_); }
-  /// Stats of volume + boundary per step.
-  SampleStats stepStats() const;
+  /// Stats of per-step wall time.
+  SampleStats stepStats() const { return summarize(stepWallMs_); }
 
-  /// Share of total step time spent in boundary handling, in [0, 1]
-  /// (the quantity Fig. 2 plots as a percentage). 0 when nothing recorded.
+  /// Share of total step *work* spent in boundary handling, in [0, 1]
+  /// (the quantity Fig. 2 plots as a percentage). Computed from the
+  /// per-phase attribution samples, so it stays truthful whether those came
+  /// from back-to-back wall intervals (serial/barrier) or per-task CPU time
+  /// (task graph). 0 when nothing recorded.
   double boundaryFraction() const;
 
   /// Sustained grid-cell updates per second over all recorded steps.
@@ -60,8 +79,11 @@ private:
   std::string stepHistogramRender() const;
 
   bool enabled_ = false;
+  /// Per-phase attribution samples (wall for the barrier stepper, CPU for
+  /// the task-graph stepper) and the per-step wall time alongside.
   std::vector<double> volumeMs_;
   std::vector<double> boundaryMs_;
+  std::vector<double> stepWallMs_;
   std::size_t cellsPerStep_ = 0;
 };
 

@@ -18,6 +18,7 @@ const char* passName(PassId p) {
     case PassId::Bounds: return "bounds";
     case PassId::Race: return "race";
     case PassId::HostLint: return "host-lint";
+    case PassId::TaskDeps: return "task-deps";
   }
   return "?";
 }

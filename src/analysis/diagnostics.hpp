@@ -23,6 +23,7 @@ enum class PassId {
   Bounds,    // symbolic bounds prover
   Race,      // scatter-write race detector
   HostLint,  // host-program DAG lint
+  TaskDeps,  // runtime task-graph dependence derivation/lint
 };
 
 const char* severityName(Severity s);

@@ -1,0 +1,183 @@
+#include "analysis/task_deps.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lifta::analysis {
+
+AccessDagBuilder::BufferId AccessDagBuilder::declareBuffer(std::string name,
+                                                           std::int64_t cells) {
+  LIFTA_CHECK(cells > 0, "AccessDagBuilder: buffer must have cells > 0");
+  const BufferId id = static_cast<BufferId>(buffers_.size());
+  Buffer b;
+  b.name = std::move(name);
+  b.cells = cells;
+  Segment whole;
+  whole.end = cells;
+  b.segments.emplace(0, std::move(whole));
+  buffers_.push_back(std::move(b));
+  return id;
+}
+
+const std::string& AccessDagBuilder::bufferName(BufferId buf) const {
+  LIFTA_CHECK(buf < buffers_.size(), "AccessDagBuilder: unknown buffer");
+  return buffers_[buf].name;
+}
+
+void AccessDagBuilder::noteTask(TaskId task) {
+  LIFTA_CHECK(task + 1 >= lastAccessTask_,
+              "AccessDagBuilder: accesses must be declared in ascending task "
+              "order");
+  lastAccessTask_ = std::max(lastAccessTask_, task + 1);
+  maxTask_ = std::max(maxTask_, task + 1);
+}
+
+void AccessDagBuilder::checkRange(const Buffer& b, std::int64_t begin,
+                                  std::int64_t end) const {
+  LIFTA_CHECK(begin >= 0 && begin < end && end <= b.cells,
+              "AccessDagBuilder: access interval out of buffer bounds");
+}
+
+void AccessDagBuilder::addEdge(TaskId before, TaskId after) {
+  if (before == after) return;  // a task's own earlier access orders itself
+  const Edge e{before, after};
+  if (!edgeSeen_.emplace(e, true).second) return;
+  edges_.push_back(e);
+}
+
+std::map<std::int64_t, AccessDagBuilder::Segment>::iterator
+AccessDagBuilder::splitAt(Buffer& b, std::int64_t begin, std::int64_t end) {
+  // Ensure a boundary exists at `pos` by splitting the covering segment.
+  const auto ensureBoundary = [&b](std::int64_t pos) {
+    if (pos >= b.cells) return;
+    auto it = b.segments.upper_bound(pos);
+    --it;  // segment whose start <= pos (tiling guarantees existence)
+    if (it->first == pos) return;
+    Segment right = it->second;  // copies readers/writer history
+    it->second.end = pos;
+    b.segments.emplace(pos, std::move(right));
+  };
+  ensureBoundary(begin);
+  ensureBoundary(end);
+  return b.segments.find(begin);
+}
+
+void AccessDagBuilder::read(TaskId task, BufferId buf, std::int64_t begin,
+                            std::int64_t end) {
+  LIFTA_CHECK(buf < buffers_.size(), "AccessDagBuilder: unknown buffer");
+  Buffer& b = buffers_[buf];
+  checkRange(b, begin, end);
+  noteTask(task);
+  auto it = splitAt(b, begin, end);
+  for (; it != b.segments.end() && it->first < end; ++it) {
+    Segment& seg = it->second;
+    if (seg.lastWriter >= 0) {
+      addEdge(static_cast<TaskId>(seg.lastWriter), task);  // RAW
+    }
+    if (seg.readersSinceWrite.empty() || seg.readersSinceWrite.back() != task) {
+      seg.readersSinceWrite.push_back(task);
+    }
+  }
+}
+
+void AccessDagBuilder::write(TaskId task, BufferId buf, std::int64_t begin,
+                             std::int64_t end) {
+  LIFTA_CHECK(buf < buffers_.size(), "AccessDagBuilder: unknown buffer");
+  Buffer& b = buffers_[buf];
+  checkRange(b, begin, end);
+  noteTask(task);
+  auto it = splitAt(b, begin, end);
+  auto first = it;
+  for (; it != b.segments.end() && it->first < end; ++it) {
+    Segment& seg = it->second;
+    if (seg.lastWriter >= 0) {
+      addEdge(static_cast<TaskId>(seg.lastWriter), task);  // WAW
+    }
+    for (TaskId r : seg.readersSinceWrite) addEdge(r, task);  // WAR
+  }
+  // Collapse [begin, end) into one segment owned by this writer.
+  b.segments.erase(first, it);
+  Segment owned;
+  owned.end = end;
+  owned.lastWriter = static_cast<std::int32_t>(task);
+  b.segments.emplace(begin, std::move(owned));
+}
+
+Report lintTaskAccesses(const std::string& subject,
+                        const std::vector<TaskAccessRecord>& accesses,
+                        const std::vector<AccessDagBuilder::Edge>& edges,
+                        std::uint32_t taskCount) {
+  Report report;
+  report.subject = subject;
+
+  // Reachability over the (forward-only) edge set, computed as a bitset per
+  // task by a single pass in topological (= id) order: reach[t] = union of
+  // reach[pred] plus the preds themselves.
+  const std::size_t words = (taskCount + 63) / 64;
+  std::vector<std::uint64_t> reach(static_cast<std::size_t>(taskCount) * words,
+                                   0);
+  const auto setBit = [&](std::uint32_t t, std::uint32_t bit) {
+    reach[static_cast<std::size_t>(t) * words + bit / 64] |=
+        std::uint64_t{1} << (bit % 64);
+  };
+  const auto testBit = [&](std::uint32_t t, std::uint32_t bit) {
+    return (reach[static_cast<std::size_t>(t) * words + bit / 64] >>
+            (bit % 64)) &
+           1u;
+  };
+  std::vector<std::vector<std::uint32_t>> preds(taskCount);
+  for (const auto& e : edges) {
+    if (e.first < taskCount && e.second < taskCount) {
+      preds[e.second].push_back(e.first);
+    }
+  }
+  for (std::uint32_t t = 0; t < taskCount; ++t) {
+    for (std::uint32_t p : preds[t]) {
+      setBit(t, p);
+      for (std::size_t w = 0; w < words; ++w) {
+        reach[static_cast<std::size_t>(t) * words + w] |=
+            reach[static_cast<std::size_t>(p) * words + w];
+      }
+    }
+  }
+  const auto ordered = [&](std::uint32_t a, std::uint32_t b) {
+    return testBit(a, b) || testBit(b, a);
+  };
+
+  // Pairwise conflict scan, grouped by buffer (quadratic in accesses per
+  // buffer — this runs in tests and lint tooling, not on the hot path).
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+      const TaskAccessRecord& a = accesses[i];
+      const TaskAccessRecord& c = accesses[j];
+      if (a.buffer != c.buffer) continue;
+      if (a.task == c.task) continue;
+      if (!a.isWrite && !c.isWrite) continue;  // read-read never conflicts
+      if (a.end <= c.begin || c.end <= a.begin) continue;
+      if (ordered(a.task, c.task)) continue;
+      Diagnostic d;
+      d.severity = Severity::Error;
+      d.pass = PassId::TaskDeps;
+      d.kernel = subject;
+      d.node = "buffer#";
+      d.node += std::to_string(a.buffer);
+      d.message = "tasks ";
+      d.message += std::to_string(a.task);
+      d.message += " and ";
+      d.message += std::to_string(c.task);
+      d.message += " have overlapping ";
+      d.message += a.isWrite && c.isWrite ? "writes" : "read/write accesses";
+      d.message += " with no dependence between them";
+      d.indexExpr = "[";
+      d.indexExpr += std::to_string(std::max(a.begin, c.begin));
+      d.indexExpr += ", ";
+      d.indexExpr += std::to_string(std::min(a.end, c.end));
+      d.indexExpr += ")";
+      report.add(std::move(d));
+    }
+  }
+  return report;
+}
+
+}  // namespace lifta::analysis

@@ -1,0 +1,116 @@
+// Dependence derivation for runtime task graphs.
+//
+// The host-program DAG lint (host_lint.cpp, checkOverlappingWrites) checks a
+// *given* program order: two accesses that conflict on a buffer must already
+// be ordered by edges, otherwise it reports a defect. This pass is its
+// constructive dual, used by the acoustics task-graph stepper: tasks declare
+// which half-open index intervals of which buffers they read and write, and
+// the builder *emits* exactly the edges that order every conflict —
+// read-after-write, write-after-read, and write-after-write. Client code
+// (the stepper) never hand-writes dependency edges; whatever the access
+// declarations imply is what the scheduler gets, so the derived schedule is
+// bit-identical to the declaration (serial) order by construction.
+//
+// lintTaskAccesses replays the same declarations through the host-lint
+// ordering check (reachability over the emitted edges) and reports any
+// conflict the edges fail to cover — a self-check wired into tests, and a
+// debugging tool for new task producers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace lifta::analysis {
+
+/// Accumulates task interval accesses and derives ordering edges.
+///
+/// Tasks are dense ids issued by the caller in creation order; accesses must
+/// be declared in ascending task order (each task's accesses declared before
+/// any later task's). Every emitted edge therefore points from a lower task
+/// id to a higher one — the invariant TaskGraph::addEdge enforces.
+class AccessDagBuilder {
+public:
+  using TaskId = std::uint32_t;
+  using BufferId = std::uint32_t;
+  using Edge = std::pair<TaskId, TaskId>;
+
+  /// Registers a buffer of `cells` addressable units and returns its id.
+  BufferId declareBuffer(std::string name, std::int64_t cells);
+
+  /// Declares that `task` reads buf[begin, end). Emits RAW edges from every
+  /// task whose live write overlaps the interval.
+  void read(TaskId task, BufferId buf, std::int64_t begin, std::int64_t end);
+
+  /// Declares that `task` writes buf[begin, end). Emits WAW edges from
+  /// overlapping live writers and WAR edges from their readers, then makes
+  /// `task` the live writer of the interval.
+  void write(TaskId task, BufferId buf, std::int64_t begin, std::int64_t end);
+
+  /// All emitted edges, deduplicated, each with first < second.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::size_t bufferCount() const { return buffers_.size(); }
+  const std::string& bufferName(BufferId buf) const;
+
+  /// Highest task id seen in any access, plus one (0 if none).
+  std::uint32_t taskCount() const { return maxTask_; }
+
+private:
+  /// One maximal interval [start, end) of a buffer with a uniform access
+  /// history: the task whose write currently owns it (if any) and the tasks
+  /// that have read it since that write.
+  struct Segment {
+    std::int64_t end = 0;
+    std::int32_t lastWriter = -1;  // -1: never written
+    std::vector<TaskId> readersSinceWrite;
+  };
+
+  struct Buffer {
+    std::string name;
+    std::int64_t cells = 0;
+    /// Key: segment start. Segments tile [0, cells) without gaps.
+    std::map<std::int64_t, Segment> segments;
+  };
+
+  void addEdge(TaskId before, TaskId after);
+  /// Splits segments so that `begin` and `end` both fall on boundaries, and
+  /// returns the iterator of the segment starting at `begin`.
+  std::map<std::int64_t, Segment>::iterator splitAt(Buffer& b,
+                                                    std::int64_t begin,
+                                                    std::int64_t end);
+  void noteTask(TaskId task);
+  void checkRange(const Buffer& b, std::int64_t begin, std::int64_t end) const;
+
+  std::vector<Buffer> buffers_;
+  std::vector<Edge> edges_;
+  /// Dedup of the most recent edges per target; conflicts tend to repeat
+  /// across adjacent segments of one access.
+  std::map<Edge, bool> edgeSeen_;
+  std::uint32_t maxTask_ = 0;
+  std::uint32_t lastAccessTask_ = 0;
+};
+
+/// Replays `accesses` (triples of task, interval, kind) against `edges` and
+/// reports every conflicting pair not ordered by the edge set — the same
+/// check host_lint's checkOverlappingWrites performs on host programs,
+/// applied to a runtime task graph. An empty-diagnostic report means the
+/// edge set is sufficient for any execution order the scheduler may choose.
+struct TaskAccessRecord {
+  AccessDagBuilder::TaskId task = 0;
+  AccessDagBuilder::BufferId buffer = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  bool isWrite = false;
+};
+
+Report lintTaskAccesses(const std::string& subject,
+                        const std::vector<TaskAccessRecord>& accesses,
+                        const std::vector<AccessDagBuilder::Edge>& edges,
+                        std::uint32_t taskCount);
+
+}  // namespace lifta::analysis

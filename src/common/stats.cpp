@@ -6,7 +6,25 @@
 
 #include "common/error.hpp"
 
+#ifdef __linux__
+#include <time.h>
+#endif
+
 namespace lifta {
+
+std::uint64_t threadCpuTimeNs() {
+#ifdef __linux__
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 SampleStats summarize(std::vector<double> samples) {
   SampleStats s;

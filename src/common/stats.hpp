@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@ private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Nanoseconds of CPU time consumed by the *calling thread* so far
+/// (CLOCK_THREAD_CPUTIME_ID on Linux; wall clock elsewhere). Differences of
+/// this value attribute work to a phase regardless of how tasks from
+/// overlapping pipeline steps interleave on the cores — which wall-clock
+/// intervals cannot, once the task-graph stepper overlaps adjacent steps.
+std::uint64_t threadCpuTimeNs();
 
 /// Summary statistics over a sample set (e.g. per-iteration kernel times).
 struct SampleStats {

@@ -1,0 +1,27 @@
+#include "common/task_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace lifta {
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> body) {
+  LIFTA_CHECK(body != nullptr, "TaskGraph::add: body must be callable");
+  const TaskId id = static_cast<TaskId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().body = std::move(body);
+  return id;
+}
+
+void TaskGraph::addEdge(TaskId before, TaskId after) {
+  LIFTA_CHECK(after < nodes_.size(), "TaskGraph::addEdge: unknown task id");
+  // Creation order is the topological order; forbidding back/self edges makes
+  // cycles impossible by construction.
+  LIFTA_CHECK(before < after,
+              "TaskGraph::addEdge: edges must go from an earlier task to a "
+              "later one");
+  nodes_[before].successors.push_back(after);
+  ++nodes_[after].numPredecessors;
+  ++edges_;
+}
+
+}  // namespace lifta

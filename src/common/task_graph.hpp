@@ -1,0 +1,69 @@
+// A dependency-driven task graph executed by ThreadPool's work-stealing
+// scheduler (thread_pool.hpp).
+//
+// Nodes are arbitrary callables; edges order them. A node becomes ready when
+// every predecessor has finished, at which point the scheduler pushes it onto
+// the finishing worker's deque (depth-first locality: a chain of dependent
+// tasks tends to stay on one core, hot in cache). This replaces the
+// barriered fork/join stepping of the acoustics reference stepper: instead
+// of two global barriers per time step, per-slab tasks start the moment the
+// slabs they actually read are done, and tasks of step t+1 overlap the tail
+// of step t.
+//
+// Edges must point from a lower task id to a higher one (construction order
+// is a valid topological order), which makes cycles impossible by
+// construction — the same property the host-program DAG lint relies on when
+// it orders buffer accesses (src/analysis/host_lint).
+//
+// A graph may be executed repeatedly (ThreadPool::run resets the runtime
+// dependency counters), but only one execution at a time. Bodies run at most
+// once per execution; after a body throws, the remaining bodies of the same
+// graph are skipped while the graph still drains, and the first exception is
+// rethrown to the submitter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace lifta {
+
+class ThreadPool;
+
+class TaskGraph {
+public:
+  using TaskId = std::uint32_t;
+
+  /// Appends a task and returns its id (ids are dense, in creation order).
+  TaskId add(std::function<void()> body);
+
+  /// Declares that `before` must finish before `after` may start.
+  /// Requires before < after (creation order is the topological order).
+  /// Duplicate edges are permitted and harmless.
+  void addEdge(TaskId before, TaskId after);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Number of edges added so far (diagnostics / tests).
+  std::size_t edgeCount() const noexcept { return edges_; }
+
+private:
+  friend class ThreadPool;
+
+  struct Node {
+    std::function<void()> body;
+    std::vector<TaskId> successors;
+    std::uint32_t numPredecessors = 0;
+    /// Runtime countdown, reset from numPredecessors at each execution.
+    std::atomic<std::uint32_t> pending{0};
+  };
+
+  // deque, not vector: Node holds an atomic and must never be moved.
+  std::deque<Node> nodes_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace lifta

@@ -134,6 +134,17 @@ std::size_t RirService::estimateMemoryBytes(const RirJobSpec& spec) {
   if (spec.tier == JobTier::Device) {
     bytes *= 2;  // host mirrors + simulated device buffers
   }
+  // Per-receiver recording traces live for the whole job and are always
+  // double (RirResult::traces); long multi-receiver jobs are dominated by
+  // this term, not the grid.
+  const std::size_t steps =
+      spec.steps > 0 ? static_cast<std::size_t>(spec.steps) : 0;
+  bytes += steps * spec.receivers.size() * sizeof(double);
+  if (!spec.wavDir.empty()) {
+    // WAV export materializes, one receiver at a time, a peak-normalized
+    // double copy of the trace plus the 16-bit PCM samples.
+    bytes += steps * (sizeof(double) + sizeof(std::int16_t));
+  }
   return bytes;
 }
 
@@ -384,18 +395,33 @@ void RirService::runReferenceJob(Job& job) {
       end = JobStatus::TimedOut;
       break;
     }
-    int chunk = std::min(config_.cancelCheckEverySteps, spec.steps - done);
+    // Cancellation takes effect at *task* granularity inside record() (the
+    // cancel flag is threaded into the stepper, which stops at the next
+    // step boundary while the in-flight graph drains), so chunking only
+    // serves deadline precision and checkpoint cadence. Without either, a
+    // single record() call covers the remaining steps and the task-graph
+    // pipeline runs unbroken.
+    int chunk = spec.steps - done;
+    if (spec.timeoutMs > 0.0) {
+      chunk = std::min(chunk, config_.cancelCheckEverySteps);
+    }
     if (spec.checkpointEverySteps > 0) {
       chunk = std::min(
           chunk, spec.checkpointEverySteps - done % spec.checkpointEverySteps);
     }
-    const auto part = sim.record(chunk, spec.receivers);
+    std::vector<std::vector<T>> part;
+    const int did = sim.record(chunk, spec.receivers, part,
+                               &job.cancelRequested);
     for (std::size_t r = 0; r < part.size(); ++r) {
       auto& trace = job.result.traces[r];
       trace.insert(trace.end(), part[r].begin(), part[r].end());
     }
-    done += chunk;
-    job.result.stepsDone += chunk;
+    done += did;
+    job.result.stepsDone += did;
+    if (did < chunk) {
+      end = JobStatus::Cancelled;
+      break;
+    }
     if (spec.checkpointEverySteps > 0 &&
         done % spec.checkpointEverySteps == 0) {
       saveCheckpoint(sim, spec.checkpointPath);

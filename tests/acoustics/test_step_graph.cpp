@@ -1,0 +1,317 @@
+// Task-graph stepper validation: bit-identity with the serial stepper
+// across every boundary model, room shape and thread count; scheduling
+// stress with randomized per-task delays (run under TSan in CI);
+// cancellation at a clean step boundary with bit-exact resume; profiler
+// attribution consistency between the serial and pipelined paths; and a
+// lintTaskAccesses replay proving the derived edge set orders every
+// buffer conflict in the plan.
+#include "acoustics/step_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "acoustics/simulation.hpp"
+#include "analysis/task_deps.hpp"
+
+namespace lifta::acoustics {
+namespace {
+
+Room makeRoom(RoomShape shape) {
+  // Small but non-trivial: several z-slabs at tileZ=3, a few thousand
+  // boundary points, and (for LShape) a non-convex interior.
+  return Room{shape, 20, 16, 14};
+}
+
+std::vector<Receiver> roomReceivers(const Room& room) {
+  // Both points avoid the LShape's removed upper-x/upper-y quadrant.
+  return {{room.nx / 4, room.ny / 4, room.nz / 2},
+          {room.nx / 2, room.ny / 4, room.nz / 2 - 1}};
+}
+
+struct CaseResult {
+  std::vector<double> curr, prev;
+  std::vector<double> g1, v1;
+  std::vector<std::vector<double>> traces;
+  int stepsTaken = 0;
+};
+
+Simulation<double>::Config makeConfig(RoomShape shape, BoundaryModel model,
+                                      int threads, StepperKind stepper) {
+  Simulation<double>::Config cfg;
+  cfg.room = makeRoom(shape);
+  cfg.model = model;
+  cfg.numMaterials = 3;
+  cfg.numBranches = model == BoundaryModel::FdMm ? 3 : 0;
+  cfg.params.threads = threads;
+  cfg.params.tileZ = 3;
+  cfg.params.stepper = stepper;
+  return cfg;
+}
+
+CaseResult snapshot(Simulation<double>& sim) {
+  CaseResult r;
+  const std::size_t cells = sim.grid().cells();
+  r.curr.assign(sim.curr(), sim.curr() + cells);
+  r.prev.assign(sim.prev(), sim.prev() + cells);
+  if (sim.fdStateLen() > 0) {
+    r.g1.assign(sim.g1(), sim.g1() + sim.fdStateLen());
+    r.v1.assign(sim.v1(), sim.v1() + sim.fdStateLen());
+  }
+  r.stepsTaken = sim.stepsTaken();
+  return r;
+}
+
+CaseResult runCase(RoomShape shape, BoundaryModel model, int threads,
+                   StepperKind stepper, int steps) {
+  auto cfg = makeConfig(shape, model, threads, stepper);
+  Simulation<double> sim(cfg);
+  sim.addImpulse(cfg.room.nx / 4, cfg.room.ny / 4, cfg.room.nz / 2, 1.0);
+  CaseResult r = snapshot(sim);  // overwritten below; sizes the vectors
+  r.traces = sim.record(steps, roomReceivers(cfg.room));
+  CaseResult after = snapshot(sim);
+  after.traces = std::move(r.traces);
+  return after;
+}
+
+void expectBitIdentical(const CaseResult& a, const CaseResult& b,
+                        const char* what) {
+  ASSERT_EQ(a.curr.size(), b.curr.size()) << what;
+  EXPECT_EQ(a.stepsTaken, b.stepsTaken) << what;
+  EXPECT_EQ(std::memcmp(a.curr.data(), b.curr.data(),
+                        a.curr.size() * sizeof(double)),
+            0)
+      << what << ": curr field differs";
+  EXPECT_EQ(std::memcmp(a.prev.data(), b.prev.data(),
+                        a.prev.size() * sizeof(double)),
+            0)
+      << what << ": prev field differs";
+  ASSERT_EQ(a.g1.size(), b.g1.size()) << what;
+  if (!a.g1.empty()) {
+    EXPECT_EQ(
+        std::memcmp(a.g1.data(), b.g1.data(), a.g1.size() * sizeof(double)),
+        0)
+        << what << ": FD-MM g1 state differs";
+    EXPECT_EQ(
+        std::memcmp(a.v1.data(), b.v1.data(), a.v1.size() * sizeof(double)),
+        0)
+        << what << ": FD-MM v1 state differs";
+  }
+  ASSERT_EQ(a.traces.size(), b.traces.size()) << what;
+  for (std::size_t r = 0; r < a.traces.size(); ++r) {
+    ASSERT_EQ(a.traces[r].size(), b.traces[r].size()) << what;
+    EXPECT_EQ(std::memcmp(a.traces[r].data(), b.traces[r].data(),
+                          a.traces[r].size() * sizeof(double)),
+              0)
+        << what << ": receiver " << r << " trace differs";
+  }
+}
+
+constexpr BoundaryModel kModels[] = {BoundaryModel::FusedFi,
+                                     BoundaryModel::FiSplit,
+                                     BoundaryModel::FiMm, BoundaryModel::FdMm};
+
+// The tentpole bit-identity matrix: 4 boundary models x {box, L-shape} x
+// {1, 3, 8} threads, task-graph stepper vs the fully serial path. An odd
+// step count lands the FD-MM velocity swap on the non-trivial parity.
+TEST(StepGraph, BitIdenticalToSerialAcrossModelsShapesThreads) {
+  const int steps = 25;
+  for (auto shape : {RoomShape::Box, RoomShape::LShape}) {
+    for (auto model : kModels) {
+      const auto serial =
+          runCase(shape, model, 1, StepperKind::TaskGraph, steps);
+      for (int threads : {1, 3, 8}) {
+        const auto graph =
+            runCase(shape, model, threads, StepperKind::TaskGraph, steps);
+        const std::string what = std::string(shapeName(shape)) + "/" +
+                                 modelName(model) + "/t" +
+                                 std::to_string(threads);
+        expectBitIdentical(serial, graph, what.c_str());
+      }
+      // The legacy barrier stepper must agree too (A/B comparability).
+      const auto barrier =
+          runCase(shape, model, 3, StepperKind::Barrier, steps);
+      expectBitIdentical(serial, barrier,
+                         (std::string(modelName(model)) + "/barrier").c_str());
+    }
+  }
+}
+
+// Randomized per-task delays shuffle the schedule (steals, pipeline depth,
+// completion order) without changing the result. CI runs this binary under
+// ThreadSanitizer, so the hook also widens race windows for TSan.
+TEST(StepGraph, RandomTaskDelaysPreserveBitIdentity) {
+  const int steps = 18;
+  const auto serial =
+      runCase(RoomShape::LShape, BoundaryModel::FdMm, 1,
+              StepperKind::TaskGraph, steps);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto cfg = makeConfig(RoomShape::LShape, BoundaryModel::FdMm, 8,
+                          StepperKind::TaskGraph);
+    Simulation<double> sim(cfg);
+    sim.addImpulse(cfg.room.nx / 4, cfg.room.ny / 4, cfg.room.nz / 2, 1.0);
+    std::atomic<std::uint32_t> salt{static_cast<std::uint32_t>(trial) * 7919};
+    sim.testSetTaskHook([&salt] {
+      // Cheap thread-safe jitter: 0..31 microseconds, different every call.
+      std::uint32_t s = salt.fetch_add(0x9e3779b9u);
+      s ^= s >> 16;
+      if ((s & 3u) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(s % 32));
+      } else if ((s & 3u) == 1) {
+        std::this_thread::yield();
+      }
+    });
+    CaseResult got;
+    got.traces = sim.record(steps, roomReceivers(cfg.room));
+    auto after = snapshot(sim);
+    after.traces = std::move(got.traces);
+    expectBitIdentical(serial, after,
+                       ("jitter trial " + std::to_string(trial)).c_str());
+  }
+}
+
+// Cancellation must land on a clean step boundary — in particular the
+// FD-MM branch state (updated in place) must correspond exactly to the
+// reported step count, so that resuming completes bit-identically.
+TEST(StepGraph, CancelLandsOnStepBoundaryAndResumesBitExact) {
+  const int steps = 60;
+  auto reference = makeConfig(RoomShape::Box, BoundaryModel::FdMm, 1,
+                              StepperKind::TaskGraph);
+  Simulation<double> simA(reference);
+  simA.addImpulse(reference.room.nx / 4, reference.room.ny / 4,
+                  reference.room.nz / 2, 1.0);
+  simA.run(steps);
+  const auto want = snapshot(simA);
+
+  auto cfg = makeConfig(RoomShape::Box, BoundaryModel::FdMm, 4,
+                        StepperKind::TaskGraph);
+  Simulation<double> simB(cfg);
+  simB.addImpulse(cfg.room.nx / 4, cfg.room.ny / 4, cfg.room.nz / 2, 1.0);
+  std::atomic<bool> cancel{false};
+  std::atomic<int> bodies{0};
+  simB.testSetTaskHook([&] {
+    if (bodies.fetch_add(1) == 40) cancel.store(true);
+  });
+  const int did = simB.run(steps, &cancel);
+  EXPECT_GT(did, 0);
+  EXPECT_LT(did, steps) << "cancellation did not take effect";
+  EXPECT_EQ(simB.stepsTaken(), did);
+  simB.testSetTaskHook({});
+  const int rest = simB.run(steps - did);
+  EXPECT_EQ(rest, steps - did);
+  const auto got = snapshot(simB);
+  expectBitIdentical(want, got, "cancel+resume");
+}
+
+// A pre-set cancel flag on a fresh run must complete zero-or-more full
+// steps and report them truthfully.
+TEST(StepGraph, PreCancelledRunReportsCompletedPrefix) {
+  auto cfg = makeConfig(RoomShape::Box, BoundaryModel::FiMm, 4,
+                        StepperKind::TaskGraph);
+  Simulation<double> sim(cfg);
+  sim.addImpulse(cfg.room.nx / 4, cfg.room.ny / 4, cfg.room.nz / 2, 1.0);
+  std::atomic<bool> cancel{true};
+  const int did = sim.run(50, &cancel);
+  EXPECT_GE(did, 0);
+  EXPECT_LT(did, 50);
+  EXPECT_EQ(sim.stepsTaken(), did);
+}
+
+// Fig. 2's boundary fraction must stay truthful when steps pipeline: the
+// per-task CPU attribution of the task-graph path has to agree with the
+// serial back-to-back wall attribution (same work, same arithmetic).
+TEST(StepGraph, ProfilerAttributionMatchesSerialWithinTolerance) {
+  const int steps = 60;
+  auto serialCfg = makeConfig(RoomShape::Box, BoundaryModel::FdMm, 1,
+                              StepperKind::TaskGraph);
+  Simulation<double> serial(serialCfg);
+  serial.addImpulse(serialCfg.room.nx / 4, serialCfg.room.ny / 4,
+                    serialCfg.room.nz / 2, 1.0);
+  serial.enableProfiling();
+  serial.run(steps);
+  ASSERT_EQ(serial.profile().steps(), static_cast<std::size_t>(steps));
+  const double serialFrac = serial.profile().boundaryFraction();
+
+  auto graphCfg = makeConfig(RoomShape::Box, BoundaryModel::FdMm, 4,
+                             StepperKind::TaskGraph);
+  Simulation<double> graph(graphCfg);
+  graph.addImpulse(graphCfg.room.nx / 4, graphCfg.room.ny / 4,
+                   graphCfg.room.nz / 2, 1.0);
+  graph.enableProfiling();
+  graph.run(steps);
+  ASSERT_EQ(graph.profile().steps(), static_cast<std::size_t>(steps));
+  const double graphFrac = graph.profile().boundaryFraction();
+
+  // Both are fractions of the same two phases' work; CPU-vs-wall and
+  // scheduling noise allow some drift but not a misattribution.
+  EXPECT_GT(graphFrac, 0.0);
+  EXPECT_LT(graphFrac, 1.0);
+  EXPECT_NEAR(graphFrac, serialFrac, 0.25);
+}
+
+// Replay every derived plan through the host-lint ordering check: the
+// emitted edges must order every overlapping read/write pair, for every
+// model, both volume paths, and a batch long enough to exercise the
+// 3-buffer rotation and the sampling WAR edges.
+TEST(StepGraph, DerivedEdgesPassAccessLint) {
+  const Room room = makeRoom(RoomShape::LShape);
+  const auto grid = voxelizeCached(room, 3);
+  const std::vector<std::size_t> recv = {
+      room.index(room.nx / 4, room.ny / 4, room.nz / 2)};
+  for (auto model : kModels) {
+    for (auto path : {VolumePath::Runs, VolumePath::Lookup}) {
+      const int branches = model == BoundaryModel::FdMm ? 3 : 0;
+      const auto spec =
+          StepGraphSpec::build(*grid, model, path, 3, branches, 7, recv);
+      ASSERT_GT(spec.tasks.size(), 0u);
+      for (const auto& e : spec.edges) EXPECT_LT(e.first, e.second);
+      const auto report = analysis::lintTaskAccesses(
+          modelName(model), spec.accesses, spec.edges,
+          static_cast<std::uint32_t>(spec.tasks.size()));
+      EXPECT_EQ(report.count(analysis::Severity::Error), 0u)
+          << modelName(model) << "/" << (path == VolumePath::Runs ? "runs" : "lookup")
+          << ":\n"
+          << report.toText();
+    }
+  }
+}
+
+// The plan must actually pipeline: some step-t+1 volume task must NOT be a
+// (transitive) successor of every step-t task — i.e. the edge count is far
+// below the all-pairs barrier equivalent. Cheap structural proxy: no task
+// of step t+1 depends on ALL boundary tasks of step t.
+TEST(StepGraph, PlanAllowsCrossStepOverlap) {
+  const Room room = makeRoom(RoomShape::Box);
+  const auto grid = voxelizeCached(room, 3);
+  const auto spec = StepGraphSpec::build(*grid, BoundaryModel::FiMm,
+                                         VolumePath::Runs, 3, 0, 2, {});
+  // Count tasks per (step, phase).
+  std::size_t step0Boundary = 0;
+  for (const auto& t : spec.tasks) {
+    if (t.step == 0 && t.phase == StepTaskSpec::Phase::Boundary)
+      ++step0Boundary;
+  }
+  ASSERT_GT(step0Boundary, 1u) << "need multiple boundary tasks to pipeline";
+  // Direct-predecessor count of each step-1 volume task must be less than
+  // the full step-0 task population (a barrier would imply all of them).
+  std::size_t step0Tasks = 0;
+  for (const auto& t : spec.tasks)
+    if (t.step == 0) ++step0Tasks;
+  for (std::uint32_t ti = 0; ti < spec.tasks.size(); ++ti) {
+    const auto& t = spec.tasks[ti];
+    if (t.step != 1 || t.phase != StepTaskSpec::Phase::Volume) continue;
+    std::size_t preds = 0;
+    for (const auto& e : spec.edges)
+      if (e.second == ti) ++preds;
+    EXPECT_LT(preds, step0Tasks)
+        << "a step-1 volume task waits on every step-0 task (barrier)";
+  }
+}
+
+}  // namespace
+}  // namespace lifta::acoustics

@@ -414,4 +414,26 @@ TEST(RirService, EstimateCoversActualFootprintShape) {
   EXPECT_TRUE(RirService::validate(fd).empty());
 }
 
+TEST(RirService, EstimateGrowsWithTracesAndWavBuffers) {
+  // Regression: the admission estimate used to omit the per-receiver trace
+  // storage (steps x receivers x scalar) entirely, so long many-receiver
+  // jobs were admitted as if their output were free.
+  auto small = smallSpec(BoundaryModel::FiMm, 100);
+  auto longer = small;
+  longer.steps = 100000;
+  const std::size_t base = RirService::estimateMemoryBytes(small);
+  const std::size_t withSteps = RirService::estimateMemoryBytes(longer);
+  // 99900 extra steps x 2 receivers x 8 bytes of trace.
+  EXPECT_GE(withSteps - base, std::size_t{99900} * 2 * 8);
+
+  auto moreRecv = longer;
+  for (int i = 0; i < 6; ++i) moreRecv.receivers.push_back({5, 5, 5});
+  const std::size_t withRecv = RirService::estimateMemoryBytes(moreRecv);
+  EXPECT_GE(withRecv - withSteps, std::size_t{100000} * 6 * 8);
+
+  auto withWav = moreRecv;
+  withWav.wavDir = "/tmp/does-not-matter";
+  EXPECT_GT(RirService::estimateMemoryBytes(withWav), withRecv);
+}
+
 }  // namespace
