@@ -42,13 +42,16 @@ Fraction measure(ocl::Context& ctx, const acoustics::Room& room, bool fd,
 // timers: every step records volume/boundary wall time inside
 // Simulation<T>::step.
 Fraction measureReference(const acoustics::Room& room, bool fd,
-                          const BenchOptions& opt) {
+                          const BenchOptions& opt,
+                          acoustics::BoundaryPath bpath =
+                              acoustics::BoundaryPath::Classes) {
   acoustics::Simulation<double>::Config cfg;
   cfg.room = room;
   cfg.model =
       fd ? acoustics::BoundaryModel::FdMm : acoustics::BoundaryModel::FiMm;
   cfg.numMaterials = 3;
   cfg.numBranches = fd ? opt.branches : 0;
+  cfg.params.boundaryPath = bpath;
   acoustics::Simulation<double> sim(cfg);
   sim.addImpulse(room.nx / 2, room.ny / 2, room.nz / 2, 1.0);
   for (int i = 0; i < opt.warmup; ++i) sim.step();
@@ -92,23 +95,38 @@ int main(int argc, char** argv) {
               fiPct / n, fdPct / n);
 
   // Reference tier, measured from StepProfiler instrumentation inside the
-  // stepper rather than ad-hoc enqueue timers.
-  Table refTable({"Shape", "Algorithm", "Size", "Volume ms", "Boundary ms",
-                  "% Boundary"});
+  // stepper rather than ad-hoc enqueue timers. Both boundary paths: the
+  // flat fused scatter (the paper's Fig. 2 shape) and the topology-class
+  // fission path that shrinks the boundary share.
+  Table refTable({"Shape", "Algorithm", "Size", "Boundary path", "Volume ms",
+                  "Boundary ms", "% Boundary"});
   for (auto shape : {acoustics::RoomShape::Box, acoustics::RoomShape::Dome}) {
     for (const auto& sized : benchRooms(shape, opt.full)) {
-      const auto fi = measureReference(sized.room, /*fd=*/false, opt);
-      const auto fd = measureReference(sized.room, /*fd=*/true, opt);
-      refTable.addRow({acoustics::shapeName(shape), "FI-MM", sized.label,
-                       fmtMs(fi.volumeMs), fmtMs(fi.boundaryMs),
-                       strformat("%.1f%%", fi.pct())});
-      refTable.addRow({acoustics::shapeName(shape), "FD-MM", sized.label,
-                       fmtMs(fd.volumeMs), fmtMs(fd.boundaryMs),
-                       strformat("%.1f%%", fd.pct())});
+      for (const bool fd : {false, true}) {
+        for (const auto bpath : {acoustics::BoundaryPath::Flat,
+                                 acoustics::BoundaryPath::Classes}) {
+          const auto f = measureReference(sized.room, fd, opt, bpath);
+          refTable.addRow(
+              {acoustics::shapeName(shape), fd ? "FD-MM" : "FI-MM",
+               sized.label,
+               bpath == acoustics::BoundaryPath::Flat ? "flat" : "classes",
+               fmtMs(f.volumeMs), fmtMs(f.boundaryMs),
+               strformat("%.1f%%", f.pct())});
+        }
+      }
     }
   }
   std::printf("reference tier (StepProfiler instrumentation):\n%s\n",
               refTable.render().c_str());
+
+  // Where the fissioned boundary time goes, class by class, on the largest
+  // box room: counts, median ms and share of the summed per-class time.
+  const auto classRooms = benchRooms(acoustics::RoomShape::Box, opt.full);
+  std::printf(
+      "FD-MM per-class boundary kernels (box %s, 1 thread):\n%s\n",
+      classRooms.front().label.c_str(),
+      renderClassBreakdown(fdmmClassBreakdown(classRooms.front().room, opt))
+          .c_str());
   std::printf(
       "paper shape: FD-MM boundary handling costs several times FI-MM's\n"
       "share, reaching ~20%% of the step (Fig. 2).  %s\n",

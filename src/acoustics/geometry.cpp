@@ -11,6 +11,20 @@
 
 namespace lifta::acoustics {
 
+const char* boundaryClassName(int cls) {
+  switch (cls) {
+    case 0: return "face-x";
+    case 1: return "face+x";
+    case 2: return "face-y";
+    case 3: return "face+y";
+    case 4: return "face-z";
+    case 5: return "face+z";
+    case kBoundaryClassEdge: return "edge";
+    case kBoundaryClassCorner: return "corner";
+  }
+  return "?";
+}
+
 const char* shapeName(RoomShape s) {
   switch (s) {
     case RoomShape::Box: return "box";
@@ -173,7 +187,113 @@ RoomGrid voxelize(const Room& room, int numMaterials) {
       }
     }
   }
+
+  // Pass 4: boundary topology classes. Runs after normalization, so "the
+  // neighbor is inside" is exactly nbrs[n] > 0: an inside cell adjacent to
+  // another inside cell has count >= 1, so count 0 can only mean outside.
+  auto& cp = g.boundaryClasses;
+  const std::size_t numB = g.boundaryIndices.size();
+  std::vector<std::int8_t> classOf(numB);
+  std::array<std::int32_t, kNumBoundaryClasses> classCount{};
+  for (std::size_t p = 0; p < numB; ++p) {
+    const std::int32_t nbr = g.boundaryNbr[p];
+    int cls;
+    if (nbr == 4) {
+      cls = kBoundaryClassEdge;
+    } else if (nbr <= 3) {
+      cls = kBoundaryClassCorner;
+    } else {
+      // Face: exactly one of the six axis neighbors is outside; the class
+      // is that direction's index (-x,+x,-y,+y,-z,+z).
+      const auto idx = static_cast<std::size_t>(g.boundaryIndices[p]);
+      const int x = static_cast<int>(idx % static_cast<std::size_t>(room.nx));
+      const std::size_t rest = idx / static_cast<std::size_t>(room.nx);
+      const int y = static_cast<int>(rest % static_cast<std::size_t>(room.ny));
+      const int z = static_cast<int>(rest / static_cast<std::size_t>(room.ny));
+      const bool in[6] = {
+          g.nbrs[room.index(x - 1, y, z)] > 0,
+          g.nbrs[room.index(x + 1, y, z)] > 0,
+          g.nbrs[room.index(x, y - 1, z)] > 0,
+          g.nbrs[room.index(x, y + 1, z)] > 0,
+          g.nbrs[room.index(x, y, z - 1)] > 0,
+          g.nbrs[room.index(x, y, z + 1)] > 0,
+      };
+      cls = 0;
+      while (cls < 6 && in[cls]) ++cls;
+      LIFTA_CHECK(cls < 6, "face boundary point has all six neighbors inside");
+    }
+    classOf[p] = static_cast<std::int8_t>(cls);
+    ++classCount[static_cast<std::size_t>(cls)];
+  }
+  cp.classBegin[0] = 0;
+  for (int c = 0; c < kNumBoundaryClasses; ++c) {
+    cp.classBegin[static_cast<std::size_t>(c) + 1] =
+        cp.classBegin[static_cast<std::size_t>(c)] +
+        classCount[static_cast<std::size_t>(c)];
+  }
+  cp.order.resize(numB);
+  cp.cellSorted.resize(numB);
+  cp.nbrSorted.resize(numB);
+  cp.matSorted.resize(numB);
+  std::array<std::int32_t, kNumBoundaryClasses> cursor{};
+  for (std::size_t p = 0; p < numB; ++p) {
+    // Stable scatter: the original scan is ascending by cell index, so each
+    // class's slots stay in ascending cell-index order.
+    const auto c = static_cast<std::size_t>(classOf[p]);
+    const auto slot =
+        static_cast<std::size_t>(cp.classBegin[c] + cursor[c]++);
+    cp.order[slot] = static_cast<std::int32_t>(p);
+    cp.cellSorted[slot] = g.boundaryIndices[p];
+    cp.nbrSorted[slot] = g.boundaryNbr[p];
+    cp.matSorted[slot] = g.material[p];
+  }
   return g;
+}
+
+std::vector<BoundaryLaunch> planBoundaryLaunches(const BoundaryClassPlan& plan,
+                                                 std::int32_t minPoints) {
+  LIFTA_CHECK(minPoints >= 0, "minPoints must be >= 0");
+  std::vector<BoundaryLaunch> launches;
+  for (int c = 0; c < kNumBoundaryClasses; ++c) {
+    const std::int32_t count = plan.classCount(c);
+    if (count == 0) continue;
+    if (!launches.empty() && launches.back().count() < minPoints) {
+      launches.back().end = plan.classBegin[static_cast<std::size_t>(c) + 1];
+      launches.back().classLast = c;
+    } else {
+      BoundaryLaunch l;
+      l.begin = plan.classBegin[static_cast<std::size_t>(c)];
+      l.end = plan.classBegin[static_cast<std::size_t>(c) + 1];
+      l.classFirst = l.classLast = c;
+      launches.push_back(l);
+    }
+  }
+  // A launch is branch-free when every point it covers shares one nbr.
+  const auto uniformNbr = [&](const BoundaryLaunch& l) {
+    std::int32_t nbr = plan.nbrSorted[static_cast<std::size_t>(l.begin)];
+    for (std::int32_t j = l.begin + 1; j < l.end; ++j) {
+      if (plan.nbrSorted[static_cast<std::size_t>(j)] != nbr) return -1;
+    }
+    return nbr;
+  };
+  for (auto& l : launches) l.fixedNbr = uniformNbr(l);
+  // A tiny trailing launch (typically the corner class) fuses backwards —
+  // but only when that does not de-specialize a branch-free predecessor:
+  // folding the 8 mixed-nbr corners into the uniform edge launch would turn
+  // the whole edge class back into the fused kernel, which costs far more
+  // than one extra tiny launch.
+  if (launches.size() >= 2 && launches.back().count() < minPoints) {
+    auto& pred = launches[launches.size() - 2];
+    const auto& tail = launches.back();
+    if (pred.fixedNbr < 0 || pred.fixedNbr == tail.fixedNbr) {
+      pred.end = tail.end;
+      pred.classLast = tail.classLast;
+      launches.pop_back();
+      auto& merged = launches.back();
+      merged.fixedNbr = uniformNbr(merged);
+    }
+  }
+  return launches;
 }
 
 namespace {

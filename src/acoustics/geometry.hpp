@@ -9,6 +9,7 @@
 // are exactly the nbrs / boundaryIndices / material arrays of Listings 2-4.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -71,6 +72,84 @@ struct InteriorRunPlan {
   std::size_t runs() const { return runBegin.size(); }
 };
 
+// ---- Boundary topology classes -------------------------------------------
+//
+// Boundary points are partitioned by local topology: the six *face* classes
+// (nbr == 5, one per missing axis neighbor), the *edge* class (nbr == 4) and
+// the *corner* class (nbr <= 3). Within a class the update coefficient
+// depends only on the class (faces and edges have a uniform nbr), so a
+// per-class kernel needs no per-point nbr load and no data-dependent
+// coefficient select — the boundary pass becomes a handful of branch-free
+// streaming loops over class-sorted point lists instead of one mixed
+// scatter over the original interleaved order.
+
+inline constexpr int kNumBoundaryClasses = 8;
+inline constexpr int kBoundaryClassEdge = 6;    // nbr == 4
+inline constexpr int kBoundaryClassCorner = 7;  // nbr <= 3 (mixed nbr)
+
+/// Class names, index-aligned: "face-x","face+x","face-y","face+y",
+/// "face-z","face+z","edge","corner".
+const char* boundaryClassName(int cls);
+
+/// The uniform neighbor count of a class, or -1 for the corner class whose
+/// points mix nbr values 0..3.
+inline int boundaryClassNbr(int cls) {
+  return cls < kBoundaryClassEdge ? 5
+         : cls == kBoundaryClassEdge ? 4
+                                     : -1;
+}
+
+/// Class-major sorted layout of the boundary set, built once at
+/// voxelization time. Slots [classBegin[c], classBegin[c+1]) hold class c's
+/// points; within a class, slots keep ascending cell-index order (the
+/// memory-continuity order of the original boundaryIndices scan).
+/// `order[slot]` is the point's position in the original boundary arrays —
+/// FD-MM branch state (g1/v1/v2) stays laid out over the full boundary set
+/// by original position, so class kernels index state through `order` and
+/// checkpoints stay layout-compatible.
+struct BoundaryClassPlan {
+  std::array<std::int32_t, kNumBoundaryClasses + 1> classBegin{};
+  std::vector<std::int32_t> order;       // slot -> original boundary position
+  std::vector<std::int32_t> cellSorted;  // flat cell index per slot
+  std::vector<std::int32_t> nbrSorted;   // neighbor count per slot
+  std::vector<std::int32_t> matSorted;   // material id per slot
+
+  std::int32_t classCount(int cls) const {
+    return classBegin[static_cast<std::size_t>(cls) + 1] -
+           classBegin[static_cast<std::size_t>(cls)];
+  }
+};
+
+/// One boundary kernel launch: a contiguous slot range covering whole
+/// classes [classFirst, classLast]. `fixedNbr` is the uniform neighbor
+/// count when every point in the range shares one (a branch-free kernel
+/// body applies), or -1 when the range mixes nbr values (the fused
+/// fallback: per-point nbrSorted load).
+struct BoundaryLaunch {
+  std::int32_t begin = 0;
+  std::int32_t end = 0;
+  std::int32_t fixedNbr = -1;
+  int classFirst = 0;
+  int classLast = 0;
+
+  std::int32_t count() const { return end - begin; }
+};
+
+/// Greedy launch planner with a fused fallback: every class with at least
+/// `minPoints` points gets its own launch; consecutive smaller classes are
+/// coalesced until the accumulated count reaches `minPoints`, and a tiny
+/// trailing launch is merged into its predecessor. Coalescing whole classes
+/// keeps every class inside exactly one launch. A launch that merges
+/// classes with differing nbr gets fixedNbr = -1. minPoints = 0 yields one
+/// launch per non-empty class (pure fission).
+std::vector<BoundaryLaunch> planBoundaryLaunches(const BoundaryClassPlan& plan,
+                                                 std::int32_t minPoints);
+
+/// Default fused-fallback threshold for device-tier launch planning: below
+/// this many points a separate kernel launch costs more than the uniform
+/// body saves.
+inline constexpr std::int32_t kBoundaryFissionMinPoints = 256;
+
 /// Precomputed boundary description.
 struct RoomGrid {
   int nx = 0, ny = 0, nz = 0;
@@ -79,6 +158,7 @@ struct RoomGrid {
   std::vector<std::int32_t> boundaryNbr;      // nbr per boundary point
   std::vector<std::int32_t> material;         // material id per boundary point
   InteriorRunPlan interiorRuns;               // nbr == 6 cells as maximal runs
+  BoundaryClassPlan boundaryClasses;          // class-major sorted layout
   std::size_t insideCells = 0;
 
   std::size_t cells() const {

@@ -277,6 +277,194 @@ void refFdMmBoundaryRange(const std::int32_t* boundaryIndices,
 }
 
 template <typename T>
+void refFiClassRange(const std::int32_t* cellSorted, int nbr, const T* prev,
+                     T* next, std::int64_t j0, std::int64_t j1, T l, T beta) {
+  // Listing 2, kernel 2, with the class-uniform nbr: the whole coefficient
+  // hoists (same left-to-right association as refFiBoundaryRange).
+  const T cf = T(0.5) * l * T(6 - nbr) * beta;
+  const T cfp1 = T(1.0) + cf;
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const std::int32_t idx = cellSorted[j];
+    next[idx] = (next[idx] + cf * prev[idx]) / cfp1;
+  }
+}
+
+template <typename T>
+void refFiMixedRange(const std::int32_t* cellSorted,
+                     const std::int32_t* nbrSorted, const T* prev, T* next,
+                     std::int64_t j0, std::int64_t j1, T l, T beta) {
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const std::int32_t idx = cellSorted[j];
+    const int nbr = nbrSorted[j];
+    const T cf = T(0.5) * l * T(6 - nbr) * beta;
+    next[idx] = (next[idx] + cf * prev[idx]) / (T(1.0) + cf);
+  }
+}
+
+template <typename T>
+void refFiMmClassRange(const std::int32_t* cellSorted,
+                       const std::int32_t* matSorted, int nbr, const T* beta,
+                       const T* prev, T* next, std::int64_t j0,
+                       std::int64_t j1, T l) {
+  // Listing 3 with the nbr-dependent prefix hoisted; cf = cfBase * beta[mi]
+  // keeps the association of T(0.5) * l * T(6-nbr) * beta[mi].
+  const T cfBase = T(0.5) * l * T(6 - nbr);
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const std::int32_t idx = cellSorted[j];
+    const int mi = matSorted[j];
+    const T cf = cfBase * beta[mi];
+    next[idx] = (next[idx] + cf * prev[idx]) / (T(1.0) + cf);
+  }
+}
+
+template <typename T>
+void refFiMmMixedRange(const std::int32_t* cellSorted,
+                       const std::int32_t* nbrSorted,
+                       const std::int32_t* matSorted, const T* beta,
+                       const T* prev, T* next, std::int64_t j0,
+                       std::int64_t j1, T l) {
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const std::int32_t idx = cellSorted[j];
+    const int nbr = nbrSorted[j];
+    const int mi = matSorted[j];
+    const T cf = T(0.5) * l * T(6 - nbr) * beta[mi];
+    next[idx] = (next[idx] + cf * prev[idx]) / (T(1.0) + cf);
+  }
+}
+
+namespace {
+
+// Shared FD-MM point body with a compile-time branch count: the two branch
+// loops fully unroll and the private state lands in registers. `cf1` and
+// `cf` arrive precomputed with the original association (see callers).
+template <typename T, int NB>
+inline void fdMmPoint(std::int32_t idx, std::int64_t i, int mi, T cf1, T cf,
+                      const T* BI, const T* D, const T* DI, const T* F,
+                      const T* prev, T* next, T* g1, T* v1, const T* v2,
+                      std::int64_t numBoundaryPoints) {
+  T _g1[NB];
+  T _v2[NB];
+  T _next = next[idx];
+  const T _prev = prev[idx];
+  for (int b = 0; b < NB; ++b) {
+    const std::int64_t ci =
+        static_cast<std::int64_t>(b) * numBoundaryPoints + i;
+    const std::int64_t mb = static_cast<std::int64_t>(mi) * NB + b;
+    _g1[b] = g1[ci];
+    _v2[b] = v2[ci];
+    _next -= cf1 * BI[mb] * (T(2.0) * D[mb] * _v2[b] - F[mb] * _g1[b]);
+  }
+  _next = (_next + cf * _prev) / (T(1.0) + cf);
+  next[idx] = _next;
+  for (int b = 0; b < NB; ++b) {
+    const std::int64_t ci =
+        static_cast<std::int64_t>(b) * numBoundaryPoints + i;
+    const std::int64_t mb = static_cast<std::int64_t>(mi) * NB + b;
+    const T _v1 =
+        BI[mb] * (_next - _prev + DI[mb] * _v2[b] - T(2.0) * F[mb] * _g1[b]);
+    g1[ci] = _g1[b] + T(0.5) * (_v1 + _v2[b]);
+    v1[ci] = _v1;
+  }
+}
+
+template <typename T, int NB>
+void fdMmClassRangeNB(const std::int32_t* cellSorted,
+                      const std::int32_t* matSorted,
+                      const std::int32_t* origPos, const T* beta, const T* BI,
+                      const T* D, const T* DI, const T* F, const T* prev,
+                      T* next, T* g1, T* v1, const T* v2,
+                      std::int64_t numBoundaryPoints, std::int64_t j0,
+                      std::int64_t j1, T cf1) {
+  // cf = T(0.5) * cf1 * beta[mi]; the nbr-only prefix hoists.
+  const T cfHalf = T(0.5) * cf1;
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const int mi = matSorted[j];
+    fdMmPoint<T, NB>(cellSorted[j], origPos[j], mi, cf1, cfHalf * beta[mi],
+                     BI, D, DI, F, prev, next, g1, v1, v2, numBoundaryPoints);
+  }
+}
+
+template <typename T, int NB>
+void fdMmMixedRangeNB(const std::int32_t* cellSorted,
+                      const std::int32_t* nbrSorted,
+                      const std::int32_t* matSorted,
+                      const std::int32_t* origPos, const T* beta, const T* BI,
+                      const T* D, const T* DI, const T* F, const T* prev,
+                      T* next, T* g1, T* v1, const T* v2,
+                      std::int64_t numBoundaryPoints, std::int64_t j0,
+                      std::int64_t j1, T l) {
+  for (std::int64_t j = j0; j < j1; ++j) {
+    const int mi = matSorted[j];
+    const T cf1 = l * T(6 - nbrSorted[j]);
+    const T cf = T(0.5) * cf1 * beta[mi];
+    fdMmPoint<T, NB>(cellSorted[j], origPos[j], mi, cf1, cf, BI, D, DI, F,
+                     prev, next, g1, v1, v2, numBoundaryPoints);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void refFdMmClassRange(const std::int32_t* cellSorted,
+                       const std::int32_t* matSorted,
+                       const std::int32_t* origPos, int nbr, const T* beta,
+                       const T* BI, const T* D, const T* DI, const T* F,
+                       int numBranches, const T* prev, T* next, T* g1, T* v1,
+                       const T* v2, std::int64_t numBoundaryPoints,
+                       std::int64_t j0, std::int64_t j1, T l) {
+  LIFTA_CHECK(numBranches >= 1 && numBranches <= kMaxBranches,
+              "FD-MM needs 1..kMaxBranches ODE branches");
+  const T cf1 = l * T(6 - nbr);
+  switch (numBranches) {
+#define LIFTA_FDMM_CASE(NB)                                                  \
+  case NB:                                                                   \
+    fdMmClassRangeNB<T, NB>(cellSorted, matSorted, origPos, beta, BI, D, DI, \
+                            F, prev, next, g1, v1, v2, numBoundaryPoints,    \
+                            j0, j1, cf1);                                    \
+    break
+    LIFTA_FDMM_CASE(1);
+    LIFTA_FDMM_CASE(2);
+    LIFTA_FDMM_CASE(3);
+    LIFTA_FDMM_CASE(4);
+    LIFTA_FDMM_CASE(5);
+    LIFTA_FDMM_CASE(6);
+    LIFTA_FDMM_CASE(7);
+    LIFTA_FDMM_CASE(8);
+#undef LIFTA_FDMM_CASE
+  }
+}
+
+template <typename T>
+void refFdMmMixedRange(const std::int32_t* cellSorted,
+                       const std::int32_t* nbrSorted,
+                       const std::int32_t* matSorted,
+                       const std::int32_t* origPos, const T* beta, const T* BI,
+                       const T* D, const T* DI, const T* F, int numBranches,
+                       const T* prev, T* next, T* g1, T* v1, const T* v2,
+                       std::int64_t numBoundaryPoints, std::int64_t j0,
+                       std::int64_t j1, T l) {
+  LIFTA_CHECK(numBranches >= 1 && numBranches <= kMaxBranches,
+              "FD-MM needs 1..kMaxBranches ODE branches");
+  switch (numBranches) {
+#define LIFTA_FDMM_CASE(NB)                                                  \
+  case NB:                                                                   \
+    fdMmMixedRangeNB<T, NB>(cellSorted, nbrSorted, matSorted, origPos, beta, \
+                            BI, D, DI, F, prev, next, g1, v1, v2,            \
+                            numBoundaryPoints, j0, j1, l);                   \
+    break
+    LIFTA_FDMM_CASE(1);
+    LIFTA_FDMM_CASE(2);
+    LIFTA_FDMM_CASE(3);
+    LIFTA_FDMM_CASE(4);
+    LIFTA_FDMM_CASE(5);
+    LIFTA_FDMM_CASE(6);
+    LIFTA_FDMM_CASE(7);
+    LIFTA_FDMM_CASE(8);
+#undef LIFTA_FDMM_CASE
+  }
+}
+
+template <typename T>
 void refFdMmBoundary(const std::int32_t* boundaryIndices,
                      const std::int32_t* nbrs, const std::int32_t* material,
                      const T* beta, const T* BI, const T* D, const T* DI,
@@ -344,7 +532,29 @@ void refFdMmBoundary(const std::int32_t* boundaryIndices,
   template void refFdMmBoundaryRange<T>(                                      \
       const std::int32_t*, const std::int32_t*, const std::int32_t*,          \
       const T*, const T*, const T*, const T*, const T*, int, const T*, T*,    \
-      T*, T*, const T*, std::int64_t, std::int64_t, std::int64_t, T)
+      T*, T*, const T*, std::int64_t, std::int64_t, std::int64_t, T);         \
+  template void refFiClassRange<T>(const std::int32_t*, int, const T*, T*,    \
+                                   std::int64_t, std::int64_t, T, T);         \
+  template void refFiMixedRange<T>(const std::int32_t*, const std::int32_t*,  \
+                                   const T*, T*, std::int64_t, std::int64_t,  \
+                                   T, T);                                     \
+  template void refFiMmClassRange<T>(const std::int32_t*,                     \
+                                     const std::int32_t*, int, const T*,      \
+                                     const T*, T*, std::int64_t,              \
+                                     std::int64_t, T);                        \
+  template void refFiMmMixedRange<T>(const std::int32_t*,                     \
+                                     const std::int32_t*,                     \
+                                     const std::int32_t*, const T*, const T*, \
+                                     T*, std::int64_t, std::int64_t, T);      \
+  template void refFdMmClassRange<T>(                                         \
+      const std::int32_t*, const std::int32_t*, const std::int32_t*, int,     \
+      const T*, const T*, const T*, const T*, const T*, int, const T*, T*,    \
+      T*, T*, const T*, std::int64_t, std::int64_t, std::int64_t, T);         \
+  template void refFdMmMixedRange<T>(                                         \
+      const std::int32_t*, const std::int32_t*, const std::int32_t*,          \
+      const std::int32_t*, const T*, const T*, const T*, const T*, const T*,  \
+      int, const T*, T*, T*, T*, const T*, std::int64_t, std::int64_t,        \
+      std::int64_t, T)
 
 LIFTA_INSTANTIATE(float);
 LIFTA_INSTANTIATE(double);

@@ -161,6 +161,71 @@ void refFdMmBoundaryRange(const std::int32_t* boundaryIndices,
                           T* v1, const T* v2, std::int64_t numBoundaryPoints,
                           std::int64_t i0, std::int64_t i1, T l);
 
+// ---- Boundary class kernels ----------------------------------------------
+//
+// Per-topology-class forms of the boundary kernels (Listings 2-4), operating
+// on slot ranges [j0, j1) of the BoundaryClassPlan's class-major sorted
+// layout. The *Class* forms take the class's uniform neighbor count as a
+// scalar, so the per-point nbrs gather and the data-dependent coefficient
+// select of the *Range forms disappear: the coefficient subexpressions that
+// depend only on nbr are hoisted out of the loop with their original
+// left-to-right association preserved, so every point's arithmetic is the
+// identical operations in the identical order — bit-identical to the
+// original-order kernels (points write disjoint cells and, for FD-MM,
+// disjoint branch-state rows, so reordering points never changes bits).
+// The *Mixed* forms are the fused fallback for launches coalescing classes
+// with differing nbr (per-slot nbrSorted load — still a streaming read of
+// the sorted layout rather than a full-grid nbrs gather).
+//
+// FD-MM branch state stays laid out over the FULL boundary set by original
+// position: class kernels index g1/v1/v2 through origPos (the plan's
+// order[] slice) with the unchanged numBoundaryPoints stride, keeping
+// checkpoints layout-compatible with the unsorted kernels.
+
+template <typename T>
+void refFiClassRange(const std::int32_t* cellSorted, int nbr, const T* prev,
+                     T* next, std::int64_t j0, std::int64_t j1, T l, T beta);
+
+template <typename T>
+void refFiMixedRange(const std::int32_t* cellSorted,
+                     const std::int32_t* nbrSorted, const T* prev, T* next,
+                     std::int64_t j0, std::int64_t j1, T l, T beta);
+
+template <typename T>
+void refFiMmClassRange(const std::int32_t* cellSorted,
+                       const std::int32_t* matSorted, int nbr, const T* beta,
+                       const T* prev, T* next, std::int64_t j0,
+                       std::int64_t j1, T l);
+
+template <typename T>
+void refFiMmMixedRange(const std::int32_t* cellSorted,
+                       const std::int32_t* nbrSorted,
+                       const std::int32_t* matSorted, const T* beta,
+                       const T* prev, T* next, std::int64_t j0,
+                       std::int64_t j1, T l);
+
+/// FD-MM class kernel; the branch loops are unrolled internally for each
+/// numBranches value (same operations in the same order as the runtime
+/// loop, so unrolling preserves bits).
+template <typename T>
+void refFdMmClassRange(const std::int32_t* cellSorted,
+                       const std::int32_t* matSorted,
+                       const std::int32_t* origPos, int nbr, const T* beta,
+                       const T* BI, const T* D, const T* DI, const T* F,
+                       int numBranches, const T* prev, T* next, T* g1, T* v1,
+                       const T* v2, std::int64_t numBoundaryPoints,
+                       std::int64_t j0, std::int64_t j1, T l);
+
+template <typename T>
+void refFdMmMixedRange(const std::int32_t* cellSorted,
+                       const std::int32_t* nbrSorted,
+                       const std::int32_t* matSorted,
+                       const std::int32_t* origPos, const T* beta, const T* BI,
+                       const T* D, const T* DI, const T* F, int numBranches,
+                       const T* prev, T* next, T* g1, T* v1, const T* v2,
+                       std::int64_t numBoundaryPoints, std::int64_t j0,
+                       std::int64_t j1, T l);
+
 // The FD kernels use a small fixed upper bound for the per-point private
 // branch state, as the CUDA original does with its MB compile-time constant.
 inline constexpr int kMaxBranches = 8;

@@ -21,6 +21,17 @@ enum class StepperKind {
   Barrier,
 };
 
+/// How the reference stepper executes the boundary phase.
+enum class BoundaryPath {
+  /// Topology-class fission: per-class branch-free kernels over the
+  /// class-major sorted layout (BoundaryClassPlan), with the fused mixed
+  /// fallback for launches coalescing classes of differing nbr.
+  /// Bit-identical to Flat on every grid.
+  Classes,
+  /// The listings' single mixed kernel over the original boundary order.
+  Flat,
+};
+
 /// How the reference stepper executes the volume phase.
 enum class VolumePath {
   /// Interior-run plan: branch-free SIMD-friendly loops over the maximal
@@ -50,6 +61,13 @@ struct SimParams {
   int tileZ = 4;
   /// Volume-phase execution plan; Runs and Lookup are bit-identical.
   VolumePath volumePath = VolumePath::Runs;
+  /// Boundary-phase execution plan; Classes and Flat are bit-identical.
+  BoundaryPath boundaryPath = BoundaryPath::Classes;
+  /// Fused-fallback threshold for Classes-path launch planning: boundary
+  /// classes smaller than this coalesce into a shared (possibly mixed-nbr)
+  /// launch. 0 = one launch per non-empty class (pure fission). Matches
+  /// geometry's kBoundaryFissionMinPoints default.
+  int boundaryFissionMinPoints = 256;
   /// Parallel stepping schedule; both kinds are bit-identical to serial.
   StepperKind stepper = StepperKind::TaskGraph;
 

@@ -47,6 +47,16 @@ Simulation<T>::Simulation(Config config) : config_(std::move(config)) {
     pool_ = ownedPool_.get();
   }  // threads == 1: pool_ stays null, the stepper runs fully serial.
 
+  LIFTA_CHECK(config_.params.boundaryFissionMinPoints >= 0,
+              "params.boundaryFissionMinPoints must be >= 0");
+  if (config_.params.boundaryPath == BoundaryPath::Classes &&
+      config_.model != BoundaryModel::FusedFi &&
+      grid_->boundaryPoints() > 0) {
+    launches_ = planBoundaryLaunches(
+        grid_->boundaryClasses,
+        static_cast<std::int32_t>(config_.params.boundaryFissionMinPoints));
+  }
+
   materials_ = config_.materials.empty()
                    ? defaultMaterials(config_.numMaterials, config_.numBranches)
                    : config_.materials;
@@ -188,7 +198,71 @@ void Simulation<T>::stepVolume(T l, T l2) {
 }
 
 template <typename T>
+void Simulation<T>::runBoundarySlots(std::int64_t j0, std::int64_t j1,
+                                     const T* prev, T* next, T* v1,
+                                     const T* v2, T l) {
+  const auto& cp = grid_->boundaryClasses;
+  for (const auto& ln : launches_) {
+    const std::int64_t b = std::max<std::int64_t>(j0, ln.begin);
+    const std::int64_t e = std::min<std::int64_t>(j1, ln.end);
+    if (b >= e) continue;
+    switch (config_.model) {
+      case BoundaryModel::FusedFi:
+        break;  // never planned
+
+      case BoundaryModel::FiSplit:
+        if (ln.fixedNbr >= 0) {
+          refFiClassRange(cp.cellSorted.data(), ln.fixedNbr, prev, next, b, e,
+                          l, beta_[0]);
+        } else {
+          refFiMixedRange(cp.cellSorted.data(), cp.nbrSorted.data(), prev,
+                          next, b, e, l, beta_[0]);
+        }
+        break;
+
+      case BoundaryModel::FiMm:
+        if (ln.fixedNbr >= 0) {
+          refFiMmClassRange(cp.cellSorted.data(), cp.matSorted.data(),
+                            ln.fixedNbr, beta_.data(), prev, next, b, e, l);
+        } else {
+          refFiMmMixedRange(cp.cellSorted.data(), cp.nbrSorted.data(),
+                            cp.matSorted.data(), beta_.data(), prev, next, b,
+                            e, l);
+        }
+        break;
+
+      case BoundaryModel::FdMm: {
+        const auto numB = static_cast<std::int64_t>(grid_->boundaryPoints());
+        if (ln.fixedNbr >= 0) {
+          refFdMmClassRange(cp.cellSorted.data(), cp.matSorted.data(),
+                            cp.order.data(), ln.fixedNbr, beta_.data(),
+                            bi_.data(), d_.data(), di_.data(), f_.data(),
+                            config_.numBranches, prev, next, g1_.data(), v1,
+                            v2, numB, b, e, l);
+        } else {
+          refFdMmMixedRange(cp.cellSorted.data(), cp.nbrSorted.data(),
+                            cp.matSorted.data(), cp.order.data(), beta_.data(),
+                            bi_.data(), d_.data(), di_.data(), f_.data(),
+                            config_.numBranches, prev, next, g1_.data(), v1,
+                            v2, numB, b, e, l);
+        }
+        break;
+      }
+    }
+  }
+}
+
+template <typename T>
 void Simulation<T>::stepBoundary(T l, std::int64_t numB) {
+  if (!launches_.empty()) {
+    // Classes path: partition the slot space of the class-major sorted
+    // layout instead of the original boundary order.
+    forEachBoundaryRange([&](std::int64_t j0, std::int64_t j1) {
+      runBoundarySlots(j0, j1, prev_, next_, v1_, v2_, l);
+    });
+    if (config_.model == BoundaryModel::FdMm) std::swap(v1_, v2_);
+    return;
+  }
   switch (config_.model) {
     case BoundaryModel::FusedFi:
       break;  // boundary handling is fused into the volume phase
@@ -358,6 +432,28 @@ void Simulation<T>::runGraphTask(std::size_t ti) {
       break;
     }
     case StepTaskSpec::Phase::Boundary: {
+      if (!launches_.empty()) {
+        // Classes path: dispatch this slab's boundary points through the
+        // per-class kernels via the spec's slab-class slot table. Same
+        // point set as the Flat ranges [b0, b1) — the table rows partition
+        // it by class — so the declared access hull still covers it.
+        T* v1 = nullptr;
+        const T* v2 = nullptr;
+        if (config_.model == BoundaryModel::FdMm) {
+          v1 = batchVel_[StepGraphSpec::velocityWritePhys(k)];
+          v2 = batchVel_[1 - StepGraphSpec::velocityWritePhys(k)];
+        }
+        const auto& S = graphSpec_->slabClassSlot;
+        const std::size_t row =
+            static_cast<std::size_t>(t.slab) * kNumBoundaryClasses;
+        for (int c = 0; c < kNumBoundaryClasses; ++c) {
+          runBoundarySlots(S[row + static_cast<std::size_t>(c)],
+                           S[row + kNumBoundaryClasses +
+                             static_cast<std::size_t>(c)],
+                           prev, next, v1, v2, l);
+        }
+        break;
+      }
       switch (config_.model) {
         case BoundaryModel::FusedFi:
           break;  // never planned

@@ -158,6 +158,14 @@ private:
   void forEachRunRange(const std::function<void(std::size_t, std::size_t)>& fn);
   void stepVolume(T l, T l2);
   void stepBoundary(T l, std::int64_t numB);
+  /// Classes-path boundary dispatch: executes slot range [j0, j1) of the
+  /// class-major sorted layout by walking the overlapping launches and
+  /// calling the per-class (uniform-nbr) or mixed-fallback kernel of the
+  /// active model. Disjoint slot ranges write disjoint cells (cellSorted is
+  /// a permutation of the boundary set), so any partition is race-free and
+  /// bit-identical to the Flat path.
+  void runBoundarySlots(std::int64_t j0, std::int64_t j1, const T* prev,
+                        T* next, T* v1, const T* v2, T l);
   /// Legacy barriered step (two parallelForChunked dispatches + rotation).
   void stepBarrier();
 
@@ -183,6 +191,10 @@ private:
   ThreadPool* pool_ = nullptr;  // null when serial (threads == 1)
   std::unique_ptr<ThreadPool> ownedPool_;
   StepProfiler profiler_;
+  /// Classes-path boundary launch plan (empty on the Flat path or for the
+  /// fused model), derived from the grid's BoundaryClassPlan at
+  /// construction via planBoundaryLaunches.
+  std::vector<BoundaryLaunch> launches_;
   std::vector<Material> materials_;
   std::vector<T> beta_;
   FdCoeffs fd_;

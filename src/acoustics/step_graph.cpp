@@ -86,6 +86,33 @@ StepGraphSpec StepGraphSpec::build(const RoomGrid& grid, BoundaryModel model,
 
   const bool hasBoundaryPhase = model != BoundaryModel::FusedFi;
 
+  // Per-slab class-slot table (see the header comment): within a class the
+  // sorted layout is ascending by cell index, so the slots of a slab form a
+  // contiguous subrange found by binary search on the slab's first plane.
+  const auto& cp = grid.boundaryClasses;
+  spec.slabClassSlot.resize(
+      static_cast<std::size_t>(spec.slabs + 1) * kNumBoundaryClasses);
+  for (int s = 0; s <= spec.slabs; ++s) {
+    const std::int64_t zPlane =
+        std::min<std::int64_t>(nz, static_cast<std::int64_t>(s) * tileZ) *
+        plane;
+    for (int c = 0; c < kNumBoundaryClasses; ++c) {
+      const auto segBegin =
+          cp.cellSorted.begin() + cp.classBegin[static_cast<std::size_t>(c)];
+      const auto segEnd =
+          cp.cellSorted.begin() +
+          cp.classBegin[static_cast<std::size_t>(c) + 1];
+      spec.slabClassSlot[static_cast<std::size_t>(s) * kNumBoundaryClasses +
+                         static_cast<std::size_t>(c)] =
+          static_cast<std::int32_t>(
+              std::lower_bound(segBegin, segEnd, zPlane,
+                               [](std::int32_t v, std::int64_t bound) {
+                                 return static_cast<std::int64_t>(v) < bound;
+                               }) -
+              cp.cellSorted.begin());
+    }
+  }
+
   for (int k = 0; k < steps; ++k) {
     const auto prevBuf = pressure[pressurePhys(0, k)];
     const auto currBuf = pressure[pressurePhys(1, k)];

@@ -59,6 +59,17 @@ struct StepGraphSpec {
   std::vector<analysis::TaskAccessRecord> accesses;
   std::vector<std::string> bufferNames;
 
+  /// Per-slab class-slot table for the Classes boundary path: entry
+  /// [s * kNumBoundaryClasses + c] is the first slot of class c whose cell
+  /// lies at or above slab s's first plane, and row `slabs` holds the class
+  /// ends, so slab s's class-c slots are rows s..s+1. Boundary tasks stay
+  /// one-per-slab — splitting them per class would gain nothing because the
+  /// classes of one slab interleave in cell space, so their conservative
+  /// interval hulls overlap and the derived edges would serialize the split
+  /// tasks anyway — but the task *body* dispatches per-class branch-free
+  /// kernels over these ranges. Graph shape and edges are path-independent.
+  std::vector<std::int32_t> slabClassSlot;
+
   /// Physical pressure-buffer index holding `role` (0 prev, 1 curr, 2 next)
   /// at batch-relative step k, counting from the batch-start assignment
   /// phys0=prev, phys1=curr, phys2=next.

@@ -401,6 +401,27 @@ struct RaceChecker {
         return;  // |delta| < m <= |atom - atom'|
       }
     }
+    // Stride-window rule (the fissioned FD-MM state pattern,
+    // index = atom + branch*numB with atom = origPos[g] in [0, numB-1]):
+    // when every term of delta is divisible by some m and the contract
+    // bounds the loaded values to a window narrower than m, a collision
+    // atom + delta == atom' would force atom ≡ atom' (mod m) with
+    // |atom - atom'| < m, i.e. atom == atom' — impossible across distinct
+    // work items once injectivity separates their loads.
+    if (c->valueLo && c->valueHi) {
+      const Expr span = *c->valueHi - *c->valueLo;
+      std::set<std::string> tried;
+      for (const auto& v : delta.freeVars()) {
+        auto af = affineIn(delta, v);
+        if (!af) continue;
+        const Expr m = af->first;
+        if (m == Expr(0) || !tried.insert(m.toString()).second) continue;
+        if (divisibleBy(delta, m) &&
+            yes(prover.proveGE0(m - Expr(1) - span))) {
+          return;
+        }
+      }
+    }
     unknown(a1, a2,
             "offsets around the loaded scatter index may overlap across "
             "work items",

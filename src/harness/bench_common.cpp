@@ -1,9 +1,16 @@
 #include "harness/bench_common.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
+#include "acoustics/materials.hpp"
+#include "acoustics/reference_kernels.hpp"
+#include "acoustics/sim_params.hpp"
 #include "codegen/kernel_codegen.hpp"
 #include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "harness/table.hpp"
 
 namespace lifta::harness {
 
@@ -76,6 +83,87 @@ void printBenchBanner(const std::string& title, const BenchOptions& opt) {
 void printStepProfile(const std::string& label,
                       const acoustics::StepProfiler& profiler) {
   std::printf("%s", profiler.report(label).c_str());
+}
+
+std::vector<BoundaryClassTiming> fdmmClassBreakdown(
+    const acoustics::Room& room, const BenchOptions& opt) {
+  const auto grid = acoustics::voxelizeCached(room, 3);
+  const auto& cp = grid->boundaryClasses;
+  const auto mats = acoustics::defaultMaterials(3, opt.branches);
+  const auto beta = acoustics::betaTable(mats);
+  const auto fd = acoustics::deriveFdCoeffs(mats, opt.branches,
+                                            acoustics::SimParams{}.Ts());
+  const std::size_t cells = grid->cells();
+  const std::size_t numB = grid->boundaryPoints();
+  const std::size_t stateLen = static_cast<std::size_t>(opt.branches) * numB;
+  std::vector<double> prev(cells), next(cells), g1(stateLen), v1(stateLen),
+      v2(stateLen);
+  // Small nonzero values: the update contracts (divides by 1 + cf), so
+  // repeated in-place application stays bounded and never denormal.
+  for (std::size_t i = 0; i < cells; ++i) {
+    prev[i] = 1e-3 * static_cast<double>(i % 7 + 1);
+    next[i] = 1e-3 * static_cast<double>(i % 5 + 1);
+  }
+  for (std::size_t i = 0; i < stateLen; ++i) {
+    g1[i] = 1e-4 * static_cast<double>(i % 3 + 1);
+    v1[i] = 0.0;
+    v2[i] = 1e-4 * static_cast<double>(i % 4 + 1);
+  }
+  const double l = acoustics::SimParams{}.l();
+
+  std::vector<BoundaryClassTiming> out;
+  for (int c = 0; c < acoustics::kNumBoundaryClasses; ++c) {
+    const std::int32_t count = cp.classCount(c);
+    if (count == 0) continue;
+    const std::int64_t j0 = cp.classBegin[static_cast<std::size_t>(c)];
+    const std::int64_t j1 = cp.classBegin[static_cast<std::size_t>(c) + 1];
+    const int nbr = acoustics::boundaryClassNbr(c);
+    // Amortize timer resolution for tiny classes (the 8 corners).
+    const int repeats = std::max(1, 4096 / std::max(1, count));
+    std::vector<double> samples;
+    for (int it = 0; it < std::max(3, opt.iters); ++it) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < repeats; ++r) {
+        if (nbr >= 0) {
+          acoustics::refFdMmClassRange(
+              cp.cellSorted.data(), cp.matSorted.data(), cp.order.data(), nbr,
+              beta.data(), fd.BI.data(), fd.D.data(), fd.DI.data(),
+              fd.F.data(), opt.branches, prev.data(), next.data(), g1.data(),
+              v1.data(), v2.data(), static_cast<std::int64_t>(numB), j0, j1,
+              l);
+        } else {
+          acoustics::refFdMmMixedRange(
+              cp.cellSorted.data(), cp.nbrSorted.data(), cp.matSorted.data(),
+              cp.order.data(), beta.data(), fd.BI.data(), fd.D.data(),
+              fd.DI.data(), fd.F.data(), opt.branches, prev.data(),
+              next.data(), g1.data(), v1.data(), v2.data(),
+              static_cast<std::int64_t>(numB), j0, j1, l);
+        }
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count() /
+          repeats);
+    }
+    out.push_back({c, count, summarize(samples).median});
+  }
+  return out;
+}
+
+std::string renderClassBreakdown(
+    const std::vector<BoundaryClassTiming>& rows) {
+  double totalMs = 0.0;
+  for (const auto& r : rows) totalMs += r.ms;
+  Table table({"Class", "nbr", "Points", "ms", "Share"});
+  for (const auto& r : rows) {
+    const int nbr = acoustics::boundaryClassNbr(r.cls);
+    table.addRow(
+        {acoustics::boundaryClassName(r.cls),
+         nbr >= 0 ? std::to_string(nbr) : "0-3", std::to_string(r.count),
+         strformat("%.4f", r.ms),
+         strformat("%.1f%%", totalMs > 0.0 ? 100.0 * r.ms / totalMs : 0.0)});
+  }
+  return table.render();
 }
 
 const char* parityVerdict(double liftOverOpenclRatio) {

@@ -69,4 +69,24 @@ const char* parityVerdict(double liftOverOpenclRatio);
 void printStepProfile(const std::string& label,
                       const acoustics::StepProfiler& profiler);
 
+/// One row of the FD-MM per-class boundary breakdown: the topology class,
+/// its point count and the median wall time of its branch-free class
+/// kernel (mixed fallback for the corner class) run over its slot range of
+/// the class-major sorted layout. Empty classes are omitted.
+struct BoundaryClassTiming {
+  int cls = 0;
+  std::int32_t count = 0;
+  double ms = 0.0;
+};
+
+/// Times the FD-MM boundary phase class by class (serial, opt.iters
+/// samples, tiny classes amortized over repeats) for the room's boundary
+/// topology. Shares are against the summed per-class time.
+std::vector<BoundaryClassTiming> fdmmClassBreakdown(
+    const acoustics::Room& room, const BenchOptions& opt);
+
+/// Renders the fdmmClassBreakdown rows as a table (class, nbr, points, ms,
+/// share).
+std::string renderClassBreakdown(const std::vector<BoundaryClassTiming>& rows);
+
 }  // namespace lifta::harness

@@ -1,6 +1,8 @@
 #include "lift_acoustics/device_simulation.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 
 #include "common/error.hpp"
 #include "harness/autotune.hpp"
@@ -13,8 +15,16 @@ using acoustics::RoomGrid;
 struct DeviceSimulation::Impl {
   host::HostProgram prog;
   host::HostPtr prev1G, prev2G, nextG, v1G, v2G;
-  host::HostPtr volNode, bndNode;  // the two kernel launches (for tuning)
+  host::HostPtr volNode;  // the volume launch (for tuning)
+  /// One node per boundary kernel launch: the fused kernel alone, or one
+  /// per entry of `launches` under the fission schedule. Their RunStats
+  /// kernel indices are 1..bndNodes.size().
+  std::vector<host::HostPtr> bndNodes;
+  host::HostPtr bndNode;  // last boundary node (program tail)
   std::shared_ptr<host::CompiledHostProgram> compiled;
+
+  /// The boundary launch plan in effect; empty means the fused schedule.
+  std::vector<acoustics::BoundaryLaunch> launches;
 
   // Host staging (double master copies; float shadows when needed).
   std::vector<double> curr, prev, next;
@@ -22,6 +32,9 @@ struct DeviceSimulation::Impl {
   std::vector<double> beta, bi, d, di, f, g1, v1, v2;
   std::vector<float> betaF, biF, dF, diF, fF, g1F, v1F, v2F;
   std::vector<std::int32_t> nbrs, bidx, mat;
+  /// Per-launch slices of the class plan's sorted layout (fission only).
+  std::vector<std::vector<std::int32_t>> launchCell, launchMat, launchNbr,
+      launchPos;
   std::vector<std::int32_t> segStart, segKind;  // run-table variant only
   std::vector<double> nextZero;                 // initial zero "next" upload
   std::vector<float> nextZeroF;
@@ -49,7 +62,7 @@ constexpr int kSegmentWidth = 64;
 }  // namespace
 
 DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
-    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {
+    : config_(std::move(config)) {
   LIFTA_CHECK(config_.params.stable(), "Courant number exceeds the limit");
   LIFTA_CHECK(!(config_.useStencil3DVolume && config_.useRunTableVolume),
               "pick one volume kernel variant");
@@ -64,7 +77,60 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
       mats, config_.model == DeviceModel::FdMm ? config_.numBranches : 0,
       config_.params.Ts());
 
-  Impl& im = *impl_;
+  // Resolve the boundary schedule. A plan of one mixed launch is the fused
+  // kernel modulo point order — fission buys nothing there — so Auto only
+  // fissions when at least one launch is specialized; with autotuning on it
+  // measures both variants instead of guessing.
+  auto launches = acoustics::planBoundaryLaunches(
+      grid_->boundaryClasses,
+      static_cast<std::int32_t>(
+          std::max(0, config_.params.boundaryFissionMinPoints)));
+  const bool degenerate =
+      launches.size() == 1 && launches.front().fixedNbr < 0;
+  bool fission = false;
+  bool measuredPick = false;
+  switch (config_.boundarySchedule) {
+    case BoundarySchedule::Fused:
+      break;
+    case BoundarySchedule::Fission:
+      fission = !launches.empty();
+      break;
+    case BoundarySchedule::Auto:
+      if (launches.empty() || degenerate) {
+        fission = false;
+      } else if (config_.autoTuneLocalSize) {
+        measuredPick = true;
+      } else {
+        fission = true;
+      }
+      break;
+  }
+
+  if (measuredPick) {
+    impl_ = buildProgram(ctx, mats, fd, launches);
+    autotuneLocalSizes();
+    const double fisMs = measureBoundaryMs();
+    auto fisImpl = std::move(impl_);
+    impl_ = buildProgram(ctx, mats, fd, {});
+    autotuneLocalSizes();
+    const double fusMs = measureBoundaryMs();
+    if (fisMs <= fusMs) impl_ = std::move(fisImpl);
+    return;
+  }
+  impl_ = buildProgram(
+      ctx, mats, fd,
+      fission ? std::move(launches)
+              : std::vector<acoustics::BoundaryLaunch>{});
+  if (config_.autoTuneLocalSize) autotuneLocalSizes();
+}
+
+std::unique_ptr<DeviceSimulation::Impl> DeviceSimulation::buildProgram(
+    ocl::Context& ctx, const std::vector<acoustics::Material>& mats,
+    const acoustics::FdCoeffs& fd,
+    std::vector<acoustics::BoundaryLaunch> launches) {
+  auto implPtr = std::make_unique<Impl>();
+  Impl& im = *implPtr;
+  im.launches = std::move(launches);
   const std::size_t cells = grid_->cells();
   im.curr.assign(cells, 0.0);
   im.prev.assign(cells, 0.0);
@@ -97,8 +163,13 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
   im.prev1G = prog.toGPU(prog.hostParam("prev1_h"));
   im.prev2G = prog.toGPU(prog.hostParam("prev2_h"));
   auto nbrsG = prog.toGPU(prog.hostParam("nbrs_h"));
-  auto boundG = prog.toGPU(prog.hostParam("boundaries_h"));
-  auto matG = prog.toGPU(prog.hostParam("material_h"));
+  // The flat boundary lists only ride along under the fused schedule; the
+  // fission schedule uploads per-launch slices of the sorted layout instead.
+  host::HostPtr boundG, matG;
+  if (im.launches.empty()) {
+    boundG = prog.toGPU(prog.hostParam("boundaries_h"));
+    matG = prog.toGPU(prog.hostParam("material_h"));
+  }
   auto betaG = prog.toGPU(prog.hostParam("beta_h"));
 
   host::KernelSpec volume;
@@ -145,31 +216,118 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     volNode = im.nextG;
   }
 
-  host::KernelSpec boundary;
-  if (config_.model == DeviceModel::FiMm) {
-    boundary.def = liftFiMmKernel(config_.precision);
-    boundary.args = {{boundG, ""},       {matG, ""},        {nbrsG, ""},
-                     {betaG, ""},        {volNode, ""},     {im.prev2G, ""},
-                     {nullptr, "cells"}, {nullptr, "numB"}, {nullptr, "M"},
-                     {nullptr, "l"}};
-  } else {
-    auto biG = prog.toGPU(prog.hostParam("bi_h"));
-    auto dG = prog.toGPU(prog.hostParam("d_h"));
-    auto diG = prog.toGPU(prog.hostParam("di_h"));
-    auto fG = prog.toGPU(prog.hostParam("f_h"));
+  const bool fdmm = config_.model == DeviceModel::FdMm;
+  host::HostPtr biG, dG, diG, fG, g1G;
+  if (fdmm) {
+    biG = prog.toGPU(prog.hostParam("bi_h"));
+    dG = prog.toGPU(prog.hostParam("d_h"));
+    diG = prog.toGPU(prog.hostParam("di_h"));
+    fG = prog.toGPU(prog.hostParam("f_h"));
     im.v1G = prog.toGPU(prog.hostParam("v1_h"));
     im.v2G = prog.toGPU(prog.hostParam("v2_h"));
-    auto g1G = prog.toGPU(prog.hostParam("g1_h"));
-    boundary.def = liftFdMmKernel(config_.precision, config_.numBranches);
-    boundary.args = {{boundG, ""},   {matG, ""},     {nbrsG, ""},
-                     {betaG, ""},    {biG, ""},      {dG, ""},
-                     {diG, ""},      {fG, ""},       {volNode, ""},
-                     {im.prev2G, ""}, {g1G, ""},     {im.v1G, ""},
-                     {im.v2G, ""},   {nullptr, "cells"}, {nullptr, "numB"},
-                     {nullptr, "M"}, {nullptr, "l"}};
+    g1G = prog.toGPU(prog.hostParam("g1_h"));
   }
-  boundary.launchCountScalar = "numB";
-  auto updated = prog.writeTo(volNode, prog.kernelCall(boundary));
+
+  host::HostPtr updated;
+  if (im.launches.empty()) {
+    // Fused schedule: the Listing-7/8 kernel over the original order.
+    host::KernelSpec boundary;
+    if (!fdmm) {
+      boundary.def = liftFiMmKernel(config_.precision);
+      boundary.args = {{boundG, ""},       {matG, ""},        {nbrsG, ""},
+                       {betaG, ""},        {volNode, ""},     {im.prev2G, ""},
+                       {nullptr, "cells"}, {nullptr, "numB"}, {nullptr, "M"},
+                       {nullptr, "l"}};
+    } else {
+      boundary.def = liftFdMmKernel(config_.precision, config_.numBranches);
+      boundary.args = {{boundG, ""},   {matG, ""},     {nbrsG, ""},
+                       {betaG, ""},    {biG, ""},      {dG, ""},
+                       {diG, ""},      {fG, ""},       {volNode, ""},
+                       {im.prev2G, ""}, {g1G, ""},     {im.v1G, ""},
+                       {im.v2G, ""},   {nullptr, "cells"}, {nullptr, "numB"},
+                       {nullptr, "M"}, {nullptr, "l"}};
+    }
+    boundary.launchCountScalar = "numB";
+    updated = prog.writeTo(volNode, prog.kernelCall(boundary));
+    im.bndNodes.push_back(updated);
+  } else {
+    // Fission schedule: one specialized kernel per launch, chained so each
+    // updates the running `next` view in place. Within a step the launches
+    // write disjoint cells (cellSorted is a permutation of the boundary
+    // set), so the chain order is immaterial to the result.
+    const auto& cp = grid_->boundaryClasses;
+    host::HostPtr cur = volNode;
+    for (std::size_t k = 0; k < im.launches.size(); ++k) {
+      const auto& L = im.launches[k];
+      const auto b0 = static_cast<std::size_t>(L.begin);
+      const auto b1 = static_cast<std::size_t>(L.end);
+      im.launchCell.emplace_back(cp.cellSorted.begin() + b0,
+                                 cp.cellSorted.begin() + b1);
+      im.launchMat.emplace_back(cp.matSorted.begin() + b0,
+                                cp.matSorted.begin() + b1);
+      im.launchNbr.emplace_back(cp.nbrSorted.begin() + b0,
+                                cp.nbrSorted.begin() + b1);
+      im.launchPos.emplace_back(cp.order.begin() + b0, cp.order.begin() + b1);
+
+      const std::string tag = std::to_string(k);
+      const std::string countName = "count" + tag;
+      prog.declareScalar(countName.c_str(), host::ScalarType::Int);
+      auto cellG = prog.toGPU(prog.hostParam("cellsorted" + tag + "_h"));
+      auto matSG = prog.toGPU(prog.hostParam("matsorted" + tag + "_h"));
+      host::HostPtr nbrSG, posG;
+      if (L.fixedNbr < 0) {
+        nbrSG = prog.toGPU(prog.hostParam("nbrsorted" + tag + "_h"));
+      }
+      if (fdmm) {
+        posG = prog.toGPU(prog.hostParam("origpos" + tag + "_h"));
+      }
+
+      host::KernelSpec b;
+      if (!fdmm) {
+        if (L.fixedNbr >= 0) {
+          b.def = liftFiMmClassKernel(config_.precision, L.fixedNbr);
+          b.args = {{cellG, ""},        {matSG, ""},
+                    {betaG, ""},        {cur, ""},
+                    {im.prev2G, ""},    {nullptr, "cells"},
+                    {nullptr, countName}, {nullptr, "M"},
+                    {nullptr, "l"}};
+        } else {
+          b.def = liftFiMmClassMixedKernel(config_.precision);
+          b.args = {{cellG, ""},        {matSG, ""},
+                    {nbrSG, ""},        {betaG, ""},
+                    {cur, ""},          {im.prev2G, ""},
+                    {nullptr, "cells"}, {nullptr, countName},
+                    {nullptr, "M"},     {nullptr, "l"}};
+        }
+      } else {
+        if (L.fixedNbr >= 0) {
+          b.def = liftFdMmClassKernel(config_.precision, config_.numBranches,
+                                      L.fixedNbr);
+          b.args = {{cellG, ""},      {matSG, ""},    {posG, ""},
+                    {betaG, ""},      {biG, ""},      {dG, ""},
+                    {diG, ""},        {fG, ""},       {cur, ""},
+                    {im.prev2G, ""},  {g1G, ""},      {im.v1G, ""},
+                    {im.v2G, ""},     {nullptr, "cells"},
+                    {nullptr, countName}, {nullptr, "numB"},
+                    {nullptr, "M"},   {nullptr, "l"}};
+        } else {
+          b.def = liftFdMmClassMixedKernel(config_.precision,
+                                           config_.numBranches);
+          b.args = {{cellG, ""},      {matSG, ""},    {posG, ""},
+                    {nbrSG, ""},      {betaG, ""},    {biG, ""},
+                    {dG, ""},         {diG, ""},      {fG, ""},
+                    {cur, ""},        {im.prev2G, ""}, {g1G, ""},
+                    {im.v1G, ""},     {im.v2G, ""},   {nullptr, "cells"},
+                    {nullptr, countName}, {nullptr, "numB"},
+                    {nullptr, "M"},   {nullptr, "l"}};
+        }
+      }
+      b.launchCountScalar = countName;
+      cur = prog.writeTo(cur, prog.kernelCall(b));
+      im.bndNodes.push_back(cur);
+    }
+    updated = cur;
+  }
   im.volNode = volNode;
   im.bndNode = updated;
   // The output copy-back is on demand via sample(); bind next as output so
@@ -192,8 +350,10 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     im.v2F = toF(im.v2);
   }
   bindVec(c, "nbrs_h", im.nbrs);
-  bindVec(c, "boundaries_h", im.bidx);
-  bindVec(c, "material_h", im.mat);
+  if (im.launches.empty()) {
+    bindVec(c, "boundaries_h", im.bidx);
+    bindVec(c, "material_h", im.mat);
+  }
   if (dbl) {
     bindVec(c, "beta_h", im.beta);
   } else {
@@ -231,6 +391,19 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
     c.setInt("numSeg", static_cast<int>(im.segStart.size()));
     c.setInt("segW", im.segWidth);
   }
+  for (std::size_t k = 0; k < im.launches.size(); ++k) {
+    const std::string tag = std::to_string(k);
+    bindVec(c, ("cellsorted" + tag + "_h").c_str(), im.launchCell[k]);
+    bindVec(c, ("matsorted" + tag + "_h").c_str(), im.launchMat[k]);
+    if (im.launches[k].fixedNbr < 0) {
+      bindVec(c, ("nbrsorted" + tag + "_h").c_str(), im.launchNbr[k]);
+    }
+    if (config_.model == DeviceModel::FdMm) {
+      bindVec(c, ("origpos" + tag + "_h").c_str(), im.launchPos[k]);
+    }
+    c.setInt(("count" + tag).c_str(),
+             static_cast<int>(im.launches[k].count()));
+  }
   c.setInt("nx", grid_->nx);
   c.setInt("ny", grid_->ny);
   c.setInt("nz", grid_->nz);
@@ -240,8 +413,7 @@ DeviceSimulation::DeviceSimulation(ocl::Context& ctx, Config config)
   c.setInt("M", static_cast<int>(im.beta.size()));
   c.setReal("l", config_.params.l());
   c.setReal("l2", config_.params.l2());
-
-  if (config_.autoTuneLocalSize) autotuneLocalSizes();
+  return implPtr;
 }
 
 void DeviceSimulation::autotuneLocalSizes() {
@@ -273,7 +445,12 @@ void DeviceSimulation::autotuneLocalSizes() {
   // The stencil3d volume kernel parallelizes over z planes with one plane
   // per work item; localSize = 1 is part of its contract, so skip it.
   if (!config_.useStencil3DVolume) targets.push_back({im.volNode, 0});
-  targets.push_back({im.bndNode, 1});
+  // Each boundary launch is tuned independently: the classes differ in
+  // size by orders of magnitude, so one shared work-group size would be
+  // wrong for most of them.
+  for (std::size_t k = 0; k < im.bndNodes.size(); ++k) {
+    targets.push_back({im.bndNodes[k], 1 + k});
+  }
   for (const auto& t : targets) {
     const auto tuned = harness::autotuneWorkGroup(
         [&](std::size_t ls) {
@@ -285,12 +462,43 @@ void DeviceSimulation::autotuneLocalSizes() {
   }
 }
 
+double DeviceSimulation::measureBoundaryMs() {
+  auto& c = *impl_->compiled;
+  double best = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < 3; ++it) {
+    const auto stats = c.run(/*skipUploads=*/true);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < impl_->bndNodes.size(); ++k) {
+      sum += stats.kernels.at(1 + k).second;
+    }
+    best = std::min(best, sum);
+  }
+  return best;
+}
+
 std::size_t DeviceSimulation::volumeLocalSize() const {
   return impl_->compiled->localSize(impl_->volNode);
 }
 
 std::size_t DeviceSimulation::boundaryLocalSize() const {
-  return impl_->compiled->localSize(impl_->bndNode);
+  return impl_->compiled->localSize(impl_->bndNodes.front());
+}
+
+std::size_t DeviceSimulation::boundaryLocalSize(std::size_t launch) const {
+  return impl_->compiled->localSize(impl_->bndNodes.at(launch));
+}
+
+bool DeviceSimulation::boundaryFissionActive() const {
+  return !impl_->launches.empty();
+}
+
+std::size_t DeviceSimulation::boundaryLaunchCount() const {
+  return impl_->bndNodes.size();
+}
+
+const std::vector<acoustics::BoundaryLaunch>&
+DeviceSimulation::boundaryLaunches() const {
+  return impl_->launches;
 }
 
 DeviceSimulation::~DeviceSimulation() = default;
@@ -343,7 +551,10 @@ double DeviceSimulation::step() {
   }
   ++steps_;
   const double vol = stats.kernels.at(0).second;
-  const double bnd = stats.kernels.at(1).second;
+  double bnd = 0.0;
+  for (std::size_t k = 0; k < im.bndNodes.size(); ++k) {
+    bnd += stats.kernels.at(1 + k).second;
+  }
   volumeMs_ += vol;
   boundaryMs_ += bnd;
   return (vol + bnd) > 0 ? bnd / (vol + bnd) : 0.0;

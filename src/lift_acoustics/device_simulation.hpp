@@ -20,6 +20,20 @@ namespace lifta::lift_acoustics {
 
 enum class DeviceModel { FiMm, FdMm };
 
+/// How the device tier schedules the boundary phase.
+enum class BoundarySchedule {
+  /// Pick automatically: fission when the launch plan has any specialized
+  /// (uniform-nbr) launch; when autoTuneLocalSize is also set, build both
+  /// variants, tune each, and keep the faster one by measurement.
+  Auto,
+  /// The fused Listing-7/8 kernel over the original boundary order.
+  Fused,
+  /// Topology-class fission: one generated kernel per boundary launch
+  /// (faces / edge / corner coalesced per planBoundaryLaunches), each with
+  /// its own NDRange and baked neighbor count where uniform.
+  Fission,
+};
+
 class DeviceSimulation {
 public:
   struct Config {
@@ -45,6 +59,9 @@ public:
     /// initial state and the first real step() re-uploads everything, so
     /// simulation output is unaffected.
     bool autoTuneLocalSize = false;
+    /// Boundary-phase schedule (fused single kernel vs per-class fission).
+    /// Both schedules are bit-identical; they differ only in launch shape.
+    BoundarySchedule boundarySchedule = BoundarySchedule::Auto;
     std::vector<acoustics::Material> materials;  // default palette if empty
   };
 
@@ -77,11 +94,29 @@ public:
   /// Work-group sizes in effect (spec defaults, or the autotuned picks).
   std::size_t volumeLocalSize() const;
   std::size_t boundaryLocalSize() const;
+  /// Work-group size of one boundary launch (fission: per-launch tuning).
+  std::size_t boundaryLocalSize(std::size_t launch) const;
+
+  /// True when the resolved schedule runs per-class boundary kernels.
+  bool boundaryFissionActive() const;
+  /// Number of boundary kernel launches per step (1 when fused).
+  std::size_t boundaryLaunchCount() const;
+  /// The launch plan behind the fission schedule (empty when fused).
+  const std::vector<acoustics::BoundaryLaunch>& boundaryLaunches() const;
 
 private:
-  void autotuneLocalSizes();
-
   struct Impl;
+  void autotuneLocalSizes();
+  /// Builds + compiles the Listing-5 host program; a non-empty launch plan
+  /// selects the fission boundary schedule, empty selects the fused kernel.
+  std::unique_ptr<Impl> buildProgram(
+      ocl::Context& ctx, const std::vector<acoustics::Material>& mats,
+      const acoustics::FdCoeffs& fd,
+      std::vector<acoustics::BoundaryLaunch> launches);
+  /// Best-of-3 sum of the boundary kernels' time on the current program
+  /// (tuning-time measurement for the Auto schedule pick).
+  double measureBoundaryMs();
+
   Config config_;
   /// Shared immutable grid from the voxelization cache (keyed on shape,
   /// dims and material count), so repeated configs skip re-voxelization.

@@ -1,5 +1,7 @@
 #include "lift_acoustics/kernels.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace lifta::lift_acoustics {
@@ -404,6 +406,214 @@ memory::KernelDef liftFdMmKernel(ScalarKind real, int numBranches) {
   def.body = mapGlb(lambda({tup}, body),
                     zip({boundaryIndices, material, iota(sz("numB"))}));
   return def;
+}
+
+namespace {
+
+/// Shared FI-MM class-kernel body: uniform launches bake (6 - nbr) into the
+/// coefficient as a literal, mixed launches gather it per slot. The `cf`
+/// expression keeps the exact left association of liftFiMmKernel, so the
+/// specialization changes which *operands* are compile-time constants but
+/// not a single rounding step.
+memory::KernelDef fiMmClassKernel(ScalarKind real, int fixedNbr, bool mixed) {
+  const RealOps R{real};
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto cellSorted =
+      param("cellSorted", Type::array(Type::int_(), sz("count")));
+  auto matSorted = param("matSorted", Type::array(Type::int_(), sz("count")));
+  auto nbrSorted = param("nbrSorted", Type::array(Type::int_(), sz("count")));
+  auto beta = param("beta", Type::array(R.type(), sz("M")));
+  auto next = param("next", realArr);
+  auto prev = param("prev", realArr);
+  auto cells = param("cells", Type::int_());
+  auto count = param("count", Type::int_());
+  auto m = param("M", Type::int_());
+  auto l = param("l", R.type());
+
+  auto tup = param("tup", nullptr);
+  auto idx = param("idx", nullptr);
+  auto mi = param("mi", nullptr);
+  auto nbr = param("nbr", nullptr);
+  auto cf = param("cf", nullptr);
+  auto boundaryUpdate = param("boundaryUpdate", nullptr);
+  auto e = param("e", nullptr);
+
+  auto sixMinusNbr =
+      mixed ? litInt(6) - nbr : litInt(6) - litInt(fixedNbr);
+  auto inner = let(
+      cf, R.lit(0.5) * l * R.fromInt(sixMinusNbr) * arrayAccess(beta, mi),
+      let(boundaryUpdate,
+          (arrayAccess(next, idx) + cf * arrayAccess(prev, idx)) /
+              (R.lit(1.0) + cf),
+          concat({skip(R.type(), idx),
+                  mapSeq(lambda({e}, e), arrayCons(boundaryUpdate, 1)),
+                  skip(R.type(), cells - litInt(1) - idx)})));
+  auto body =
+      mixed ? let(idx, get(tup, 0),
+                  let(mi, get(tup, 1), let(nbr, get(tup, 2), inner)))
+            : let(idx, get(tup, 0), let(mi, get(tup, 1), inner));
+
+  memory::KernelDef def;
+  def.name = mixed ? std::string("lift_fimm_class_mixed")
+                   : "lift_fimm_class_nbr" + std::to_string(fixedNbr);
+  def.real = real;
+  if (mixed) {
+    def.params = {cellSorted, matSorted, nbrSorted, beta, next, prev,
+                  cells, count, m, l};
+    def.body = mapGlb(lambda({tup}, body),
+                      zip({cellSorted, matSorted, nbrSorted}));
+  } else {
+    def.params = {cellSorted, matSorted, beta, next, prev, cells, count, m, l};
+    def.body = mapGlb(lambda({tup}, body), zip({cellSorted, matSorted}));
+  }
+  def.outAliasParam = "next";
+  return def;
+}
+
+/// Shared FD-MM class-kernel body. Identical structure to liftFdMmKernel
+/// except: (a) the point's position in the *original* boundary order is
+/// loaded from origPos instead of being the map index, keeping the branch
+/// state stride at the full boundary count; (b) uniform launches bake the
+/// neighbor count into cf1.
+memory::KernelDef fdMmClassKernel(ScalarKind real, int numBranches,
+                                  int fixedNbr, bool mixed) {
+  LIFTA_CHECK(numBranches >= 1, "FD-MM needs at least one branch");
+  const RealOps R{real};
+  const arith::Expr mb(numBranches);
+  auto realArr = Type::array(R.type(), sz("cells"));
+  auto stateArr = Type::array(R.type(), mb * sz("numB"));
+  auto coefArr = Type::array(Type::array(R.type(), mb), sz("M"));
+
+  auto cellSorted =
+      param("cellSorted", Type::array(Type::int_(), sz("count")));
+  auto matSorted = param("matSorted", Type::array(Type::int_(), sz("count")));
+  auto origPos = param("origPos", Type::array(Type::int_(), sz("count")));
+  auto nbrSorted = param("nbrSorted", Type::array(Type::int_(), sz("count")));
+  auto beta = param("beta", Type::array(R.type(), sz("M")));
+  auto biP = param("BI", coefArr);
+  auto dP = param("D", coefArr);
+  auto diP = param("DI", coefArr);
+  auto fP = param("F", coefArr);
+  auto next = param("next", realArr);
+  auto prev = param("prev", realArr);
+  auto g1P = param("g1", stateArr);
+  auto v1P = param("v1", stateArr);
+  auto v2P = param("v2", stateArr);
+  auto cells = param("cells", Type::int_());
+  auto count = param("count", Type::int_());
+  auto numB = param("numB", Type::int_());
+  auto m = param("M", Type::int_());
+  auto l = param("l", R.type());
+
+  auto tup = param("tup", nullptr);
+  auto idx = param("idx", nullptr);
+  auto mi = param("mi", nullptr);
+  auto i = param("i", nullptr);
+  auto nbr = param("nbr", nullptr);
+  auto cf1 = param("cf1", nullptr);
+  auto cf = param("cf", nullptr);
+  auto prevVal = param("_prev", nullptr);
+  auto g1Priv = param("_g1", nullptr);
+  auto v2Priv = param("_v2", nullptr);
+  auto nextAcc = param("_nextAcc", nullptr);
+  auto nextVal = param("_next", nullptr);
+
+  auto coefAt = [&](const ExprPtr& table, const ExprPtr& branch) {
+    return arrayAccess(arrayAccess(table, mi), branch);
+  };
+  auto stateIdx = [&](const ExprPtr& branch) { return branch * numB + i; };
+
+  auto bG = param("bg", nullptr);
+  auto gatherG1 =
+      mapSeq(lambda({bG}, arrayAccess(g1P, stateIdx(bG))), iota(mb));
+  auto bV = param("bv", nullptr);
+  auto gatherV2 =
+      mapSeq(lambda({bV}, arrayAccess(v2P, stateIdx(bV))), iota(mb));
+
+  auto acc = param("acc", nullptr);
+  auto bR = param("br", nullptr);
+  auto lossBody =
+      acc - cf1 * coefAt(biP, bR) *
+                (R.lit(2.0) * coefAt(dP, bR) * arrayAccess(v2Priv, bR) -
+                 coefAt(fP, bR) * arrayAccess(g1Priv, bR));
+  auto fold = reduceSeq(lambda({acc, bR}, lossBody), arrayAccess(next, idx),
+                        iota(mb));
+
+  auto bU = param("b", nullptr);
+  auto v1Val = param("_v1", nullptr);
+  auto stateUpdate = mapSeq(
+      lambda({bU},
+             let(v1Val,
+                 coefAt(biP, bU) *
+                     (nextVal - prevVal +
+                      coefAt(diP, bU) * arrayAccess(v2Priv, bU) -
+                      R.lit(2.0) * coefAt(fP, bU) * arrayAccess(g1Priv, bU)),
+                 makeTuple(
+                     {writeTo(arrayAccess(g1P, stateIdx(bU)),
+                              arrayAccess(g1Priv, bU) +
+                                  R.lit(0.5) * (v1Val +
+                                                arrayAccess(v2Priv, bU))),
+                      writeTo(arrayAccess(v1P, stateIdx(bU)), v1Val)}))),
+      iota(mb));
+
+  auto cf1Val = mixed ? l * R.fromInt(litInt(6) - nbr)
+                      : l * R.fromInt(litInt(6) - litInt(fixedNbr));
+  auto inner = let(
+      cf1, cf1Val,
+      let(cf, R.lit(0.5) * cf1 * arrayAccess(beta, mi),
+          let(prevVal, arrayAccess(prev, idx),
+              let(g1Priv, gatherG1,
+                  let(v2Priv, gatherV2,
+                      let(nextAcc, fold,
+                          let(nextVal,
+                              (nextAcc + cf * prevVal) / (R.lit(1.0) + cf),
+                              makeTuple({writeTo(arrayAccess(next, idx),
+                                                 nextVal),
+                                         stateUpdate}))))))));
+  auto withPos = let(i, get(tup, 2),
+                     mixed ? let(nbr, get(tup, 3), inner) : inner);
+  auto body = let(idx, get(tup, 0), let(mi, get(tup, 1), withPos));
+
+  memory::KernelDef def;
+  def.name = mixed ? std::string("lift_fdmm_class_mixed")
+                   : "lift_fdmm_class_nbr" + std::to_string(fixedNbr);
+  def.real = real;
+  if (mixed) {
+    def.params = {cellSorted, matSorted, origPos, nbrSorted, beta,
+                  biP, dP, diP, fP, next, prev, g1P, v1P, v2P,
+                  cells, count, numB, m, l};
+    def.body = mapGlb(lambda({tup}, body),
+                      zip({cellSorted, matSorted, origPos, nbrSorted}));
+  } else {
+    def.params = {cellSorted, matSorted, origPos, beta, biP, dP, diP, fP,
+                  next, prev, g1P, v1P, v2P, cells, count, numB, m, l};
+    def.body =
+        mapGlb(lambda({tup}, body), zip({cellSorted, matSorted, origPos}));
+  }
+  return def;
+}
+
+}  // namespace
+
+memory::KernelDef liftFiMmClassKernel(ScalarKind real, int fixedNbr) {
+  LIFTA_CHECK(fixedNbr >= 0 && fixedNbr <= 5,
+              "class kernel needs a boundary neighbor count");
+  return fiMmClassKernel(real, fixedNbr, /*mixed=*/false);
+}
+
+memory::KernelDef liftFiMmClassMixedKernel(ScalarKind real) {
+  return fiMmClassKernel(real, /*fixedNbr=*/-1, /*mixed=*/true);
+}
+
+memory::KernelDef liftFdMmClassKernel(ScalarKind real, int numBranches,
+                                      int fixedNbr) {
+  LIFTA_CHECK(fixedNbr >= 0 && fixedNbr <= 5,
+              "class kernel needs a boundary neighbor count");
+  return fdMmClassKernel(real, numBranches, fixedNbr, /*mixed=*/false);
+}
+
+memory::KernelDef liftFdMmClassMixedKernel(ScalarKind real, int numBranches) {
+  return fdMmClassKernel(real, numBranches, /*fixedNbr=*/-1, /*mixed=*/true);
 }
 
 }  // namespace lifta::lift_acoustics

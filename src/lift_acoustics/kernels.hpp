@@ -61,4 +61,41 @@ memory::KernelDef liftFiMmKernel(ir::ScalarKind real);
 ///         next, prev, g1, v1, v2, cells, numB, M, l.
 memory::KernelDef liftFdMmKernel(ir::ScalarKind real, int numBranches);
 
+// ---- Topology-class boundary kernels (fission schedule) -----------------
+//
+// One specialized kernel per boundary-class launch: the launch's uniform
+// neighbor count is baked in as a literal (fixedNbr), eliminating both the
+// nbrs gather and the (6 - nbr) data dependence, and the per-class sorted
+// sub-buffers (cellSorted / matSorted / origPos slices) replace the global
+// boundary lists. Mixed variants cover fused-fallback launches that coalesce
+// classes of differing nbr; they read the per-slot neighbor count from a
+// nbrSorted sub-buffer instead. Scalar operation order matches the reference
+// class kernels (left association preserved under the hoist), so fissioned
+// device output is bit-identical to the fused kernels above.
+
+/// FI-MM class kernel with baked neighbor count (5 for faces, 4 for edges).
+/// Params: cellSorted, matSorted, beta, next, prev, cells, count, M, l.
+/// outAliasParam = "next".
+memory::KernelDef liftFiMmClassKernel(ir::ScalarKind real, int fixedNbr);
+
+/// FI-MM mixed-fallback kernel for coalesced launches: per-slot nbr gather.
+/// Params: cellSorted, matSorted, nbrSorted, beta, next, prev, cells,
+///         count, M, l. outAliasParam = "next".
+memory::KernelDef liftFiMmClassMixedKernel(ir::ScalarKind real);
+
+/// FD-MM class kernel with baked neighbor count. The branch state is still
+/// indexed by the point's *original* position (origPos, the class plan's
+/// order array) with the full-set stride numB, so g1/v1/v2 layouts — and
+/// checkpoints — are untouched by the sort.
+/// Params: cellSorted, matSorted, origPos, beta, BI, D, DI, F,
+///         next, prev, g1, v1, v2, cells, count, numB, M, l.
+memory::KernelDef liftFdMmClassKernel(ir::ScalarKind real, int numBranches,
+                                      int fixedNbr);
+
+/// FD-MM mixed-fallback kernel: per-slot nbr gather, origPos state indexing.
+/// Params: cellSorted, matSorted, origPos, nbrSorted, beta, BI, D, DI, F,
+///         next, prev, g1, v1, v2, cells, count, numB, M, l.
+memory::KernelDef liftFdMmClassMixedKernel(ir::ScalarKind real,
+                                           int numBranches);
+
 }  // namespace lifta::lift_acoustics

@@ -306,6 +306,153 @@ TEST(Geometry, VoxelCacheEvictsLeastRecentlyUsed) {
   clearVoxelCache();
 }
 
+TEST(Geometry, BoundaryClassPlanPartitionsBoundarySetAllShapes) {
+  // Every boundary point lands in exactly one topology class; the sorted
+  // arrays are the permutation of the original boundary arrays given by
+  // `order`; within a class, slots keep ascending cell-index order; and
+  // each class's nbr invariant holds (faces 5, edge 4, corner <= 3).
+  for (auto shape : {RoomShape::Box, RoomShape::Dome, RoomShape::LShape,
+                     RoomShape::Cylinder}) {
+    Room r{shape, 20, 17, 13};
+    const RoomGrid g = voxelize(r, 3);
+    const auto& cp = g.boundaryClasses;
+    const auto numB = g.boundaryPoints();
+    ASSERT_EQ(cp.order.size(), numB) << shapeName(shape);
+    ASSERT_EQ(cp.cellSorted.size(), numB);
+    ASSERT_EQ(cp.nbrSorted.size(), numB);
+    ASSERT_EQ(cp.matSorted.size(), numB);
+    EXPECT_EQ(cp.classBegin.front(), 0);
+    EXPECT_EQ(static_cast<std::size_t>(cp.classBegin.back()), numB);
+
+    std::vector<bool> seen(numB, false);
+    for (int c = 0; c < kNumBoundaryClasses; ++c) {
+      ASSERT_LE(cp.classBegin[static_cast<std::size_t>(c)],
+                cp.classBegin[static_cast<std::size_t>(c) + 1]);
+      for (std::int32_t slot = cp.classBegin[static_cast<std::size_t>(c)];
+           slot < cp.classBegin[static_cast<std::size_t>(c) + 1]; ++slot) {
+        const auto s = static_cast<std::size_t>(slot);
+        const auto p = static_cast<std::size_t>(cp.order[s]);
+        ASSERT_LT(p, numB);
+        ASSERT_FALSE(seen[p]) << shapeName(shape) << " slot " << slot;
+        seen[p] = true;
+        EXPECT_EQ(cp.cellSorted[s], g.boundaryIndices[p]);
+        EXPECT_EQ(cp.nbrSorted[s], g.boundaryNbr[p]);
+        EXPECT_EQ(cp.matSorted[s], g.material[p]);
+        if (c < kBoundaryClassEdge) {
+          EXPECT_EQ(cp.nbrSorted[s], 5) << shapeName(shape);
+        } else if (c == kBoundaryClassEdge) {
+          EXPECT_EQ(cp.nbrSorted[s], 4) << shapeName(shape);
+        } else {
+          EXPECT_LE(cp.nbrSorted[s], 3) << shapeName(shape);
+        }
+        if (slot > cp.classBegin[static_cast<std::size_t>(c)]) {
+          EXPECT_LT(cp.cellSorted[s - 1], cp.cellSorted[s])
+              << shapeName(shape) << " class " << boundaryClassName(c);
+        }
+      }
+    }
+    // Union of the classes is the whole boundary set.
+    for (std::size_t p = 0; p < numB; ++p) {
+      ASSERT_TRUE(seen[p]) << shapeName(shape) << " point " << p;
+    }
+  }
+}
+
+TEST(Geometry, FaceClassMatchesMissingAxisNeighbor) {
+  // A face class's index names the one outside axis neighbor, in the
+  // (-x,+x,-y,+y,-z,+z) order.
+  for (auto shape : {RoomShape::Box, RoomShape::LShape}) {
+    Room r{shape, 18, 15, 12};
+    const RoomGrid g = voxelize(r);
+    const auto& cp = g.boundaryClasses;
+    const std::array<std::array<int, 3>, 6> dir{{{-1, 0, 0},
+                                                 {1, 0, 0},
+                                                 {0, -1, 0},
+                                                 {0, 1, 0},
+                                                 {0, 0, -1},
+                                                 {0, 0, 1}}};
+    for (int c = 0; c < kBoundaryClassEdge; ++c) {
+      for (std::int32_t slot = cp.classBegin[static_cast<std::size_t>(c)];
+           slot < cp.classBegin[static_cast<std::size_t>(c) + 1]; ++slot) {
+        const auto idx =
+            static_cast<std::size_t>(cp.cellSorted[static_cast<std::size_t>(slot)]);
+        const int x = static_cast<int>(idx % static_cast<std::size_t>(r.nx));
+        const auto rest = idx / static_cast<std::size_t>(r.nx);
+        const int y = static_cast<int>(rest % static_cast<std::size_t>(r.ny));
+        const int z = static_cast<int>(rest / static_cast<std::size_t>(r.ny));
+        EXPECT_EQ(g.nbrs[r.index(x + dir[static_cast<std::size_t>(c)][0],
+                                 y + dir[static_cast<std::size_t>(c)][1],
+                                 z + dir[static_cast<std::size_t>(c)][2])],
+                  0)
+            << shapeName(shape) << " " << boundaryClassName(c) << " @ ("
+            << x << "," << y << "," << z << ")";
+      }
+    }
+  }
+}
+
+TEST(Geometry, PlanBoundaryLaunchesInvariantsAllShapes) {
+  for (auto shape : {RoomShape::Box, RoomShape::Dome, RoomShape::LShape}) {
+    Room r{shape, 20, 17, 13};
+    const RoomGrid g = voxelize(r);
+    const auto& cp = g.boundaryClasses;
+    const auto numB = static_cast<std::int32_t>(g.boundaryPoints());
+    std::size_t nonEmpty = 0;
+    for (int c = 0; c < kNumBoundaryClasses; ++c) {
+      nonEmpty += cp.classCount(c) > 0 ? 1u : 0u;
+    }
+    for (std::int32_t minPoints : {0, 64, 256, 1 << 30}) {
+      const auto launches = planBoundaryLaunches(cp, minPoints);
+      ASSERT_FALSE(launches.empty()) << shapeName(shape);
+      // Launches tile [0, numB) contiguously with whole-class boundaries.
+      EXPECT_EQ(launches.front().begin, 0);
+      EXPECT_EQ(launches.back().end, numB);
+      for (std::size_t k = 0; k < launches.size(); ++k) {
+        const auto& l = launches[k];
+        ASSERT_LT(l.begin, l.end);
+        if (k > 0) EXPECT_EQ(l.begin, launches[k - 1].end);
+        EXPECT_EQ(l.begin,
+                  cp.classBegin[static_cast<std::size_t>(l.classFirst)]);
+        EXPECT_EQ(l.end,
+                  cp.classBegin[static_cast<std::size_t>(l.classLast) + 1]);
+        // fixedNbr is exactly the uniform nbr of the covered slots, -1
+        // when they mix.
+        std::int32_t uniform = cp.nbrSorted[static_cast<std::size_t>(l.begin)];
+        for (std::int32_t j = l.begin + 1; j < l.end && uniform >= 0; ++j) {
+          if (cp.nbrSorted[static_cast<std::size_t>(j)] != uniform) {
+            uniform = -1;
+          }
+        }
+        EXPECT_EQ(l.fixedNbr, uniform)
+            << shapeName(shape) << " minPoints=" << minPoints << " launch "
+            << k;
+      }
+      if (minPoints == 0) {
+        // Pure fission: one launch per non-empty class.
+        EXPECT_EQ(launches.size(), nonEmpty) << shapeName(shape);
+      }
+    }
+  }
+}
+
+TEST(Geometry, TrailingMergeNeverDeSpecializesUniformLaunch) {
+  // The 8 corners (nbr 3 in a box) stay a separate tiny launch rather than
+  // being folded into the branch-free nbr-4 edge launch (which would force
+  // the whole edge class through the mixed fallback kernel).
+  Room r{RoomShape::Box, 20, 17, 13};
+  const RoomGrid g = voxelize(r);
+  const auto& cp = g.boundaryClasses;
+  ASSERT_EQ(cp.classCount(kBoundaryClassCorner), 8);
+  ASSERT_GE(cp.classCount(kBoundaryClassEdge), 64);
+  const auto launches = planBoundaryLaunches(cp, 64);
+  const auto& tail = launches.back();
+  EXPECT_EQ(tail.classFirst, kBoundaryClassCorner);
+  EXPECT_EQ(tail.count(), 8);
+  const auto& edge = launches[launches.size() - 2];
+  EXPECT_EQ(edge.classLast, kBoundaryClassEdge);
+  EXPECT_EQ(edge.fixedNbr, 4);
+}
+
 TEST(Geometry, GridIndexableInt32Guard) {
   // The predicate the voxelizer's overflow guard and the job service's
   // admission check share.

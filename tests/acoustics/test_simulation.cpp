@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 namespace lifta::acoustics {
 namespace {
@@ -309,6 +310,113 @@ TEST(Simulation, RunsPathBitIdenticalToLookupFloat) {
       runShaped<float>(RoomShape::Dome, BoundaryModel::FdMm,
                        VolumePath::Runs, 3);
   EXPECT_EQ(lookup, runs);
+}
+
+template <typename T>
+std::vector<T> runBoundaryPath(RoomShape shape, BoundaryModel model,
+                               BoundaryPath bpath, int threads,
+                               std::int32_t minPoints = -1) {
+  const bool fd = model == BoundaryModel::FdMm;
+  const bool mm = fd || model == BoundaryModel::FiMm;
+  typename Simulation<T>::Config cfg;
+  cfg.room = Room{shape, 20, 17, 13};
+  cfg.model = model;
+  cfg.numMaterials = mm ? 3 : 1;
+  cfg.numBranches = fd ? 2 : 0;
+  cfg.params.threads = threads;
+  cfg.params.boundaryPath = bpath;
+  if (minPoints >= 0) cfg.params.boundaryFissionMinPoints = minPoints;
+  Simulation<T> sim(cfg);
+  sim.addImpulse(10, 8, 6, T(1.0));
+  sim.addImpulse(5, 5, 5, T(-0.25));
+  return sim.record(80, 6, 6, 6);
+}
+
+TEST(Simulation, ClassesBoundaryPathBitIdenticalToFlatAllModelsAllShapes) {
+  // The fissioned boundary path reorders the boundary sweep by topology
+  // class and bakes each class's nbr into the kernel, but every point's
+  // arithmetic is unchanged and boundary writes are disjoint, so Classes
+  // must reproduce the flat fused scatter bit-for-bit for every model x
+  // shape x thread count.
+  for (auto shape : {RoomShape::Box, RoomShape::LShape, RoomShape::Dome}) {
+    for (auto model : {BoundaryModel::FusedFi, BoundaryModel::FiSplit,
+                       BoundaryModel::FiMm, BoundaryModel::FdMm}) {
+      const auto flat =
+          runBoundaryPath<double>(shape, model, BoundaryPath::Flat, 1);
+      for (int threads : {1, 3, 8}) {
+        const auto classes = runBoundaryPath<double>(
+            shape, model, BoundaryPath::Classes, threads);
+        ASSERT_EQ(flat.size(), classes.size());
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+          ASSERT_EQ(flat[i], classes[i])
+              << shapeName(shape) << " " << modelName(model)
+              << " threads=" << threads << " step " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simulation, PureFissionBitIdenticalToFlat) {
+  // minPoints = 0 gives one launch per non-empty class (no coalescing, no
+  // fused fallback) — still bit-identical.
+  for (auto model : {BoundaryModel::FiMm, BoundaryModel::FdMm}) {
+    const auto flat =
+        runBoundaryPath<double>(RoomShape::Dome, model, BoundaryPath::Flat, 1);
+    for (int threads : {1, 3}) {
+      const auto fission = runBoundaryPath<double>(
+          RoomShape::Dome, model, BoundaryPath::Classes, threads,
+          /*minPoints=*/0);
+      ASSERT_EQ(flat, fission) << modelName(model) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Simulation, ClassesBoundaryPathBitIdenticalFloat) {
+  const auto flat = runBoundaryPath<float>(RoomShape::LShape,
+                                           BoundaryModel::FdMm,
+                                           BoundaryPath::Flat, 1);
+  const auto classes = runBoundaryPath<float>(
+      RoomShape::LShape, BoundaryModel::FdMm, BoundaryPath::Classes, 3);
+  EXPECT_EQ(flat, classes);
+}
+
+TEST(Simulation, FdMmBranchStateKeepsFullSetStrideAcrossBoundaryPaths) {
+  // The class kernels index g1/v1/v2 through origPos with the full-set
+  // stride (ci = b*numB + i), so the branch state — not just the pressure
+  // field — must be bit-identical to the flat path's after any number of
+  // steps. The service checkpoint writer serializes these arrays raw;
+  // a per-class or per-launch re-stride would silently corrupt restores.
+  auto mkSim = [](BoundaryPath bpath, std::int32_t minPoints) {
+    Simulation<double>::Config cfg;
+    cfg.room = Room{RoomShape::LShape, 20, 17, 13};
+    cfg.model = BoundaryModel::FdMm;
+    cfg.numMaterials = 3;
+    cfg.numBranches = 3;
+    cfg.params.boundaryPath = bpath;
+    cfg.params.boundaryFissionMinPoints = minPoints;
+    auto sim = std::make_unique<Simulation<double>>(cfg);
+    sim->addImpulse(10, 8, 6, 1.0);
+    sim->run(30);
+    return sim;
+  };
+  const auto flat = mkSim(BoundaryPath::Flat, kBoundaryFissionMinPoints);
+  for (const std::int32_t minPoints : {kBoundaryFissionMinPoints, 0}) {
+    const auto classes = mkSim(BoundaryPath::Classes, minPoints);
+    ASSERT_EQ(flat->fdStateLen(), classes->fdStateLen());
+    for (std::size_t i = 0; i < flat->fdStateLen(); ++i) {
+      ASSERT_EQ(flat->g1()[i], classes->g1()[i])
+          << "g1 @" << i << " minPoints=" << minPoints;
+      ASSERT_EQ(flat->v1()[i], classes->v1()[i])
+          << "v1 @" << i << " minPoints=" << minPoints;
+      ASSERT_EQ(flat->v2()[i], classes->v2()[i])
+          << "v2 @" << i << " minPoints=" << minPoints;
+    }
+    const auto cells = Room{RoomShape::LShape, 20, 17, 13}.cells();
+    for (std::size_t i = 0; i < cells; ++i) {
+      ASSERT_EQ(flat->curr()[i], classes->curr()[i]) << "curr @" << i;
+    }
+  }
 }
 
 TEST(Simulation, ParallelStepperBitIdenticalToSerialAllModels) {

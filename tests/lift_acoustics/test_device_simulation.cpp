@@ -267,5 +267,122 @@ TEST(DeviceSimulation, RunTableAndStencilVariantsMutuallyExclusive) {
   EXPECT_THROW(DeviceSimulation(sharedContext(), cfg), Error);
 }
 
+TEST(DeviceSimulation, FissionScheduleTracksReferenceBitwise) {
+  // Forced per-class boundary fission (minPoints = 0: one generated kernel
+  // per non-empty topology class) must still track the reference CPU
+  // stepper bit-for-bit, for both material models.
+  Room room{RoomShape::Dome, 14, 13, 11};
+  for (const bool fd : {false, true}) {
+    Simulation<double>::Config refCfg;
+    refCfg.room = room;
+    refCfg.model = fd ? BoundaryModel::FdMm : BoundaryModel::FiMm;
+    refCfg.numMaterials = 3;
+    refCfg.numBranches = fd ? 3 : 0;
+    Simulation<double> ref(refCfg);
+    ref.addImpulse(7, 6, 5, 1.0);
+    const auto refRec = ref.record(60, 4, 4, 4);
+
+    DeviceSimulation::Config devCfg;
+    devCfg.room = room;
+    devCfg.model = fd ? DeviceModel::FdMm : DeviceModel::FiMm;
+    devCfg.numMaterials = 3;
+    devCfg.numBranches = fd ? 3 : 0;
+    devCfg.boundarySchedule = BoundarySchedule::Fission;
+    devCfg.params.boundaryFissionMinPoints = 0;
+    DeviceSimulation dev(sharedContext(), devCfg);
+    EXPECT_TRUE(dev.boundaryFissionActive());
+    EXPECT_GT(dev.boundaryLaunchCount(), 1u);
+    dev.addImpulse(7, 6, 5, 1.0);
+    const auto devRec = dev.record(60, 4, 4, 4);
+
+    ASSERT_EQ(refRec.size(), devRec.size());
+    for (std::size_t i = 0; i < refRec.size(); ++i) {
+      ASSERT_EQ(devRec[i], refRec[i]) << (fd ? "FD-MM" : "FI-MM")
+                                      << " step " << i;
+    }
+  }
+}
+
+TEST(DeviceSimulation, FusedAndFissionSchedulesBitIdentical) {
+  Room room{RoomShape::Box, 14, 12, 10};
+  DeviceSimulation::Config cfg;
+  cfg.room = room;
+  cfg.model = DeviceModel::FdMm;
+  cfg.numMaterials = 2;
+  cfg.numBranches = 2;
+  cfg.boundarySchedule = BoundarySchedule::Fused;
+  DeviceSimulation fused(sharedContext(), cfg);
+  EXPECT_FALSE(fused.boundaryFissionActive());
+  EXPECT_EQ(fused.boundaryLaunchCount(), 1u);
+  fused.addImpulse(7, 6, 5, 1.0);
+  const auto fusedRec = fused.record(40, 4, 4, 4);
+
+  cfg.boundarySchedule = BoundarySchedule::Fission;
+  cfg.params.boundaryFissionMinPoints = 0;
+  DeviceSimulation fission(sharedContext(), cfg);
+  EXPECT_TRUE(fission.boundaryFissionActive());
+  fission.addImpulse(7, 6, 5, 1.0);
+  const auto fissionRec = fission.record(40, 4, 4, 4);
+
+  EXPECT_EQ(fusedRec, fissionRec);
+}
+
+TEST(DeviceSimulation, FissionLaunchPlanCoversWholeBoundarySet) {
+  DeviceSimulation::Config cfg;
+  cfg.room = Room{RoomShape::Dome, 14, 13, 11};
+  cfg.model = DeviceModel::FiMm;
+  cfg.numMaterials = 2;
+  cfg.boundarySchedule = BoundarySchedule::Fission;
+  cfg.params.boundaryFissionMinPoints = 0;
+  DeviceSimulation dev(sharedContext(), cfg);
+  const auto& launches = dev.boundaryLaunches();
+  ASSERT_EQ(launches.size(), dev.boundaryLaunchCount());
+  const auto& cp = dev.grid().boundaryClasses;
+  std::int32_t expectBegin = 0;
+  for (const auto& l : launches) {
+    EXPECT_EQ(l.begin, expectBegin);
+    expectBegin = l.end;
+    // Pure fission: every launch is one class, so a face/edge launch is
+    // branch-free (fixedNbr >= 4) and only the corner launch may mix.
+    EXPECT_EQ(l.classFirst, l.classLast);
+    if (l.classFirst < kBoundaryClassCorner) EXPECT_GE(l.fixedNbr, 4);
+  }
+  EXPECT_EQ(expectBegin,
+            static_cast<std::int32_t>(dev.grid().boundaryPoints()));
+  EXPECT_EQ(static_cast<std::size_t>(cp.classBegin.back()),
+            dev.grid().boundaryPoints());
+}
+
+TEST(DeviceSimulation, AutotunedFissionStaysBitIdentical) {
+  // Per-launch local-size tuning (and the Auto schedule's measured
+  // fused-vs-fission pick) must not perturb simulation state.
+  Room room{RoomShape::Dome, 14, 12, 10};
+  DeviceSimulation::Config cfg;
+  cfg.room = room;
+  cfg.model = DeviceModel::FdMm;
+  cfg.numMaterials = 2;
+  cfg.numBranches = 2;
+  cfg.boundarySchedule = BoundarySchedule::Fission;
+  cfg.params.boundaryFissionMinPoints = 0;
+  DeviceSimulation plain(sharedContext(), cfg);
+  plain.addImpulse(7, 6, 5, 1.0);
+  const auto plainRec = plain.record(40, 4, 4, 4);
+
+  cfg.autoTuneLocalSize = true;
+  DeviceSimulation tuned(sharedContext(), cfg);
+  for (std::size_t k = 0; k < tuned.boundaryLaunchCount(); ++k) {
+    EXPECT_GE(tuned.boundaryLocalSize(k), 1u) << "launch " << k;
+  }
+  tuned.addImpulse(7, 6, 5, 1.0);
+  const auto tunedRec = tuned.record(40, 4, 4, 4);
+  EXPECT_EQ(plainRec, tunedRec);
+
+  cfg.boundarySchedule = BoundarySchedule::Auto;
+  DeviceSimulation picked(sharedContext(), cfg);
+  picked.addImpulse(7, 6, 5, 1.0);
+  const auto pickedRec = picked.record(40, 4, 4, 4);
+  EXPECT_EQ(plainRec, pickedRec);
+}
+
 }  // namespace
 }  // namespace lifta::lift_acoustics

@@ -50,6 +50,27 @@ AnalysisOptions acousticContracts() {
   seg.injective = true;
   seg.multipleOf = Expr::var("segW");
   opts.contracts["segStart"] = seg;
+
+  // Per-launch slices of the BoundaryClassPlan sorted layout (boundary
+  // kernel fission): cellSorted is a permutation slice of boundaryIndices,
+  // matSorted selects a material, origPos is the point's slot in the
+  // original boundary order (distinct per point, bounded by the full set).
+  BufferContract cellSorted = bi;
+  opts.contracts["cellSorted"] = cellSorted;
+
+  BufferContract matSorted = mat;
+  opts.contracts["matSorted"] = matSorted;
+
+  BufferContract origPos;
+  origPos.valueLo = Expr(0);
+  origPos.valueHi = Expr::var("numB") - Expr(1);
+  origPos.injective = true;
+  opts.contracts["origPos"] = origPos;
+
+  BufferContract nbrSorted;
+  nbrSorted.valueLo = Expr(0);
+  nbrSorted.valueHi = Expr(5);
+  opts.contracts["nbrSorted"] = nbrSorted;
   return opts;
 }
 
@@ -167,6 +188,14 @@ int main(int argc, char** argv) {
       lift_acoustics::liftVolumeRunsKernel(ir::ScalarKind::Double),
       lift_acoustics::liftFiMmKernel(ir::ScalarKind::Double),
       lift_acoustics::liftFdMmKernel(ir::ScalarKind::Double, 3),
+      // Topology-class fission kernels: face (nbr 5), edge (nbr 4) and the
+      // mixed fused-fallback variants.
+      lift_acoustics::liftFiMmClassKernel(ir::ScalarKind::Double, 5),
+      lift_acoustics::liftFiMmClassKernel(ir::ScalarKind::Double, 4),
+      lift_acoustics::liftFiMmClassMixedKernel(ir::ScalarKind::Double),
+      lift_acoustics::liftFdMmClassKernel(ir::ScalarKind::Double, 3, 5),
+      lift_acoustics::liftFdMmClassKernel(ir::ScalarKind::Double, 3, 4),
+      lift_acoustics::liftFdMmClassMixedKernel(ir::ScalarKind::Double, 3),
       geophys::liftEmEzKernel(ir::ScalarKind::Double),
       geophys::liftEmHKernel(ir::ScalarKind::Double),
       geophys::liftEmHxKernel(ir::ScalarKind::Double),
