@@ -1,6 +1,7 @@
 #include "acoustics/geometry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <list>
 #include <map>
@@ -90,6 +91,23 @@ std::vector<Room> paperRooms(RoomShape shape) {
       Room{shape, 336 + 2, 336 + 2, 336 + 2},
       Room{shape, 302 + 2, 202 + 2, 152 + 2},
   };
+}
+
+Room boxRoomFromMeters(double lx, double ly, double lz, double h) {
+  LIFTA_CHECK(lx > 0.0 && ly > 0.0 && lz > 0.0,
+              "room dimensions must be positive");
+  LIFTA_CHECK(h > 0.0, "grid spacing must be positive");
+  const auto cellsFor = [h](double meters) {
+    return std::max(1, static_cast<int>(std::lround(meters / h))) + 2;
+  };
+  return Room{RoomShape::Box, cellsFor(lx), cellsFor(ly), cellsFor(lz)};
+}
+
+int cellForPosition(double meters, double h, int n) {
+  LIFTA_CHECK(h > 0.0, "grid spacing must be positive");
+  LIFTA_CHECK(n >= 3, "dimension needs at least one interior cell");
+  const int cell = 1 + static_cast<int>(std::floor(meters / h));
+  return std::clamp(cell, 1, n - 2);
 }
 
 std::size_t boxBoundaryCount(int nx, int ny, int nz) {

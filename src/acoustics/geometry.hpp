@@ -56,6 +56,19 @@ struct Room {
 /// The paper's three room sizes (Table II).
 std::vector<Room> paperRooms(RoomShape shape);
 
+/// Grid for a physical box room of interior size (lx, ly, lz) meters at
+/// grid spacing h (SimParams::h()): each dimension gets round(L/h) interior
+/// cells (at least 1) plus the two-cell halo. The hybrid ISM+FDTD tier and
+/// the batch dataset API use this to derive the FDTD grid from the same
+/// continuous room the image-source engine simulates.
+Room boxRoomFromMeters(double lx, double ly, double lz, double h);
+
+/// Interior grid coordinate of a physical position `meters` from the
+/// room's minimum corner at spacing h, for a dimension of n cells
+/// including halo: cell 1 + floor(meters / h), clamped into [1, n - 2] so
+/// positions near a wall land on the closest inside cell.
+int cellForPosition(double meters, double h, int n);
+
 /// Interior-run execution plan: the maximal contiguous runs of
 /// pure-interior cells (nbr == 6), in ascending flat-index order, computed
 /// once at voxelization time. Volume kernels that consume the plan touch

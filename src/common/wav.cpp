@@ -57,6 +57,69 @@ void writeWav(const std::string& path, const std::vector<double>& samples,
   if (written != out.size()) throw Error("short write: " + path);
 }
 
+WavData readWav(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw Error("cannot open for reading: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+
+  const auto need = [&](std::size_t at, std::size_t count) {
+    if (at + count > bytes.size()) {
+      throw Error("truncated WAV file: " + path);
+    }
+  };
+  const auto tagAt = [&](std::size_t at) {
+    need(at, 4);
+    return std::string(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(at) + 4);
+  };
+  const auto u16At = [&](std::size_t at) -> std::uint16_t {
+    need(at, 2);
+    return static_cast<std::uint16_t>(bytes[at] | (bytes[at + 1] << 8));
+  };
+  const auto u32At = [&](std::size_t at) -> std::uint32_t {
+    need(at, 4);
+    return static_cast<std::uint32_t>(u16At(at)) |
+           (static_cast<std::uint32_t>(u16At(at + 2)) << 16);
+  };
+
+  if (tagAt(0) != "RIFF" || tagAt(8) != "WAVE") {
+    throw Error("not a RIFF/WAVE file: " + path);
+  }
+  WavData wav;
+  bool haveFmt = false;
+  std::size_t at = 12;
+  while (at + 8 <= bytes.size()) {
+    const std::string chunk = tagAt(at);
+    const std::uint32_t size = u32At(at + 4);
+    const std::size_t body = at + 8;
+    if (chunk == "fmt ") {
+      need(body, 16);
+      if (u16At(body) != 1) throw Error("not PCM: " + path);
+      if (u16At(body + 2) != 1) throw Error("not mono: " + path);
+      if (u16At(body + 14) != 16) throw Error("not 16-bit: " + path);
+      wav.sampleRateHz = static_cast<int>(u32At(body + 4));
+      haveFmt = true;
+    } else if (chunk == "data") {
+      if (!haveFmt) throw Error("data chunk before fmt: " + path);
+      need(body, size);
+      wav.samples.reserve(size / 2);
+      for (std::size_t i = 0; i + 1 < size; i += 2) {
+        const auto q = static_cast<std::int16_t>(u16At(body + i));
+        wav.samples.push_back(static_cast<double>(q) / 32767.0);
+      }
+      return wav;
+    }
+    at = body + size + (size & 1);  // RIFF chunks are word-aligned
+  }
+  throw Error("no data chunk: " + path);
+}
+
 std::vector<double> normalize(std::vector<double> samples, double peak) {
   double maxAbs = 0.0;
   for (double s : samples) maxAbs = std::max(maxAbs, std::fabs(s));

@@ -1,5 +1,7 @@
-// Minimal mono 16-bit PCM WAV writer, used by examples to dump room impulse
-// responses captured at a receiver so the results can be auditioned.
+// Minimal mono 16-bit PCM WAV writer/reader. The writer dumps room impulse
+// responses captured at a receiver (examples, job-service export, batch
+// dataset shards); the reader parses exactly the files the writer emits so
+// exports are round-trip testable and datasets can be audited.
 #pragma once
 
 #include <string>
@@ -11,6 +13,20 @@ namespace lifta {
 /// Throws lifta::Error on I/O failure.
 void writeWav(const std::string& path, const std::vector<double>& samples,
               int sampleRateHz);
+
+/// A decoded mono WAV file: samples mapped back to doubles by q / 32767.
+struct WavData {
+  int sampleRateHz = 0;
+  std::vector<double> samples;
+};
+
+/// Reads a mono 16-bit PCM WAV file (the writeWav format; unknown RIFF
+/// chunks before `data` are skipped). Throws lifta::Error on I/O failure
+/// or an unsupported format. Round trip: writeWav(readWav(p).samples)
+/// reproduces the file byte-for-byte, and readWav(writeWav(s)) equals s
+/// within the 16-bit quantization step (exactly, for already-quantized
+/// samples).
+WavData readWav(const std::string& path);
 
 /// Peak-normalizes samples to the given amplitude (no-op for silent input).
 std::vector<double> normalize(std::vector<double> samples, double peak = 0.89);

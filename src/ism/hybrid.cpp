@@ -1,0 +1,63 @@
+#include "ism/hybrid.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lifta::ism {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double crossoverWeight(int n, const CrossoverSpec& spec) {
+  if (n < spec.start) return 0.0;
+  if (n >= spec.end) return 1.0;
+  const double t = static_cast<double>(n - spec.start) /
+                   static_cast<double>(spec.end - spec.start);
+  return 0.5 * (1.0 - std::cos(kPi * t));
+}
+
+std::vector<double> stitchHybrid(const std::vector<double>& ism,
+                                 const std::vector<double>& fdtd,
+                                 const CrossoverSpec& spec, bool matchEnergy,
+                                 HybridStats* stats) {
+  LIFTA_CHECK(ism.size() == fdtd.size(),
+              "ISM and FDTD traces must have equal lengths");
+  const int n = static_cast<int>(ism.size());
+  LIFTA_CHECK(spec.start >= 0 && spec.start < spec.end && spec.end <= n,
+              "crossover window must satisfy 0 <= start < end <= length");
+
+  HybridStats st;
+  for (int i = spec.start; i < spec.end; ++i) {
+    const double a = ism[static_cast<std::size_t>(i)];
+    const double b = fdtd[static_cast<std::size_t>(i)];
+    st.ismWindowEnergy += a * a;
+    st.fdtdWindowEnergy += b * b;
+  }
+  st.energyRatio = st.fdtdWindowEnergy > 0.0
+                       ? st.ismWindowEnergy / st.fdtdWindowEnergy
+                       : 0.0;
+  st.fdtdGain = matchEnergy && st.energyRatio > 0.0
+                    ? std::sqrt(st.energyRatio)
+                    : 1.0;
+
+  std::vector<double> out(ism.size());
+  for (int i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    // Exact passthrough outside the window: before `start` the hybrid IS
+    // the ISM trace bit-for-bit, after `end` it IS the (scaled) FDTD trace.
+    if (i < spec.start) {
+      out[u] = ism[u];
+    } else if (i >= spec.end) {
+      out[u] = st.fdtdGain == 1.0 ? fdtd[u] : st.fdtdGain * fdtd[u];
+    } else {
+      const double w = crossoverWeight(i, spec);
+      out[u] = (1.0 - w) * ism[u] + w * st.fdtdGain * fdtd[u];
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+}  // namespace lifta::ism

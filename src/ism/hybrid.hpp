@@ -1,0 +1,50 @@
+// Hybrid ISM/FDTD crossover stitching.
+//
+// The hybrid fidelity tier renders early reflections with the ISM engine
+// (cheap, specular-exact) and the late diffuse field with the FDTD stepper
+// (expensive, physically complete), splicing the two traces with a raised-
+// cosine crossover window. The complementary weights sum to exactly 1 at
+// every sample — before `start` the output IS the ISM trace, after `end`
+// it IS the FDTD trace, and the blend in between introduces no gain ripple
+// (unit-gain property, unit-tested).
+#pragma once
+
+#include <vector>
+
+namespace lifta::ism {
+
+/// Crossover window, in samples: output is pure ISM for n < start, pure
+/// FDTD for n >= end, blended over [start, end).
+struct CrossoverSpec {
+  int start = 0;
+  int end = 0;
+};
+
+/// Splice diagnostics for energy-continuity validation.
+struct HybridStats {
+  double ismWindowEnergy = 0.0;   // sum of ism^2 over [start, end)
+  double fdtdWindowEnergy = 0.0;  // sum of fdtd^2 over [start, end)
+  /// ismWindowEnergy / fdtdWindowEnergy (0 when the window is silent).
+  double energyRatio = 0.0;
+  /// Gain applied to the FDTD trace: sqrt(energyRatio) when matchEnergy,
+  /// else exactly 1.
+  double fdtdGain = 1.0;
+};
+
+/// FDTD-side crossover weight at sample n: 0 for n < start, 1 for
+/// n >= end, raised cosine in between. The ISM side uses 1 minus this, so
+/// the pair sums to 1 at every sample.
+double crossoverWeight(int n, const CrossoverSpec& spec);
+
+/// Stitches one receiver's ISM and FDTD traces (equal lengths required)
+/// into a hybrid RIR. With matchEnergy the FDTD trace is scaled so both
+/// sides carry equal energy inside the crossover window (continuity at the
+/// splice when the two tiers' source calibrations differ); stats (always
+/// computed) report the window energies and the applied gain.
+std::vector<double> stitchHybrid(const std::vector<double>& ism,
+                                 const std::vector<double>& fdtd,
+                                 const CrossoverSpec& spec,
+                                 bool matchEnergy = false,
+                                 HybridStats* stats = nullptr);
+
+}  // namespace lifta::ism

@@ -1,0 +1,206 @@
+#include "ism/ism_engine.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lifta::ism {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Per-axis reflection order of lattice coordinate (u, l):
+/// |l - u| + |l| wall hits along that axis (Allen & Berkley).
+int axisOrder(int u, int l) { return std::abs(l - u) + std::abs(l); }
+
+}  // namespace
+
+double reflectionFromAdmittance(double beta) {
+  LIFTA_CHECK(beta >= 0.0, "admittance must be >= 0");
+  return (1.0 - beta) / (1.0 + beta);
+}
+
+std::array<double, kNumWalls> reflectionsFromAdmittances(
+    const std::array<double, kNumWalls>& beta) {
+  std::array<double, kNumWalls> r{};
+  for (int w = 0; w < kNumWalls; ++w) r[w] = reflectionFromAdmittance(beta[w]);
+  return r;
+}
+
+std::array<double, kNumWalls> reflectionsFromMaterials(
+    const std::vector<acoustics::Material>& materials,
+    const std::array<int, kNumWalls>& wallMaterial) {
+  std::array<double, kNumWalls> r{};
+  for (int w = 0; w < kNumWalls; ++w) {
+    const int m = wallMaterial[w];
+    LIFTA_CHECK(m >= 0 && m < static_cast<int>(materials.size()),
+                "wall material id out of range");
+    r[w] = reflectionFromAdmittance(materials[static_cast<std::size_t>(m)].beta);
+  }
+  return r;
+}
+
+IsmEngine::IsmEngine(IsmConfig config) : config_(std::move(config)) {
+  const auto& cfg = config_;
+  LIFTA_CHECK(cfg.room.lx > 0.0 && cfg.room.ly > 0.0 && cfg.room.lz > 0.0,
+              "room dimensions must be positive");
+  LIFTA_CHECK(cfg.maxOrder >= 0, "maxOrder must be >= 0");
+  LIFTA_CHECK(cfg.c > 0.0, "speed of sound must be positive");
+  LIFTA_CHECK(cfg.sampleRate > 0.0, "sample rate must be positive");
+  LIFTA_CHECK(cfg.numSamples >= 1, "numSamples must be >= 1");
+  LIFTA_CHECK(cfg.sincHalfWidth >= 1, "sincHalfWidth must be >= 1");
+  for (const double r : cfg.wallR) {
+    LIFTA_CHECK(std::abs(r) <= 1.0, "|wall reflection| must be <= 1");
+  }
+  const auto insideOpen = [&](const Vec3& p) {
+    return p.x > 0.0 && p.x < cfg.room.lx && p.y > 0.0 && p.y < cfg.room.ly &&
+           p.z > 0.0 && p.z < cfg.room.lz;
+  };
+  LIFTA_CHECK(insideOpen(cfg.source), "source must be strictly inside the room");
+  LIFTA_CHECK(!cfg.receivers.empty(), "need at least one receiver");
+  for (const auto& rx : cfg.receivers) {
+    LIFTA_CHECK(insideOpen(rx), "receiver must be strictly inside the room");
+  }
+
+  // Lattice enumeration (fixed order => deterministic image list): per axis
+  // the image coordinate is (1 - 2u)*s + 2*l*L with u in {0,1}, l integer,
+  // and the path hits wall0 |l - u| times and wall1 |l| times. The total
+  // order constraint bounds |l| by (maxOrder + 1) / 2 per axis.
+  const int L = (cfg.maxOrder + 1) / 2;
+  images_.reserve(countImages(cfg.maxOrder));
+  // Direct path first (u = l = 0 on every axis), then the lattice scan —
+  // re-emitting the direct path inside the scan is skipped.
+  images_.push_back({cfg.source, 1.0, 0});
+  const double dims[3] = {cfg.room.lx, cfg.room.ly, cfg.room.lz};
+  const double src[3] = {cfg.source.x, cfg.source.y, cfg.source.z};
+  for (int ux = 0; ux <= 1; ++ux) {
+    for (int lx = -L; lx <= L; ++lx) {
+      const int ox = axisOrder(ux, lx);
+      if (ox > cfg.maxOrder) continue;
+      for (int uy = 0; uy <= 1; ++uy) {
+        for (int ly = -L; ly <= L; ++ly) {
+          const int oy = axisOrder(uy, ly);
+          if (ox + oy > cfg.maxOrder) continue;
+          for (int uz = 0; uz <= 1; ++uz) {
+            for (int lz = -L; lz <= L; ++lz) {
+              const int oz = axisOrder(uz, lz);
+              const int order = ox + oy + oz;
+              if (order > cfg.maxOrder) continue;
+              if (order == 0) continue;  // the direct path, already emitted
+              const int u[3] = {ux, uy, uz};
+              const int l[3] = {lx, ly, lz};
+              ImageSource img;
+              img.order = order;
+              img.gain = 1.0;
+              double* pos[3] = {&img.pos.x, &img.pos.y, &img.pos.z};
+              for (int a = 0; a < 3; ++a) {
+                *pos[a] = (1 - 2 * u[a]) * src[a] + 2.0 * l[a] * dims[a];
+                const int hits0 = std::abs(l[a] - u[a]);
+                const int hits1 = std::abs(l[a]);
+                const double r0 = cfg.wallR[static_cast<std::size_t>(2 * a)];
+                const double r1 = cfg.wallR[static_cast<std::size_t>(2 * a + 1)];
+                for (int h = 0; h < hits0; ++h) img.gain *= r0;
+                for (int h = 0; h < hits1; ++h) img.gain *= r1;
+              }
+              images_.push_back(img);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t IsmEngine::countImages(int maxOrder) {
+  LIFTA_CHECK(maxOrder >= 0, "maxOrder must be >= 0");
+  // Per axis, the number of (u, l) pairs with axis order exactly k is 1 for
+  // k == 0 (u = l = 0) and 2 for every k >= 1; sum over axis-order triples.
+  std::size_t total = 0;
+  for (int kx = 0; kx <= maxOrder; ++kx) {
+    for (int ky = 0; ky + kx <= maxOrder; ++ky) {
+      for (int kz = 0; kz + ky + kx <= maxOrder; ++kz) {
+        std::size_t ways = 1;
+        if (kx > 0) ways *= 2;
+        if (ky > 0) ways *= 2;
+        if (kz > 0) ways *= 2;
+        total += ways;
+      }
+    }
+  }
+  return total;
+}
+
+double IsmEngine::windowedSinc(double x, int halfWidth) {
+  if (std::abs(x) >= static_cast<double>(halfWidth)) return 0.0;
+  const double hann = 0.5 * (1.0 + std::cos(kPi * x / halfWidth));
+  if (x == 0.0) return hann;  // sinc(0) = 1
+  return hann * std::sin(kPi * x) / (kPi * x);
+}
+
+std::vector<double> IsmEngine::renderReceiver(std::size_t r) const {
+  LIFTA_CHECK(r < config_.receivers.size(), "receiver index out of range");
+  const auto& rx = config_.receivers[r];
+  const int N = config_.numSamples;
+  const int W = config_.sincHalfWidth;
+  const double samplesPerMeter = config_.sampleRate / config_.c;
+  std::vector<double> trace(static_cast<std::size_t>(N), 0.0);
+  // Hann angle advance per sample, hoisted for the rotation recurrence.
+  const double cosStep = std::cos(kPi / W);
+  const double sinStep = std::sin(kPi / W);
+  for (const auto& img : images_) {
+    const double dx = img.pos.x - rx.x;
+    const double dy = img.pos.y - rx.y;
+    const double dz = img.pos.z - rx.z;
+    // Coincident source/receiver only happens for the direct path of a
+    // degenerate config; clamp so the spreading term stays finite.
+    const double d =
+        std::max(std::sqrt(dx * dx + dy * dy + dz * dz), 1e-9);
+    const double tau = d * samplesPerMeter;  // fractional sample delay
+    if (tau >= static_cast<double>(N + W)) continue;  // entirely past the end
+    double amp = img.gain;
+    if (config_.distanceAttenuation) amp /= 4.0 * kPi * d;
+    // Full support of the windowed sinc: every n with |n - tau| < W.
+    const int n0 =
+        std::max(0, static_cast<int>(std::floor(tau - W)) + 1);
+    const int n1 =
+        std::min(N - 1, static_cast<int>(std::ceil(tau + W)) - 1);
+    if (n1 < n0) continue;
+    // The windowedSinc() kernel computed incrementally: over integer n,
+    // sin(pi*(n - tau)) alternates sign with constant magnitude, and the
+    // Hann angle pi*(n - tau)/W advances by pi/W per sample, so one
+    // sin/cos pair per image plus a plane rotation replaces the two
+    // per-sample transcendentals (the render-throughput hot loop of the
+    // batch dataset tier; bench/ism_batch).
+    const double x0 = static_cast<double>(n0) - tau;
+    double sinPiX = std::sin(kPi * x0);
+    double hannCos = std::cos(kPi * x0 / W);
+    double hannSin = std::sin(kPi * x0 / W);
+    for (int n = n0; n <= n1; ++n) {
+      const double x = static_cast<double>(n) - tau;
+      if (x == 0.0) {
+        // Exact integer delay: sinc(0) * hann(0) = 1, reproduced exactly.
+        trace[static_cast<std::size_t>(n)] += amp;
+      } else {
+        const double hann = 0.5 * (1.0 + hannCos);
+        trace[static_cast<std::size_t>(n)] += amp * hann * sinPiX / (kPi * x);
+      }
+      const double next = hannCos * cosStep - hannSin * sinStep;
+      hannSin = hannSin * cosStep + hannCos * sinStep;
+      hannCos = next;
+      sinPiX = -sinPiX;
+    }
+  }
+  return trace;
+}
+
+std::vector<std::vector<double>> IsmEngine::render() const {
+  std::vector<std::vector<double>> traces;
+  traces.reserve(config_.receivers.size());
+  for (std::size_t r = 0; r < config_.receivers.size(); ++r) {
+    traces.push_back(renderReceiver(r));
+  }
+  return traces;
+}
+
+}  // namespace lifta::ism

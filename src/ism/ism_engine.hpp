@@ -1,0 +1,124 @@
+// Image Source Method (ISM) engine for shoebox rooms.
+//
+// The third workload class next to the reference and LIFT FDTD tiers: the
+// specular early-reflection model gpuRIR (Diaz-Guerra et al.) and
+// pyroomacoustics (Scheibler et al.) run at dataset scale. A shoebox room
+// [0,Lx]x[0,Ly]x[0,Lz] with a point source is unfolded into a lattice of
+// image sources (Allen & Berkley); every image contributes one attenuated,
+// fractionally delayed impulse to each receiver trace. Per-wall reflection
+// coefficients are derived from the FDTD tier's frequency-independent
+// material admittances (R = (1 - beta) / (1 + beta)), so the two tiers
+// describe the same walls.
+//
+// Everything here is pure double arithmetic over fixed iteration orders:
+// identical configs produce bit-identical traces across runs, which is what
+// makes the batch dataset API hash-stable and the engine unit-testable
+// against closed-form direct-path/first-reflection delays.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "acoustics/materials.hpp"
+
+namespace lifta::ism {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Interior dimensions of the shoebox, meters.
+struct ShoeboxRoom {
+  double lx = 0.0;
+  double ly = 0.0;
+  double lz = 0.0;
+};
+
+/// Wall indexing for per-wall coefficients: the wall at axis coordinate 0
+/// then at the axis extent, per axis.
+enum Wall : int { WallX0 = 0, WallX1, WallY0, WallY1, WallZ0, WallZ1 };
+inline constexpr int kNumWalls = 6;
+
+/// Normal-incidence pressure reflection coefficient of a locally reacting
+/// wall with normalized admittance `beta` — the same admittance-like loss
+/// coefficient the FI boundary kernels consume (materials.hpp). beta = 0 is
+/// rigid (R = 1); beta = 1 is perfectly matched (R = 0).
+double reflectionFromAdmittance(double beta);
+
+/// Per-wall reflection coefficients from per-wall FI admittances.
+std::array<double, kNumWalls> reflectionsFromAdmittances(
+    const std::array<double, kNumWalls>& beta);
+
+/// Per-wall reflection coefficients from a material palette and a per-wall
+/// material id (only the FI `beta` of each material is used).
+std::array<double, kNumWalls> reflectionsFromMaterials(
+    const std::vector<acoustics::Material>& materials,
+    const std::array<int, kNumWalls>& wallMaterial);
+
+/// One image source: its unfolded position, the product of the reflection
+/// coefficients along its path, and its reflection order (0 = direct path).
+struct ImageSource {
+  Vec3 pos;
+  double gain = 1.0;
+  int order = 0;
+};
+
+struct IsmConfig {
+  ShoeboxRoom room;
+  Vec3 source;
+  std::vector<Vec3> receivers;
+  /// Images with up to this many wall reflections are enumerated.
+  int maxOrder = 6;
+  /// Per-wall pressure reflection coefficients, |R| <= 1.
+  std::array<double, kNumWalls> wallR{1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+  double c = 344.0;            // speed of sound, m/s
+  double sampleRate = 44100.0; // Hz
+  /// Rendered trace length, samples.
+  int numSamples = 0;
+  /// Half-width of the Hann-windowed sinc used for fractional delays,
+  /// samples each side of the delay.
+  int sincHalfWidth = 32;
+  /// Apply free-field spherical spreading 1/(4*pi*d) per image.
+  bool distanceAttenuation = true;
+};
+
+class IsmEngine {
+public:
+  /// Validates the config and enumerates the image lattice (deterministic
+  /// order). Throws lifta::Error on invalid configs (non-positive room,
+  /// source/receiver outside the open interior, |R| > 1, ...).
+  explicit IsmEngine(IsmConfig config);
+
+  const IsmConfig& config() const { return config_; }
+
+  /// The enumerated images, direct path first, then ascending by the
+  /// fixed lattice iteration order.
+  const std::vector<ImageSource>& images() const { return images_; }
+
+  /// Exact number of images enumerated for a reflection order, independent
+  /// of room or source (the lattice size depends only on the order). Used
+  /// by the service's admission estimate before an engine exists.
+  static std::size_t countImages(int maxOrder);
+
+  /// Renders every image into per-receiver traces; result[r][n] is the
+  /// band-limited impulse response at receiver r, sample n.
+  std::vector<std::vector<double>> render() const;
+
+  /// Renders receiver `r` only (render() is this over every receiver).
+  std::vector<double> renderReceiver(std::size_t r) const;
+
+  /// The windowed-sinc interpolation kernel: sinc(x) * Hann(x / halfWidth)
+  /// for |x| <= halfWidth, 0 outside. Peak 1 at x = 0, zero at every other
+  /// integer x, so integer delays reproduce amplitudes exactly.
+  static double windowedSinc(double x, int halfWidth);
+
+private:
+  IsmConfig config_;
+  std::vector<ImageSource> images_;
+};
+
+}  // namespace lifta::ism

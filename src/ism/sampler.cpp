@@ -1,0 +1,97 @@
+#include "ism/sampler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lifta::ism {
+
+namespace {
+
+void validateRanges(const SceneRanges& r) {
+  LIFTA_CHECK(r.minDims.x > 0.0 && r.minDims.y > 0.0 && r.minDims.z > 0.0,
+              "room dimensions must be positive");
+  LIFTA_CHECK(r.maxDims.x >= r.minDims.x && r.maxDims.y >= r.minDims.y &&
+                  r.maxDims.z >= r.minDims.z,
+              "maxDims must dominate minDims");
+  LIFTA_CHECK(r.minWallBeta >= 0.0 && r.maxWallBeta >= r.minWallBeta,
+              "wall admittance range must be ordered and >= 0");
+  LIFTA_CHECK(r.receiversPerScene >= 1, "need at least one receiver per scene");
+  LIFTA_CHECK(r.wallClearance >= 0.0, "wallClearance must be >= 0");
+  LIFTA_CHECK(r.minSourceReceiverDist >= 0.0,
+              "minSourceReceiverDist must be >= 0");
+  const double minSpan =
+      std::min(std::min(r.minDims.x, r.minDims.y), r.minDims.z);
+  LIFTA_CHECK(2.0 * r.wallClearance < minSpan,
+              "wallClearance leaves no interior in the smallest room");
+}
+
+Vec3 samplePoint(Rng& rng, const ShoeboxRoom& room, double clearance) {
+  Vec3 p;
+  p.x = rng.uniform(clearance, room.lx - clearance);
+  p.y = rng.uniform(clearance, room.ly - clearance);
+  p.z = rng.uniform(clearance, room.lz - clearance);
+  return p;
+}
+
+double dist(const Vec3& a, const Vec3& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+std::uint64_t sceneSeed(std::uint64_t seed, int index) {
+  // splitmix64 finalizer over the combined words; Rng's constructor expands
+  // this further, so adjacent indices yield independent streams.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SampledScene sampleScene(const SceneRanges& ranges, std::uint64_t seed,
+                         int index) {
+  validateRanges(ranges);
+  LIFTA_CHECK(index >= 0, "scene index must be >= 0");
+  Rng rng(sceneSeed(seed, index));
+
+  SampledScene scene;
+  scene.room.lx = rng.uniform(ranges.minDims.x, ranges.maxDims.x);
+  scene.room.ly = rng.uniform(ranges.minDims.y, ranges.maxDims.y);
+  scene.room.lz = rng.uniform(ranges.minDims.z, ranges.maxDims.z);
+  for (auto& beta : scene.wallBeta) {
+    beta = rng.uniform(ranges.minWallBeta, ranges.maxWallBeta);
+  }
+  scene.source = samplePoint(rng, scene.room, ranges.wallClearance);
+  scene.receivers.reserve(static_cast<std::size_t>(ranges.receiversPerScene));
+  for (int r = 0; r < ranges.receiversPerScene; ++r) {
+    // Bounded rejection keeps the draw count — and therefore the stream —
+    // deterministic; after the attempt budget the last draw is accepted so
+    // sampling always terminates (tight rooms may then violate the
+    // source-distance preference, never the wall clearance).
+    Vec3 p = samplePoint(rng, scene.room, ranges.wallClearance);
+    for (int attempt = 0;
+         attempt < 16 && dist(p, scene.source) < ranges.minSourceReceiverDist;
+         ++attempt) {
+      p = samplePoint(rng, scene.room, ranges.wallClearance);
+    }
+    scene.receivers.push_back(p);
+  }
+  return scene;
+}
+
+std::vector<SampledScene> sampleScenes(const SceneRanges& ranges, int count,
+                                       std::uint64_t seed) {
+  LIFTA_CHECK(count >= 0, "count must be >= 0");
+  std::vector<SampledScene> scenes;
+  scenes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    scenes.push_back(sampleScene(ranges, seed, i));
+  }
+  return scenes;
+}
+
+}  // namespace lifta::ism

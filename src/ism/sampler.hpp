@@ -1,0 +1,59 @@
+// Seeded, platform-stable scene sampler for batch RIR datasets.
+//
+// A dataset batch is N scenes: a shoebox room, a source, R receivers and
+// per-wall FI admittances, all drawn from configurable ranges. Every scene
+// gets its own RNG stream derived from (batch seed, scene index) with a
+// splitmix-style mix, so scene i's draws do not depend on how many scenes
+// precede it and identical (ranges, seed, count) reproduce bit-identical
+// scenes across runs and platforms: the xoshiro256** generator is pure
+// 64-bit integer arithmetic and uniform() maps to doubles with a single
+// exact multiply (common/rng.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ism/ism_engine.hpp"
+
+namespace lifta::ism {
+
+/// Ranges the sampler draws scenes from. Dimensions and positions are in
+/// meters; admittances are the FI `beta` of materials.hpp.
+struct SceneRanges {
+  Vec3 minDims{3.0, 2.4, 2.2};
+  Vec3 maxDims{8.0, 6.0, 3.5};
+  double minWallBeta = 0.05;
+  double maxWallBeta = 0.6;
+  int receiversPerScene = 1;
+  /// Sources and receivers keep at least this distance to every wall.
+  double wallClearance = 0.3;
+  /// Receivers are rejection-sampled (bounded attempts) to keep at least
+  /// this distance to the source.
+  double minSourceReceiverDist = 0.5;
+};
+
+struct SampledScene {
+  ShoeboxRoom room;
+  Vec3 source;
+  std::vector<Vec3> receivers;
+  /// Per-wall FI admittance; reflectionsFromAdmittances() derives the
+  /// ISM coefficients, the FDTD tier consumes it as a Material beta.
+  std::array<double, 6> wallBeta{};
+};
+
+/// The scene-index-independent RNG seed for scene `index` of batch `seed`;
+/// exposed so tests can reproduce one scene without sampling the prefix.
+std::uint64_t sceneSeed(std::uint64_t seed, int index);
+
+/// Draws scene `index` of the batch. Deterministic in (ranges, seed,
+/// index). Throws lifta::Error for infeasible ranges (clearance too large
+/// for the smallest room, inverted ranges, ...).
+SampledScene sampleScene(const SceneRanges& ranges, std::uint64_t seed,
+                         int index);
+
+/// Draws scenes 0..count-1.
+std::vector<SampledScene> sampleScenes(const SceneRanges& ranges, int count,
+                                       std::uint64_t seed);
+
+}  // namespace lifta::ism

@@ -9,6 +9,7 @@
 #include "common/json_writer.hpp"
 #include "common/string_util.hpp"
 #include "common/wav.hpp"
+#include "ism/hybrid.hpp"
 #include "lift_acoustics/device_simulation.hpp"
 #include "ocl/runtime.hpp"
 #include "service/checkpoint.hpp"
@@ -17,6 +18,15 @@ namespace lifta::service {
 
 using acoustics::BoundaryModel;
 using Clock = std::chrono::steady_clock;
+
+const char* fidelityName(Fidelity f) {
+  switch (f) {
+    case Fidelity::Fdtd: return "fdtd";
+    case Fidelity::Ism: return "ism";
+    case Fidelity::Hybrid: return "hybrid";
+  }
+  return "?";
+}
 
 const char* jobStatusName(JobStatus s) {
   switch (s) {
@@ -49,15 +59,82 @@ struct RirService::Job {
   RirJobSpec spec;
   std::size_t memBytes = 0;
   std::size_t insideCells = 0;
+  std::uint64_t imageRenders = 0;  // ISM images x receivers this job rendered
   Clock::time_point submitTime;
   std::atomic<bool> cancelRequested{false};
   JobStatus status = JobStatus::Queued;  // guarded by the service mutex
   RirResult result;
 };
 
+namespace {
+
+/// Cap on the ISM reflection order: the image lattice grows cubically, and
+/// past ~20 orders the enumeration cost dwarfs any fidelity gain.
+constexpr int kMaxIsmOrder = 20;
+
+/// The FDTD half of a hybrid job: a box grid over the same continuous room
+/// the image-source engine simulates, at the job's grid spacing.
+acoustics::Room hybridGridRoom(const RirJobSpec& spec) {
+  return acoustics::boxRoomFromMeters(spec.ism.room.lx, spec.ism.room.ly,
+                                      spec.ism.room.lz, spec.params.h());
+}
+
+/// Checks shared by the Ism and Hybrid fidelities (continuous domain).
+std::string validateIsm(const RirJobSpec& spec) {
+  const IsmJobParams& p = spec.ism;
+  if (spec.tier == JobTier::Device) {
+    return "ISM/hybrid fidelities are reference-tier only";
+  }
+  if (!spec.checkpointPath.empty() || !spec.resumeFrom.empty()) {
+    return "checkpoint/resume is FDTD-fidelity only";
+  }
+  if (p.room.lx <= 0.0 || p.room.ly <= 0.0 || p.room.lz <= 0.0) {
+    return "ISM room dimensions must be positive";
+  }
+  if (p.maxOrder < 0 || p.maxOrder > kMaxIsmOrder) {
+    return strformat("ISM maxOrder must be in [0, %d]", kMaxIsmOrder);
+  }
+  if (p.sincHalfWidth < 1) return "ISM sincHalfWidth must be >= 1";
+  for (const double beta : p.wallBeta) {
+    if (beta < 0.0) return "wall admittance must be >= 0";
+  }
+  const auto insideOpen = [&](const ism::Vec3& v) {
+    return v.x > 0.0 && v.x < p.room.lx && v.y > 0.0 && v.y < p.room.ly &&
+           v.z > 0.0 && v.z < p.room.lz;
+  };
+  if (!insideOpen(p.source)) {
+    return "ISM source must be strictly inside the room";
+  }
+  if (p.receivers.empty()) return "need at least one receiver";
+  for (const auto& rx : p.receivers) {
+    if (!insideOpen(rx)) return "ISM receiver must be strictly inside the room";
+  }
+  if (spec.fidelity == Fidelity::Hybrid) {
+    if (!(p.crossoverStart >= 0 && p.crossoverStart < p.crossoverEnd &&
+          p.crossoverEnd <= spec.steps)) {
+      return "hybrid crossover must satisfy 0 <= start < end <= steps";
+    }
+    if (!spec.params.stable()) {
+      return "Courant number exceeds the 3D stability limit";
+    }
+    const acoustics::Room grid = hybridGridRoom(spec);
+    if (!acoustics::gridIndexableInt32(grid)) {
+      return "hybrid FDTD grid has more cells than int32 indices can address";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
 std::string RirService::validate(const RirJobSpec& spec) {
   const auto& room = spec.room;
   if (spec.steps < 1) return "steps must be >= 1";
+  if (spec.params.threads < 0) return "params.threads must be >= 0";
+  if (spec.params.tileZ < 1) return "params.tileZ must be >= 1";
+  if (spec.params.sampleRate <= 0.0) return "sample rate must be positive";
+  if (spec.params.c <= 0.0) return "speed of sound must be positive";
+  if (spec.fidelity != Fidelity::Fdtd) return validateIsm(spec);
   if (room.nx < 3 || room.ny < 3 || room.nz < 3) {
     return "room must be at least 3 cells in every dimension";
   }
@@ -68,8 +145,6 @@ std::string RirService::validate(const RirJobSpec& spec) {
   if (!spec.params.stable()) {
     return "Courant number exceeds the 3D stability limit";
   }
-  if (spec.params.threads < 0) return "params.threads must be >= 0";
-  if (spec.params.tileZ < 1) return "params.tileZ must be >= 1";
   if (spec.numMaterials < 1) return "need at least one material";
   if (spec.model == BoundaryModel::FdMm &&
       (spec.numBranches < 1 || spec.numBranches > acoustics::kMaxBranches)) {
@@ -106,46 +181,81 @@ std::string RirService::validate(const RirJobSpec& spec) {
   return {};
 }
 
-std::size_t RirService::estimateMemoryBytes(const RirJobSpec& spec) {
-  const std::size_t cells = spec.room.cells();
-  if (!acoustics::gridIndexableInt32(spec.room)) {
-    // Unrepresentable grids can never be admitted.
-    return std::numeric_limits<std::size_t>::max();
-  }
-  const std::size_t scalarBytes =
-      spec.precision == JobPrecision::Float32 ? 4 : 8;
+namespace {
+
+/// Grid-state footprint of one FDTD simulation (no traces): pressure
+/// triple buffer + voxelization arrays + FD-MM branch state, with boundary
+/// points upper-bounded from the box closed form.
+std::size_t fdtdGridBytes(const acoustics::Room& room, std::size_t scalarBytes,
+                          BoundaryModel model, int numBranches, JobTier tier) {
+  const std::size_t cells = room.cells();
   // Boundary points are unknown before voxelization; the box closed form
   // times two upper-bounds every supported shape (the L-shape adds two
   // interior walls, everything else has fewer points than the box hull),
   // clamped to the trivial bound of one point per cell.
-  const std::size_t boundaryEst = std::min(
-      cells,
-      2 * acoustics::boxBoundaryCount(spec.room.nx, spec.room.ny,
-                                      spec.room.nz));
+  const std::size_t boundaryEst =
+      std::min(cells, 2 * acoustics::boxBoundaryCount(room.nx, room.ny,
+                                                      room.nz));
   std::size_t bytes = 3 * cells * scalarBytes  // prev/curr/next
                       + cells * 4;             // nbrs
   // boundaryIndices + boundaryNbr + material, plus the interior-run plan
   // (runs are bounded by boundary-adjacent rows).
   bytes += boundaryEst * (3 * 4 + 12);
-  if (spec.model == BoundaryModel::FdMm) {
-    bytes += 3 * static_cast<std::size_t>(spec.numBranches) * boundaryEst *
+  if (model == BoundaryModel::FdMm) {
+    bytes += 3 * static_cast<std::size_t>(numBranches) * boundaryEst *
              scalarBytes;
   }
-  if (spec.tier == JobTier::Device) {
+  if (tier == JobTier::Device) {
     bytes *= 2;  // host mirrors + simulated device buffers
   }
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t RirService::estimateMemoryBytes(const RirJobSpec& spec) {
+  const std::size_t scalarBytes =
+      spec.precision == JobPrecision::Float32 ? 4 : 8;
+  const std::size_t steps =
+      spec.steps > 0 ? static_cast<std::size_t>(spec.steps) : 0;
+  const std::size_t receivers = spec.fidelity == Fidelity::Fdtd
+                                    ? spec.receivers.size()
+                                    : spec.ism.receivers.size();
   // Per-receiver recording traces live for the whole job and are always
   // double (RirResult::traces); long multi-receiver jobs are dominated by
   // this term, not the grid.
-  const std::size_t steps =
-      spec.steps > 0 ? static_cast<std::size_t>(spec.steps) : 0;
-  bytes += steps * spec.receivers.size() * sizeof(double);
+  std::size_t bytes = steps * receivers * sizeof(double);
   if (!spec.wavDir.empty()) {
     // WAV export materializes, one receiver at a time, a peak-normalized
     // double copy of the trace plus the 16-bit PCM samples.
     bytes += steps * (sizeof(double) + sizeof(std::int16_t));
   }
-  return bytes;
+
+  if (spec.fidelity != Fidelity::Fdtd) {
+    // Image-source list: exact lattice size for the requested order.
+    const int order = std::clamp(spec.ism.maxOrder, 0, kMaxIsmOrder);
+    bytes += ism::IsmEngine::countImages(order) * sizeof(ism::ImageSource);
+    if (spec.fidelity == Fidelity::Hybrid) {
+      const acoustics::Room grid = hybridGridRoom(spec);
+      if (!acoustics::gridIndexableInt32(grid)) {
+        return std::numeric_limits<std::size_t>::max();
+      }
+      // The hybrid FDTD half always steps in double with the FI-MM model
+      // (one material derived from the wall admittances), and the stitch
+      // holds the ISM and FDTD traces alongside the result trace.
+      bytes += fdtdGridBytes(grid, sizeof(double), BoundaryModel::FiMm, 0,
+                             JobTier::Reference);
+      bytes += 2 * steps * receivers * sizeof(double);
+    }
+    return bytes;
+  }
+
+  if (!acoustics::gridIndexableInt32(spec.room)) {
+    // Unrepresentable grids can never be admitted.
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return bytes + fdtdGridBytes(spec.room, scalarBytes, spec.model,
+                               spec.numBranches, spec.tier);
 }
 
 RirService::RirService() : RirService(Config{}) {}
@@ -274,8 +384,14 @@ void RirService::finalize(Job& job, JobStatus status) {
     case JobStatus::Failed: ++failed_; break;
     default: break;
   }
-  cellSteps_ += static_cast<std::uint64_t>(job.insideCells) *
-                static_cast<std::uint64_t>(job.result.stepsDone);
+  const std::uint64_t jobCellSteps =
+      static_cast<std::uint64_t>(job.insideCells) *
+      static_cast<std::uint64_t>(job.result.stepsDone);
+  cellSteps_ += jobCellSteps;
+  auto& engine = engines_[static_cast<std::size_t>(job.spec.fidelity)];
+  if (status == JobStatus::Done) ++engine.jobs;
+  engine.cellSteps += jobCellSteps;
+  engine.imageRenders += job.imageRenders;
   totalRunMs_ += job.result.runMs;
   cvDone_.notify_all();
 }
@@ -339,7 +455,11 @@ void RirService::executorLoop() {
 // job.result.status for finalize().
 void RirService::runJob(Job& job) {
   try {
-    if (job.spec.tier == JobTier::Device) {
+    if (job.spec.fidelity == Fidelity::Ism) {
+      runIsmJob(job);
+    } else if (job.spec.fidelity == Fidelity::Hybrid) {
+      runHybridJob(job);
+    } else if (job.spec.tier == JobTier::Device) {
       runDeviceJob(job);
     } else if (job.spec.precision == JobPrecision::Float32) {
       runReferenceJob<float>(job);
@@ -503,6 +623,145 @@ void RirService::runDeviceJob(Job& job) {
   job.result.status = end;
 }
 
+namespace {
+
+/// Engine config for the ISM side of an Ism or Hybrid job.
+ism::IsmConfig ismConfigFromSpec(const RirJobSpec& spec) {
+  ism::IsmConfig cfg;
+  cfg.room = spec.ism.room;
+  cfg.source = spec.ism.source;
+  cfg.receivers = spec.ism.receivers;
+  cfg.maxOrder = spec.ism.maxOrder;
+  cfg.wallR = ism::reflectionsFromAdmittances(spec.ism.wallBeta);
+  cfg.c = spec.params.c;
+  cfg.sampleRate = spec.params.sampleRate;
+  cfg.numSamples = spec.steps;
+  cfg.sincHalfWidth = spec.ism.sincHalfWidth;
+  return cfg;
+}
+
+}  // namespace
+
+void RirService::runIsmJob(Job& job) {
+  const RirJobSpec& spec = job.spec;
+  Timer runTimer;
+  const ism::IsmEngine engine(ismConfigFromSpec(spec));
+  job.result.traces.assign(spec.ism.receivers.size(), {});
+  JobStatus end = JobStatus::Done;
+  // Cancellation/deadline granularity: one receiver render (the ISM
+  // analogue of the FDTD tiers' step granularity).
+  for (std::size_t r = 0; r < spec.ism.receivers.size(); ++r) {
+    if (job.cancelRequested.load()) {
+      end = JobStatus::Cancelled;
+      break;
+    }
+    if (deadlineExpired(job)) {
+      end = JobStatus::TimedOut;
+      break;
+    }
+    job.result.traces[r] = engine.renderReceiver(r);
+    job.imageRenders += engine.images().size();
+  }
+  if (end == JobStatus::Done) job.result.stepsDone = spec.steps;
+  job.result.runMs = runTimer.milliseconds();
+  if (end == JobStatus::Done) exportWavs(job);
+  job.result.status = end;
+}
+
+void RirService::runHybridJob(Job& job) {
+  const RirJobSpec& spec = job.spec;
+  Timer runTimer;
+  const ism::IsmEngine engine(ismConfigFromSpec(spec));
+
+  // FDTD half: a box grid over the same continuous room, stepped in double
+  // with the FI-MM model and one material whose admittance is the mean of
+  // the per-wall admittances (the grid voxelizer has no per-wall material
+  // map; the ISM side carries the per-wall detail).
+  const double h = spec.params.h();
+  acoustics::Simulation<double>::Config cfg;
+  cfg.room = hybridGridRoom(spec);
+  cfg.params = spec.params;
+  cfg.model = BoundaryModel::FiMm;
+  cfg.numMaterials = 1;
+  double meanBeta = 0.0;
+  for (const double b : spec.ism.wallBeta) meanBeta += b;
+  meanBeta /= ism::kNumWalls;
+  cfg.materials = {acoustics::Material{meanBeta, {}}};
+  cfg.pool = stepPool_;
+  acoustics::Simulation<double> sim(cfg);
+  job.insideCells = sim.grid().insideCells;
+
+  sim.addImpulse(
+      acoustics::cellForPosition(spec.ism.source.x, h, cfg.room.nx),
+      acoustics::cellForPosition(spec.ism.source.y, h, cfg.room.ny),
+      acoustics::cellForPosition(spec.ism.source.z, h, cfg.room.nz), 1.0);
+  std::vector<acoustics::Receiver> receivers;
+  receivers.reserve(spec.ism.receivers.size());
+  for (const auto& rx : spec.ism.receivers) {
+    receivers.push_back({acoustics::cellForPosition(rx.x, h, cfg.room.nx),
+                         acoustics::cellForPosition(rx.y, h, cfg.room.ny),
+                         acoustics::cellForPosition(rx.z, h, cfg.room.nz)});
+  }
+  if (spec.profile) sim.enableProfiling();
+
+  JobStatus end = JobStatus::Done;
+  std::vector<std::vector<double>> fdtd(receivers.size());
+  int done = 0;
+  while (done < spec.steps) {
+    if (job.cancelRequested.load()) {
+      end = JobStatus::Cancelled;
+      break;
+    }
+    if (deadlineExpired(job)) {
+      end = JobStatus::TimedOut;
+      break;
+    }
+    int chunk = spec.steps - done;
+    if (spec.timeoutMs > 0.0) {
+      chunk = std::min(chunk, config_.cancelCheckEverySteps);
+    }
+    std::vector<std::vector<double>> part;
+    const int did = sim.record(chunk, receivers, part, &job.cancelRequested);
+    for (std::size_t r = 0; r < part.size(); ++r) {
+      fdtd[r].insert(fdtd[r].end(), part[r].begin(), part[r].end());
+    }
+    done += did;
+    job.result.stepsDone += did;
+    if (did < chunk) {
+      end = JobStatus::Cancelled;
+      break;
+    }
+  }
+
+  if (end != JobStatus::Done) {
+    // An interrupted hybrid job returns the raw partial FDTD traces; the
+    // stitch needs the full trace length to be meaningful.
+    job.result.traces = std::move(fdtd);
+  } else {
+    const ism::CrossoverSpec window{spec.ism.crossoverStart,
+                                    spec.ism.crossoverEnd};
+    job.result.traces.assign(receivers.size(), {});
+    job.result.spliceEnergyRatio.assign(receivers.size(), 0.0);
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      ism::HybridStats stats;
+      job.result.traces[r] =
+          ism::stitchHybrid(engine.renderReceiver(r), fdtd[r], window,
+                            spec.ism.matchEnergyAtSplice, &stats);
+      job.result.spliceEnergyRatio[r] = stats.energyRatio;
+      job.imageRenders += engine.images().size();
+    }
+  }
+  job.result.runMs = runTimer.milliseconds();
+  if (job.result.runMs > 0.0) {
+    job.result.mcellsPerSecond = static_cast<double>(job.insideCells) *
+                                 job.result.stepsDone /
+                                 (job.result.runMs * 1e3);
+  }
+  if (spec.profile) job.result.profile = sim.profile();
+  if (end == JobStatus::Done) exportWavs(job);
+  job.result.status = end;
+}
+
 void RirService::exportWavs(Job& job) {
   if (job.spec.wavDir.empty()) return;
   const int rate = static_cast<int>(job.spec.params.sampleRate);
@@ -526,6 +785,7 @@ ServiceMetrics RirService::metrics() const {
   m.rejected = rejected_;
   m.failed = failed_;
   m.cellStepsProcessed = cellSteps_;
+  m.engines = engines_;
   m.totalRunMs = totalRunMs_;
   m.queueWaitMs = summarize(queueWaitSamples_);
   m.elapsedSeconds = uptime_.seconds();
@@ -568,6 +828,17 @@ std::string ServiceMetrics::toJson() const {
       .field("peak_in_use_bytes",
              static_cast<std::uint64_t>(peakMemoryInUseBytes))
       .endObject();
+  json.key("engines").beginObject();
+  for (int f = 0; f < kNumFidelities; ++f) {
+    const EngineCounters& e = engines[static_cast<std::size_t>(f)];
+    json.key(fidelityName(static_cast<Fidelity>(f)))
+        .beginObject()
+        .field("jobs", e.jobs)
+        .field("cell_steps", e.cellSteps)
+        .field("image_renders", e.imageRenders)
+        .endObject();
+  }
+  json.endObject();
   json.key("voxel_cache")
       .beginObject()
       .field("hits", voxelCacheHits)

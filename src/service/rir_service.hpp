@@ -24,6 +24,7 @@
 // K steps (service/checkpoint.hpp) and later resume from the file.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +39,7 @@
 #include "acoustics/step_profiler.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "ism/ism_engine.hpp"
 
 namespace lifta::ocl {
 class Context;
@@ -52,6 +54,40 @@ enum class JobTier {
 };
 
 enum class JobPrecision { Float32, Float64 };
+
+/// Which physical engine produces the impulse response.
+enum class Fidelity {
+  Fdtd,    // full wave simulation (reference or device tier)
+  Ism,     // shoebox image-source early reflections only (host, cheap)
+  Hybrid,  // ISM early reflections + FDTD late field, crossover-stitched
+};
+
+const char* fidelityName(Fidelity f);
+inline constexpr int kNumFidelities = 3;
+
+/// Continuous-domain job description for the ISM and hybrid fidelities.
+/// Positions are meters from the room's minimum corner. For Hybrid jobs the
+/// FDTD grid, source and receiver cells are derived from these fields at
+/// the job's grid spacing (params.h()); the grid-domain RirJobSpec fields
+/// (room, sources, receivers) are ignored for non-Fdtd fidelities.
+struct IsmJobParams {
+  ism::ShoeboxRoom room;
+  ism::Vec3 source;
+  std::vector<ism::Vec3> receivers;
+  /// Maximum reflection order of the enumerated image lattice.
+  int maxOrder = 6;
+  /// Per-wall FI admittances (materials.hpp beta); the engine derives
+  /// reflection coefficients, the hybrid FDTD side derives its material.
+  std::array<double, ism::kNumWalls> wallBeta{0.2, 0.2, 0.2, 0.2, 0.2, 0.2};
+  int sincHalfWidth = 32;
+  /// Hybrid only: crossover window in samples (0 <= start < end <= steps).
+  int crossoverStart = 0;
+  int crossoverEnd = 0;
+  /// Hybrid only: scale the FDTD side so both tiers carry equal energy in
+  /// the crossover window (RirResult::spliceEnergyRatio reports the ratio
+  /// either way).
+  bool matchEnergyAtSplice = false;
+};
 
 /// An impulsive source: amplitude added to the pressure field at (x,y,z)
 /// before the first step.
@@ -79,6 +115,10 @@ struct RirJobSpec {
 
   JobPrecision precision = JobPrecision::Float64;
   JobTier tier = JobTier::Reference;
+  /// Engine selection; Ism and Hybrid read `ism` instead of the grid-domain
+  /// room/sources/receivers and run on the reference tier only.
+  Fidelity fidelity = Fidelity::Fdtd;
+  IsmJobParams ism;
 
   /// Higher runs first; FIFO within equal priority.
   int priority = 0;
@@ -123,6 +163,9 @@ struct RirResult {
   std::vector<std::string> wavPaths;
 
   int stepsDone = 0;  // steps run by this job
+  /// Hybrid jobs: per-receiver ISM/FDTD energy ratio inside the crossover
+  /// window (HybridStats::energyRatio), the splice-continuity diagnostic.
+  std::vector<double> spliceEnergyRatio;
   double queueWaitMs = 0.0;
   double runMs = 0.0;
   std::size_t memoryBytesEstimated = 0;
@@ -134,6 +177,16 @@ struct RirResult {
   acoustics::StepProfiler profile;
 };
 
+/// Per-fidelity engine activity: how many jobs each engine finished and
+/// how much work it did in its native unit — inside-cell updates for the
+/// FDTD stepper, image-source renders (images x receivers) for the ISM
+/// engine. Hybrid jobs contribute to both units.
+struct EngineCounters {
+  std::uint64_t jobs = 0;          // jobs completed (Done)
+  std::uint64_t cellSteps = 0;     // FDTD inside-cell updates
+  std::uint64_t imageRenders = 0;  // ISM images x receivers rendered
+};
+
 /// Aggregate service-level counters; a consistent snapshot of a moment.
 struct ServiceMetrics {
   std::uint64_t submitted = 0;
@@ -142,6 +195,9 @@ struct ServiceMetrics {
   std::uint64_t timedOut = 0;
   std::uint64_t rejected = 0;
   std::uint64_t failed = 0;
+
+  /// Per-engine breakdown, indexed by Fidelity.
+  std::array<EngineCounters, kNumFidelities> engines{};
 
   /// Inside-cell updates summed over every step any job ran.
   std::uint64_t cellStepsProcessed = 0;
@@ -247,6 +303,8 @@ private:
   template <typename T>
   void runReferenceJob(Job& job);
   void runDeviceJob(Job& job);
+  void runIsmJob(Job& job);
+  void runHybridJob(Job& job);
   void finalize(Job& job, JobStatus status);
   void exportWavs(Job& job);
   bool deadlineExpired(const Job& job) const;
@@ -271,6 +329,7 @@ private:
   std::uint64_t submitted_ = 0, completed_ = 0, cancelled_ = 0, timedOut_ = 0,
                 rejected_ = 0, failed_ = 0;
   std::uint64_t cellSteps_ = 0;
+  std::array<EngineCounters, kNumFidelities> engines_{};
   double totalRunMs_ = 0.0;
   std::vector<double> queueWaitSamples_;
   std::uint64_t voxelHitsAtStart_ = 0, voxelMissesAtStart_ = 0;

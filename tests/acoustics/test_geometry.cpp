@@ -461,5 +461,33 @@ TEST(Geometry, GridIndexableInt32Guard) {
   EXPECT_FALSE(gridIndexableInt32(Room{RoomShape::Box, 1300, 1300, 1300}));
 }
 
+TEST(Geometry, BoxRoomFromMetersRoundsAndAddsHalo) {
+  // 5 m at h = 0.5 m -> 10 interior cells + 2 halo.
+  const Room r = boxRoomFromMeters(5.0, 2.5, 1.2, 0.5);
+  EXPECT_EQ(r.shape, RoomShape::Box);
+  EXPECT_EQ(r.nx, 12);
+  EXPECT_EQ(r.ny, 7);   // 2.5 / 0.5 = 5 interior
+  EXPECT_EQ(r.nz, 4);   // round(2.4) = 2 interior
+  // A room smaller than one cell still gets one interior cell.
+  const Room tiny = boxRoomFromMeters(0.1, 0.1, 0.1, 1.0);
+  EXPECT_EQ(tiny.nx, 3);
+  EXPECT_EQ(tiny.ny, 3);
+  EXPECT_EQ(tiny.nz, 3);
+}
+
+TEST(Geometry, CellForPositionSnapsAndClamps) {
+  // n = 12: interior cells 1..10, each 0.5 m wide starting at the minimum
+  // corner. 0.75 m falls in the second interior cell.
+  EXPECT_EQ(cellForPosition(0.75, 0.5, 12), 2);
+  EXPECT_EQ(cellForPosition(0.0, 0.5, 12), 1);    // at the wall -> first
+  EXPECT_EQ(cellForPosition(-1.0, 0.5, 12), 1);   // clamped low
+  EXPECT_EQ(cellForPosition(100.0, 0.5, 12), 10); // clamped high
+  // Positions map into the interior of the grid boxRoomFromMeters built.
+  const Room r = boxRoomFromMeters(5.0, 5.0, 5.0, 0.5);
+  EXPECT_TRUE(r.inside(cellForPosition(4.99, 0.5, r.nx),
+                       cellForPosition(2.5, 0.5, r.ny),
+                       cellForPosition(0.01, 0.5, r.nz)));
+}
+
 }  // namespace
 }  // namespace lifta::acoustics

@@ -54,5 +54,56 @@ TEST(Wav, NormalizeSilenceIsNoop) {
   EXPECT_DOUBLE_EQ(out[1], 0.0);
 }
 
+TEST(Wav, RoundTripRecoversSamplesWithinQuantization) {
+  const std::string path = ::testing::TempDir() + "/lifta_roundtrip.wav";
+  const std::vector<double> in = {0.0, 0.5, -0.5, 0.25, -1.0, 1.0, 0.123};
+  writeWav(path, in, 22050);
+  const WavData back = readWav(path);
+  EXPECT_EQ(back.sampleRateHz, 22050);
+  ASSERT_EQ(back.samples.size(), in.size());
+  // 16-bit PCM quantizes to q = lrint(s * 32767) / 32767: half an LSB.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(back.samples[i], in[i], 0.5 / 32767.0) << "i=" << i;
+  }
+}
+
+TEST(Wav, RoundTripExactAtQuantizationPoints) {
+  // Samples that are exact multiples of 1/32767 survive the round trip
+  // bit-for-bit — the representation the batch WAV shards rely on for
+  // hash-stable datasets.
+  const std::string path = ::testing::TempDir() + "/lifta_exact.wav";
+  const std::vector<double> in = {0.0, 100.0 / 32767.0, -200.0 / 32767.0, 1.0};
+  writeWav(path, in, 8000);
+  const WavData back = readWav(path);
+  ASSERT_EQ(back.samples.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(back.samples[i], in[i]) << "i=" << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ReadRejectsMissingAndTruncatedFiles) {
+  EXPECT_THROW(readWav("/nonexistent_dir_xyz/in.wav"), Error);
+
+  const std::string path = ::testing::TempDir() + "/lifta_trunc.wav";
+  writeWav(path, {0.1, 0.2, 0.3, 0.4}, 8000);
+  const auto bytes = readAll(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(readWav(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ReadRejectsNonWavBytes) {
+  const std::string path = ::testing::TempDir() + "/lifta_notwav.wav";
+  std::ofstream out(path, std::ios::binary);
+  out << "this is definitely not a RIFF container";
+  out.close();
+  EXPECT_THROW(readWav(path), Error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace lifta

@@ -1,0 +1,130 @@
+// The crossover stitcher: unit-gain complementary weights, exact
+// passthrough outside the window, energy matching, and error cases.
+#include "ism/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+using namespace lifta;
+using namespace lifta::ism;
+
+namespace {
+
+std::vector<double> noise(int n, std::uint64_t seed, double scale) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& s : v) s = scale * (2.0 * rng.uniform() - 1.0);
+  return v;
+}
+
+TEST(Hybrid, WeightsAreComplementaryAndMonotone) {
+  const CrossoverSpec spec{100, 200};
+  double prev = -1.0;
+  for (int n = 0; n < 300; ++n) {
+    const double w = crossoverWeight(n, spec);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+    EXPECT_GE(w, prev) << "weight must be non-decreasing at n=" << n;
+    prev = w;
+    // Unit-gain: the ISM weight (1 - w) and the FDTD weight w sum to 1
+    // exactly (this is what makes the blend ripple-free).
+    EXPECT_DOUBLE_EQ((1.0 - w) + w, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(crossoverWeight(0, spec), 0.0);
+  EXPECT_DOUBLE_EQ(crossoverWeight(99, spec), 0.0);
+  EXPECT_DOUBLE_EQ(crossoverWeight(200, spec), 1.0);
+  EXPECT_DOUBLE_EQ(crossoverWeight(299, spec), 1.0);
+  // Midpoint of the raised cosine.
+  EXPECT_NEAR(crossoverWeight(150, spec), 0.5, 1e-12);
+}
+
+TEST(Hybrid, OutputEqualsIsmBeforeStartAndFdtdAfterEnd) {
+  const int n = 256;
+  const auto ism = noise(n, 11, 0.5);
+  const auto fdtd = noise(n, 22, 0.3);
+  const CrossoverSpec spec{64, 128};
+  const auto out = stitchHybrid(ism, fdtd, spec);
+  ASSERT_EQ(out.size(), ism.size());
+  for (int i = 0; i < spec.start; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              ism[static_cast<std::size_t>(i)])  // bitwise
+        << "i=" << i;
+  }
+  for (int i = spec.end; i < n; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              fdtd[static_cast<std::size_t>(i)])  // bitwise
+        << "i=" << i;
+  }
+}
+
+TEST(Hybrid, BlendOfIdenticalTracesIsIdentity) {
+  // If both sides agree, the unit-gain blend must reproduce the signal
+  // (up to rounding) at every sample — no dip through the window.
+  const int n = 200;
+  const auto sig = noise(n, 33, 1.0);
+  const auto out = stitchHybrid(sig, sig, CrossoverSpec{50, 150});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)],
+                sig[static_cast<std::size_t>(i)], 1e-15)
+        << "i=" << i;
+  }
+}
+
+TEST(Hybrid, StatsReportWindowEnergies) {
+  const int n = 100;
+  std::vector<double> ism(n, 0.0), fdtd(n, 0.0);
+  const CrossoverSpec spec{10, 20};
+  for (int i = spec.start; i < spec.end; ++i) {
+    ism[static_cast<std::size_t>(i)] = 2.0;   // energy 10 * 4 = 40
+    fdtd[static_cast<std::size_t>(i)] = 1.0;  // energy 10 * 1 = 10
+  }
+  HybridStats stats;
+  stitchHybrid(ism, fdtd, spec, /*matchEnergy=*/false, &stats);
+  EXPECT_DOUBLE_EQ(stats.ismWindowEnergy, 40.0);
+  EXPECT_DOUBLE_EQ(stats.fdtdWindowEnergy, 10.0);
+  EXPECT_DOUBLE_EQ(stats.energyRatio, 4.0);
+  EXPECT_DOUBLE_EQ(stats.fdtdGain, 1.0);  // no matching requested
+}
+
+TEST(Hybrid, MatchEnergyScalesFdtdTail) {
+  const int n = 100;
+  std::vector<double> ism(n, 0.0), fdtd(n, 0.0);
+  const CrossoverSpec spec{10, 20};
+  for (int i = spec.start; i < n; ++i) fdtd[static_cast<std::size_t>(i)] = 1.0;
+  for (int i = spec.start; i < spec.end; ++i)
+    ism[static_cast<std::size_t>(i)] = 2.0;
+  HybridStats stats;
+  const auto out = stitchHybrid(ism, fdtd, spec, /*matchEnergy=*/true, &stats);
+  EXPECT_DOUBLE_EQ(stats.fdtdGain, 2.0);  // sqrt(40 / 10)
+  // The tail after the window is the gained FDTD trace.
+  for (int i = spec.end; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 2.0) << "i=" << i;
+  }
+}
+
+TEST(Hybrid, MatchEnergyWithSilentWindowLeavesGainAtOne) {
+  const std::vector<double> zero(50, 0.0);
+  HybridStats stats;
+  const auto out =
+      stitchHybrid(zero, zero, CrossoverSpec{10, 20}, true, &stats);
+  EXPECT_DOUBLE_EQ(stats.fdtdGain, 1.0);
+  for (const double s : out) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Hybrid, RejectsBadSpecs) {
+  const std::vector<double> a(100, 0.0);
+  const std::vector<double> shorter(99, 0.0);
+  EXPECT_THROW(stitchHybrid(a, shorter, CrossoverSpec{10, 20}), Error);
+  EXPECT_THROW(stitchHybrid(a, a, CrossoverSpec{-1, 20}), Error);
+  EXPECT_THROW(stitchHybrid(a, a, CrossoverSpec{20, 20}), Error);  // empty
+  EXPECT_THROW(stitchHybrid(a, a, CrossoverSpec{30, 20}), Error);  // inverted
+  EXPECT_THROW(stitchHybrid(a, a, CrossoverSpec{10, 101}), Error);  // past end
+}
+
+}  // namespace

@@ -12,7 +12,9 @@
 #include <thread>
 #include <vector>
 
+#include "acoustics/geometry.hpp"
 #include "common/error.hpp"
+#include "ism/ism_engine.hpp"
 
 using namespace lifta;
 using namespace lifta::acoustics;
@@ -434,6 +436,210 @@ TEST(RirService, EstimateGrowsWithTracesAndWavBuffers) {
   auto withWav = moreRecv;
   withWav.wavDir = "/tmp/does-not-matter";
   EXPECT_GT(RirService::estimateMemoryBytes(withWav), withRecv);
+}
+
+// ---- ISM and hybrid fidelities ------------------------------------------
+
+RirJobSpec ismSpec(int steps = 300) {
+  RirJobSpec spec;
+  spec.fidelity = Fidelity::Ism;
+  spec.steps = steps;
+  spec.params.sampleRate = 8000.0;
+  spec.ism.room = {4.5, 3.8, 2.9};
+  spec.ism.source = {1.2, 1.9, 1.4};
+  spec.ism.receivers = {{3.1, 1.1, 1.6}, {2.2, 2.8, 1.0}};
+  spec.ism.maxOrder = 3;
+  spec.ism.wallBeta = {0.1, 0.2, 0.3, 0.15, 0.25, 0.35};
+  return spec;
+}
+
+TEST(RirService, IsmJobMatchesEngineBitwise) {
+  const auto spec = ismSpec();
+  RirService svc;
+  const RirResult r = svc.wait(svc.submit(spec));
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  EXPECT_EQ(r.stepsDone, spec.steps);
+  EXPECT_TRUE(r.spliceEnergyRatio.empty());  // hybrid-only diagnostic
+
+  // The service must produce exactly what a directly constructed engine
+  // produces from the same spec fields.
+  ism::IsmConfig cfg;
+  cfg.room = spec.ism.room;
+  cfg.source = spec.ism.source;
+  cfg.receivers = spec.ism.receivers;
+  cfg.maxOrder = spec.ism.maxOrder;
+  cfg.wallR = ism::reflectionsFromAdmittances(spec.ism.wallBeta);
+  cfg.c = spec.params.c;
+  cfg.sampleRate = spec.params.sampleRate;
+  cfg.numSamples = spec.steps;
+  cfg.sincHalfWidth = spec.ism.sincHalfWidth;
+  const ism::IsmEngine engine(cfg);
+  const auto expected = engine.render();
+
+  ASSERT_EQ(r.traces.size(), expected.size());
+  for (std::size_t rx = 0; rx < expected.size(); ++rx) {
+    ASSERT_EQ(r.traces[rx].size(), expected[rx].size());
+    for (std::size_t s = 0; s < expected[rx].size(); ++s) {
+      ASSERT_EQ(r.traces[rx][s], expected[rx][s])
+          << "receiver " << rx << " sample " << s;
+    }
+  }
+
+  const ServiceMetrics m = svc.metrics();
+  const auto& eng = m.engines[static_cast<std::size_t>(Fidelity::Ism)];
+  EXPECT_EQ(eng.jobs, 1u);
+  EXPECT_EQ(eng.imageRenders, engine.images().size() * spec.ism.receivers.size());
+  EXPECT_EQ(eng.cellSteps, 0u);
+}
+
+TEST(RirService, HybridJobSplicesIsmAndFdtdExactly) {
+  auto spec = ismSpec(80);
+  spec.fidelity = Fidelity::Hybrid;
+  spec.params.sampleRate = 4000.0;  // coarse grid keeps the FDTD half small
+  spec.ism.room = {2.6, 2.2, 2.0};
+  spec.ism.source = {0.8, 1.1, 0.9};
+  spec.ism.receivers = {{1.8, 0.9, 1.2}};
+  spec.ism.crossoverStart = 20;
+  spec.ism.crossoverEnd = 40;
+  RirService svc;
+  const RirResult r = svc.wait(svc.submit(spec));
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  ASSERT_EQ(r.traces.size(), 1u);
+  ASSERT_EQ(r.traces[0].size(), 80u);
+  ASSERT_EQ(r.spliceEnergyRatio.size(), 1u);
+
+  // ISM side, reproduced directly.
+  ism::IsmConfig icfg;
+  icfg.room = spec.ism.room;
+  icfg.source = spec.ism.source;
+  icfg.receivers = spec.ism.receivers;
+  icfg.maxOrder = spec.ism.maxOrder;
+  icfg.wallR = ism::reflectionsFromAdmittances(spec.ism.wallBeta);
+  icfg.c = spec.params.c;
+  icfg.sampleRate = spec.params.sampleRate;
+  icfg.numSamples = spec.steps;
+  icfg.sincHalfWidth = spec.ism.sincHalfWidth;
+  const ism::IsmEngine engine(icfg);
+  const auto ismTrace = engine.renderReceiver(0);
+
+  // FDTD side, reproduced directly: box grid over the room at h, FI-MM,
+  // one mean-admittance material, cell-snapped source and receiver.
+  const double h = spec.params.h();
+  Simulation<double>::Config fcfg;
+  fcfg.room = boxRoomFromMeters(spec.ism.room.lx, spec.ism.room.ly,
+                                spec.ism.room.lz, h);
+  fcfg.params = spec.params;
+  fcfg.model = BoundaryModel::FiMm;
+  fcfg.numMaterials = 1;
+  double meanBeta = 0.0;
+  for (const double b : spec.ism.wallBeta) meanBeta += b;
+  fcfg.materials = {Material{meanBeta / ism::kNumWalls, {}}};
+  Simulation<double> direct(fcfg);
+  direct.addImpulse(cellForPosition(spec.ism.source.x, h, fcfg.room.nx),
+                    cellForPosition(spec.ism.source.y, h, fcfg.room.ny),
+                    cellForPosition(spec.ism.source.z, h, fcfg.room.nz), 1.0);
+  const std::vector<Receiver> receivers = {
+      {cellForPosition(spec.ism.receivers[0].x, h, fcfg.room.nx),
+       cellForPosition(spec.ism.receivers[0].y, h, fcfg.room.ny),
+       cellForPosition(spec.ism.receivers[0].z, h, fcfg.room.nz)}};
+  const auto fdtdTrace = direct.record(spec.steps, receivers)[0];
+
+  // Acceptance: the hybrid IS the ISM trace before the window and IS the
+  // FDTD trace after it, bit-for-bit (unit-gain blend in between).
+  for (int n = 0; n < spec.ism.crossoverStart; ++n) {
+    ASSERT_EQ(r.traces[0][static_cast<std::size_t>(n)],
+              ismTrace[static_cast<std::size_t>(n)])
+        << "n=" << n;
+  }
+  for (int n = spec.ism.crossoverEnd; n < spec.steps; ++n) {
+    ASSERT_EQ(r.traces[0][static_cast<std::size_t>(n)],
+              fdtdTrace[static_cast<std::size_t>(n)])
+        << "n=" << n;
+  }
+
+  // A hybrid job contributes to both engine work units.
+  const ServiceMetrics m = svc.metrics();
+  const auto& eng = m.engines[static_cast<std::size_t>(Fidelity::Hybrid)];
+  EXPECT_EQ(eng.jobs, 1u);
+  EXPECT_GT(eng.cellSteps, 0u);
+  EXPECT_GT(eng.imageRenders, 0u);
+}
+
+TEST(RirService, ValidateRejectsBadIsmSpecs) {
+  auto spec = ismSpec();
+  spec.tier = JobTier::Device;
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  spec = ismSpec();
+  spec.ism.source = {99.0, 1.0, 1.0};  // outside
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  spec = ismSpec();
+  spec.ism.maxOrder = 21;  // above the lattice cap
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  spec = ismSpec();
+  spec.checkpointPath = "/tmp/x";
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  spec = ismSpec();
+  spec.fidelity = Fidelity::Hybrid;
+  spec.ism.crossoverStart = 10;
+  spec.ism.crossoverEnd = 10;  // empty window
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  spec = ismSpec();
+  spec.fidelity = Fidelity::Hybrid;
+  spec.ism.crossoverStart = 0;
+  spec.ism.crossoverEnd = spec.steps + 1;  // past the trace
+  EXPECT_FALSE(RirService::validate(spec).empty());
+
+  EXPECT_TRUE(RirService::validate(ismSpec()).empty());
+}
+
+TEST(RirService, IsmJobRunsWithWavExport) {
+  auto spec = ismSpec(120);
+  spec.wavDir = ::testing::TempDir();
+  RirService svc;
+  const RirResult r = svc.wait(svc.submit(spec));
+  ASSERT_EQ(r.status, JobStatus::Done) << r.error;
+  ASSERT_EQ(r.wavPaths.size(), 2u);
+  for (const auto& path : r.wavPaths) {
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RirService, EstimateCoversIsmAndHybridJobs) {
+  // Regression: non-FDTD jobs must not be estimated from the (ignored)
+  // grid-domain fields — an ISM job's footprint is its traces plus the
+  // image lattice, and a hybrid job adds the full FDTD grid state.
+  const auto ism = ismSpec(1000);
+  const std::size_t ismBytes = RirService::estimateMemoryBytes(ism);
+  // Traces: steps x receivers x 8 bytes; lattice: countImages(3) images.
+  const std::size_t traceBytes = std::size_t{1000} * 2 * 8;
+  const std::size_t latticeBytes =
+      ism::IsmEngine::countImages(3) * sizeof(ism::ImageSource);
+  EXPECT_EQ(ismBytes, traceBytes + latticeBytes);
+
+  auto deeper = ism;
+  deeper.ism.maxOrder = 8;
+  EXPECT_GT(RirService::estimateMemoryBytes(deeper), ismBytes);
+
+  auto hybrid = ism;
+  hybrid.fidelity = Fidelity::Hybrid;
+  hybrid.params.sampleRate = 4000.0;
+  hybrid.ism.crossoverStart = 10;
+  hybrid.ism.crossoverEnd = 50;
+  const std::size_t hybridBytes = RirService::estimateMemoryBytes(hybrid);
+  // The hybrid estimate covers the FDTD grid (3 double buffers + nbrs) and
+  // the ISM + FDTD traces held alongside the stitched result.
+  const Room grid = boxRoomFromMeters(hybrid.ism.room.lx, hybrid.ism.room.ly,
+                                      hybrid.ism.room.lz,
+                                      hybrid.params.h());
+  EXPECT_GE(hybridBytes, grid.cells() * (3 * 8 + 4) + 3 * traceBytes);
+  EXPECT_GT(hybridBytes, ismBytes);
 }
 
 }  // namespace
