@@ -19,6 +19,8 @@ const char* passName(PassId p) {
     case PassId::Race: return "race";
     case PassId::HostLint: return "host-lint";
     case PassId::TaskDeps: return "task-deps";
+    case PassId::Equiv: return "equiv";
+    case PassId::Dataflow: return "dataflow";
   }
   return "?";
 }
@@ -56,6 +58,11 @@ std::string Report::toText() const {
       out += d.indexExpr;
       out += "]";
     }
+    if (!d.origin.empty()) {
+      out += " [origin: ";
+      out += d.origin;
+      out += "]";
+    }
     out += '\n';
   }
   return out;
@@ -76,6 +83,7 @@ std::string Report::toJson() const {
     w.key("node").value(d.node);
     w.key("message").value(d.message);
     w.key("index").value(d.indexExpr);
+    w.key("origin").value(d.origin);
     w.endObject();
   }
   w.endArray();

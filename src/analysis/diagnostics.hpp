@@ -24,6 +24,8 @@ enum class PassId {
   Race,      // scatter-write race detector
   HostLint,  // host-program DAG lint
   TaskDeps,  // runtime task-graph dependence derivation/lint
+  Equiv,     // translation validation (optimizer store-summary equivalence)
+  Dataflow,  // host-program def-use/liveness lint
 };
 
 const char* severityName(Severity s);
@@ -36,6 +38,10 @@ struct Diagnostic {
   std::string node;       // buffer / host-node the finding anchors to
   std::string message;    // human-readable description
   std::string indexExpr;  // offending index expression (bounds/race passes)
+  /// Pre-optimization origin of the finding. Optimizer passes rewrite index
+  /// expressions, so `indexExpr` alone cites post-opt IR; `origin` carries
+  /// the statement as written in the source kernel definition.
+  std::string origin;
 };
 
 /// All findings for one analyzed artifact (kernel or host program).

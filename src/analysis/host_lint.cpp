@@ -166,6 +166,10 @@ class HostLinter {
         add(Severity::Warning, n.get(),
             "unused transfer: '" + label(n.get()) +
                 "' is never read by any kernel or output");
+      } else if (n->op == HOp::DeviceAlloc) {
+        add(Severity::Warning, n.get(),
+            "unused allocation: '" + label(n.get()) +
+                "' is never touched by any kernel or output");
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "analysis/interval.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -233,6 +234,46 @@ bool divisibleBy(const Expr& e, const Expr& factor) {
   return false;
 }
 
+std::optional<std::pair<Expr, Expr>> polyDivide(const Expr& num,
+                                                const Expr& den) {
+  auto pn = toPoly(num);
+  auto pd = toPoly(den);
+  if (!pn || !pd || pd->size() != 1) return std::nullopt;
+  const MonoKey& dk = pd->begin()->first;
+  const std::int64_t dc = pd->begin()->second;
+  if (dc == 0) return std::nullopt;
+  Poly q, r;
+  for (const auto& [key, c] : *pn) {
+    bool varsDivide = true;
+    MonoKey reduced = key;
+    for (const auto& [v, d] : dk) {
+      auto it = reduced.find(v);
+      if (it == reduced.end() || it->second < d) {
+        varsDivide = false;
+        break;
+      }
+      it->second -= d;
+      if (it->second == 0) reduced.erase(it);
+    }
+    if (!varsDivide) {
+      polyAddTerm(r, key, c);
+      continue;
+    }
+    // Euclidean split of the coefficient: c == e*dc + rc with 0 <= rc < |dc|,
+    // so constant slack stays below the divisor (e.g. (2i+3)/2 -> i+1 rem 1,
+    // not i rem 3) and the quotient-substitution rule can fire.
+    std::int64_t e = c / dc;
+    std::int64_t rc = c - e * dc;
+    if (rc < 0) {
+      rc += std::abs(dc);
+      e += (dc > 0) ? -1 : 1;
+    }
+    if (e != 0) polyAddTerm(q, reduced, e);
+    if (rc != 0) polyAddTerm(r, key, rc);
+  }
+  return std::make_pair(polyToExpr(q), polyToExpr(r));
+}
+
 // --- Prover: registration ---------------------------------------------------
 
 void Prover::setDomain(const std::string& var, Domain d) {
@@ -259,6 +300,11 @@ void Prover::assumeAtLeast(const std::string& var, std::int64_t bound) {
 
 void Prover::assumeNonNegative(arith::Expr fact) {
   facts_.push_back(std::move(fact));
+}
+
+void Prover::assumeDifference(const std::string& x, const std::string& y,
+                              Expr lo, Expr hi) {
+  diffs_.push_back(DiffBound{x, y, std::move(lo), std::move(hi)});
 }
 
 Expr Prover::resolve(Expr e) const {
@@ -399,9 +445,24 @@ struct ProveCtx {
   // before the residual check. Keys never appear in their own replacement.
   std::map<std::string, Expr> ordSubst_;
 
+  // Difference bounds lo <= x - y <= hi rewritten as x -> y + rel$N with
+  // rel$N carrying the inexact proof-scoped domain [lo, hi].
+  std::map<std::string, Expr> diffSubst_;
+
   explicit ProveCtx(const Prover& prover) : p(prover) {
     for (const auto& [v, b] : prover.atLeast_) mins[v] = b;
     for (const auto& f : prover.facts_) noteFact(f);
+    int rel = 0;
+    for (const auto& d : prover.diffs_) {
+      const std::string t = "rel$" + std::to_string(rel++);
+      fresh.emplace(t, Domain{d.lo, d.hi, /*exact=*/false});
+      diffSubst_.emplace(d.x, Expr::var(d.y) + Expr::var(t));
+    }
+  }
+
+  /// One substitution round: goals lose every difference-bounded variable.
+  Expr applyDiffs(const Expr& e) const {
+    return diffSubst_.empty() ? e : e.substitute(diffSubst_);
   }
 
   const Domain* domainOf(const std::string& var) const {
@@ -617,7 +678,7 @@ struct ProveCtx {
 
 Prover::Result Prover::proveGE0(const Expr& e) const {
   ProveCtx ctx(*this);
-  Proof pr = ctx.prove(resolve(e));
+  Proof pr = ctx.prove(ctx.applyDiffs(resolve(e)));
   return Result{pr, ctx.exact};
 }
 

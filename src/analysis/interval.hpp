@@ -57,6 +57,16 @@ class Prover {
   /// facts whose shape the var-level maps cannot hold, e.g. cells - segW).
   void assumeNonNegative(arith::Expr fact);
 
+  /// Relational difference bound: assumes lo <= x - y <= hi. During proving
+  /// `x` is rewritten to `y + d` with a proof-scoped variable d in [lo, hi],
+  /// so goals that couple the two variables (e.g. disjointness of
+  /// `i*stride + c1` and `i'*stride + c2`) become single-variable facts the
+  /// non-relational domains can discharge. The bound is registered inexact:
+  /// it never licenses an exact "No" witness. Bounds chain through `y` only
+  /// if `y` itself has no difference bound (one substitution round).
+  void assumeDifference(const std::string& x, const std::string& y,
+                        arith::Expr lo, arith::Expr hi);
+
   /// Substitutes definitions to a fixpoint.
   arith::Expr resolve(arith::Expr e) const;
 
@@ -88,10 +98,17 @@ class Prover {
 
  private:
   friend struct ProveCtx;
+  struct DiffBound {
+    std::string x;
+    std::string y;
+    arith::Expr lo;
+    arith::Expr hi;
+  };
   std::map<std::string, Domain> domains_;
   std::map<std::string, arith::Expr> defs_;
   std::map<std::string, std::int64_t> atLeast_;
-  std::vector<arith::Expr> facts_;  // each assumed >= 0
+  std::vector<arith::Expr> facts_;       // each assumed >= 0
+  std::vector<DiffBound> diffs_;         // each: lo <= x - y <= hi
 };
 
 // --- polynomial helpers shared with the race detector -----------------------
@@ -109,5 +126,15 @@ std::optional<std::pair<arith::Expr, arith::Expr>> affineIn(
 /// True when every additive term of polynomial `e` carries `factor` (a Var,
 /// or a Const that divides every coefficient).
 bool divisibleBy(const arith::Expr& e, const arith::Expr& factor);
+
+/// Polynomial division by a single monomial: returns (quotient, remainder)
+/// with num == quotient*den + remainder exactly. Monomials whose variables
+/// are not divisible by `den` land wholly in the remainder; when the
+/// variables divide, the coefficient is split Euclideanly so the remainder
+/// coefficient stays in [0, |den coeff|) — e.g. (2i+3)/2 is (i+1, 1), not
+/// (i, 3). Nullopt when either input is non-polynomial, `den` is zero, or
+/// `den` has more than one monomial.
+std::optional<std::pair<arith::Expr, arith::Expr>> polyDivide(
+    const arith::Expr& num, const arith::Expr& den);
 
 }  // namespace lifta::analysis

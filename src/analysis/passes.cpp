@@ -132,6 +132,8 @@ void boundsPass(const KernelAccessInfo& info, const AnalysisOptions& opts,
         d.kernel = info.kernelName;
         d.node = a.buffer;
         d.indexExpr = simplified.toString();
+        d.origin = a.context + " (pre-opt index: " +
+                   p.resolve(a.index).toString() + ")";
         d.message = a.context +
                     ": optimizer-simplified index loses the bounds proof "
                     "(original form proves in range; simplified form does "
@@ -224,6 +226,25 @@ struct RaceChecker {
 
   bool yes(const Prover::Result& r) const { return r.proof == Proof::Yes; }
 
+  /// Rule R (relational): model the second work item as g' = g + d with d in
+  /// [1, G-1], and symmetrically g = g' + d. If the index difference is
+  /// provably nonzero under both orderings, no two *distinct* work items can
+  /// collide — covering pairs whose strides differ, which every non-
+  /// relational rule bails out on. Sound: the substitution overapproximates
+  /// the reachable (g, g') pairs, and only Yes verdicts are consumed.
+  bool relationalDisjoint(const Expr& idx1, const Expr& idx2) {
+    if (!opts.relational) return false;
+    const std::string& g = *info.wiVar;
+    const std::string gp = g + kPrimeSuffix;
+    const Expr gMax = info.wiCount - Expr(1);
+    for (bool forward : {true, false}) {
+      Prover rel = prover;
+      rel.assumeDifference(forward ? gp : g, forward ? g : gp, Expr(1), gMax);
+      if (rel.proveNonZero(idx1 - idx2) != Proof::Yes) return false;
+    }
+    return true;
+  }
+
   void checkPair(const Access& a1, const Access& a2, bool isWW) {
     const std::string& g = *info.wiVar;
     const std::string gp = g + kPrimeSuffix;
@@ -242,6 +263,7 @@ struct RaceChecker {
       return;
     }
     if (!(dec1->first == dec2->first)) {
+      if (relationalDisjoint(idx1, idx2)) return;
       unknown(a1, a2, "the two accesses use different work-item strides",
               idx1, isWW);
       return;
@@ -344,6 +366,7 @@ struct RaceChecker {
       }
     }
 
+    if (relationalDisjoint(idx1, idx2)) return;
     unknown(a1, a2, "work-item index windows may overlap", idx1, isWW);
   }
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "analysis/equiv.hpp"
 #include "analysis/interval.hpp"
 #include "analysis/simplify.hpp"
 #include "analysis/verify.hpp"
@@ -978,6 +979,14 @@ GeneratedKernel generateKernel(const memory::KernelDef& def,
   // Static verification runs after emission so malformed IR keeps reporting
   // CodegenError; only well-formed kernels reach the bounds/race provers.
   analysis::verifyKernel(def);
+  // Translation validation: re-derive the optimizer's index simplification
+  // and guard elimination on a store-summary level and prove the optimized
+  // emission equivalent to the unoptimized one. Only the simplify pass
+  // changes what the program computes (CSE/chunk/restrict are naming,
+  // schedule and ABI decisions), so the gate keys on it.
+  if (opts.optimize && opts.simplify) {
+    analysis::verifyTranslation(def);
+  }
   return out;
 }
 

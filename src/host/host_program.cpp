@@ -1,5 +1,6 @@
 #include "host/host_program.hpp"
 
+#include "analysis/dataflow.hpp"
 #include "analysis/host_lint.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -40,6 +41,12 @@ HostPtr HostProgram::toGPU(HostPtr hostValue) {
   auto n = makeNode(HOp::ToGPU);
   n->name = hostValue->name + "_g";
   n->input = std::move(hostValue);
+  return record(n);
+}
+
+HostPtr HostProgram::deviceAlloc(const std::string& name) {
+  auto n = makeNode(HOp::DeviceAlloc);
+  n->name = name;
   return record(n);
 }
 
@@ -107,6 +114,13 @@ std::string HostProgram::generateHostCode(ir::ScalarKind real) const {
         valueName[node.get()] = node->name;
         break;
 
+      case HOp::DeviceAlloc:
+        out << "cl_mem " << node->name
+            << " = clCreateBuffer(ctx, bytes(" << node->name
+            << ")); // uninitialized device scratch\n";
+        valueName[node.get()] = node->name;
+        break;
+
       case HOp::KernelCall: {
         const std::string kname = node->name;
         const std::string result = "out_" + std::to_string(node->id) + "_g";
@@ -163,8 +177,11 @@ std::shared_ptr<CompiledHostProgram> HostProgram::compile(ocl::Context& ctx,
                                                           ir::ScalarKind real) {
   // Lint the DAG before building any kernel: catches host parameters used as
   // device values, dead compute, and unordered overlapping writes at compile
-  // time instead of mid-run.
+  // time instead of mid-run. The dataflow pass adds def-use reasoning over
+  // buffer identities (uninitialized reads of device allocations, writes no
+  // one observes, uploads a kernel fully overwrites).
   analysis::verifyHostProgram(*this);
+  analysis::verifyHostDataflow(*this);
   return std::shared_ptr<CompiledHostProgram>(
       new CompiledHostProgram(*this, ctx, real));
 }
@@ -216,6 +233,11 @@ void CompiledHostProgram::bindBuffer(const std::string& paramName,
 void CompiledHostProgram::bindOutput(const std::string& outputName, void* data,
                                      std::size_t bytes) {
   hostOutputs_[outputName] = {data, bytes};
+}
+
+void CompiledHostProgram::bindAllocBytes(const std::string& allocName,
+                                         std::size_t bytes) {
+  allocBytes_[allocName] = bytes;
 }
 
 void CompiledHostProgram::setInt(const std::string& name, int value) {
@@ -297,6 +319,24 @@ ocl::BufferPtr CompiledHostProgram::evalDevice(const HostPtr& node,
       if (!skipUploads) {
         ocl::CommandQueue q(ctx_);
         stats.transferMs += q.enqueueWrite(*buf, data, bytes).milliseconds;
+      }
+      memo_[node.get()] = buf;
+      return buf;
+    }
+
+    case HOp::DeviceAlloc: {
+      auto it = allocBytes_.find(node->name);
+      if (it == allocBytes_.end()) {
+        throw Error("device allocation '" + node->name +
+                    "' not sized; call bindAllocBytes");
+      }
+      const std::size_t bytes = it->second;
+      ocl::BufferPtr buf;
+      if (cached != deviceBuffers_.end() && cached->second->size() == bytes) {
+        buf = cached->second;
+      } else {
+        buf = ctx_.allocate(bytes);
+        deviceBuffers_[node.get()] = buf;
       }
       memo_[node.get()] = buf;
       return buf;

@@ -36,7 +36,7 @@ namespace lifta::host {
 struct HostNode;
 using HostPtr = std::shared_ptr<HostNode>;
 
-enum class HOp { Param, ToGPU, ToHost, KernelCall, WriteTo };
+enum class HOp { Param, ToGPU, ToHost, KernelCall, WriteTo, DeviceAlloc };
 
 /// One device-kernel invocation inside the host program.
 struct KernelSpec {
@@ -84,6 +84,11 @@ public:
   void declareScalar(const std::string& name, ScalarType type);
 
   HostPtr toGPU(HostPtr hostValue);
+  /// Declares an uninitialized device scratch buffer (no host source, no
+  /// upload). Size it at run time with CompiledHostProgram::bindAllocBytes.
+  /// Use instead of toGPU when a kernel fully overwrites the buffer before
+  /// any read — the dataflow lint flags uploads that only feed such writes.
+  HostPtr deviceAlloc(const std::string& name);
   HostPtr kernelCall(KernelSpec spec);
   /// Host-level WriteTo: the kernel writes its output into `dest`'s buffer
   /// (suppressing any fresh output allocation), and the expression's value
@@ -131,6 +136,8 @@ public:
                   std::size_t bytes);
   void bindOutput(const std::string& outputName, void* data,
                   std::size_t bytes);
+  /// Sizes a deviceAlloc(...) scratch buffer (by its declared name).
+  void bindAllocBytes(const std::string& allocName, std::size_t bytes);
   void setInt(const std::string& name, int value);
   void setReal(const std::string& name, double value);
 
@@ -189,6 +196,7 @@ private:
   std::map<std::string, std::pair<void*, std::size_t>> hostOutputs_;
   std::map<std::string, int> ints_;
   std::map<std::string, double> reals_;
+  std::map<std::string, std::size_t> allocBytes_;
   std::map<const HostNode*, ocl::BufferPtr> deviceBuffers_;
   std::map<const HostNode*, ocl::BufferPtr> memo_;  // per-run evaluation memo
   std::map<const HostNode*, KernelInstance> kernels_;

@@ -186,5 +186,114 @@ TEST(Interval, AffineDecompositionHelpers) {
   EXPECT_FALSE(isPolynomial(v("a") / v("b")));
 }
 
+TEST(Interval, DivModAtTheSaturationBoundary) {
+  // Domains at the kIntMin/kIntMax rails (which the engine treats as
+  // -inf/+inf): every Div/Mod answer must stay sound — contain the true C
+  // value — without wrapping, and never produce an exact "No" from a
+  // saturated endpoint.
+  Prover p;
+  p.setDomain("x", {Expr(Prover::kIntMax - 3), Expr(Prover::kIntMax)});
+  auto q = p.numericInterval(v("x") / Expr(2));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_LE(q->lo, (Prover::kIntMax - 3) / 2);
+  EXPECT_GE(q->hi, Prover::kIntMax / 2);
+  // Doubling pushes past the rail: the interval saturates rather than wraps,
+  // so x*2 - x stays provably nonnegative and x*2 + 1 is not proven < 0.
+  EXPECT_EQ(p.proveGE0(v("x") * Expr(2) - v("x")).proof, Proof::Yes);
+  EXPECT_NE(p.proveGE0(Expr(0) - (v("x") * Expr(2))).proof, Proof::Yes);
+
+  Prover n;
+  n.setDomain("y", {Expr(Prover::kIntMin), Expr(Prover::kIntMin + 7)});
+  auto qn = n.numericInterval(v("y") / Expr(-1));
+  ASSERT_TRUE(qn.has_value());
+  // -kIntMin fits in int64 (the rails are INT64_MIN/4, INT64_MAX/4), so the
+  // classic INT64_MIN/-1 overflow cannot occur inside the engine; the upper
+  // endpoint either carries the exact negation or saturates at the +inf
+  // rail, never wraps negative.
+  EXPECT_GE(qn->hi, Prover::kIntMax);
+  EXPECT_LE(qn->lo, -(Prover::kIntMin + 7));
+  auto rn = n.numericInterval(v("y") % Expr(8));
+  ASSERT_TRUE(rn.has_value());
+  // Sound containment of the true C remainder (negative for negative y).
+  EXPECT_LE(rn->lo, Prover::kIntMin % 8);
+  EXPECT_GE(rn->hi, Prover::kIntMin % 8);
+}
+
+TEST(Interval, NegativeStrideAffineTerms) {
+  // Reverse traversal idx = (n-1) - i over i in [0, n-1]: the negative
+  // stride must prove in range on both sides, and affineIn must expose the
+  // -1 coefficient the race detector keys on.
+  Prover p;
+  p.setDomain("i", {Expr(0), v("n") - Expr(1)});
+  p.assumeAtLeast("n", 0);
+  const Expr idx = v("n") - Expr(1) - v("i");
+  EXPECT_EQ(p.proveGE0(idx).proof, Proof::Yes);
+  EXPECT_EQ(p.proveGE0(v("n") - Expr(1) - idx).proof, Proof::Yes);
+  auto dec = affineIn(idx, "i");
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->first, Expr(-1));
+  // Strided variant -3*i + 3*(n-1): still nonnegative, still divisible by 3.
+  const Expr strided = Expr(3) * (v("n") - Expr(1)) - Expr(3) * v("i");
+  EXPECT_EQ(p.proveGE0(strided).proof, Proof::Yes);
+  EXPECT_TRUE(divisibleBy(strided, Expr(3)));
+  // A negative-stride overrun IS a proven violation: idx - n hits -1 at i =
+  // n-1... i.e. (n-1)-i ranges below n for every i, so proveGE0(idx - n)
+  // must not be Yes.
+  EXPECT_NE(p.proveGE0(idx - v("n")).proof, Proof::Yes);
+}
+
+TEST(Interval, DifferenceBoundCouplesTwoVariables) {
+  // The relational domain of the race pass: g' = g + d with d in [1, G-1].
+  Prover p;
+  p.setDomain("g", {Expr(0), v("G") - Expr(1)});
+  p.assumeAtLeast("G", 1);
+  p.assumeDifference("gp", "g", Expr(1), v("G") - Expr(1));
+  // Coupled goals become single-variable: gp - g >= 1 and gp > g.
+  EXPECT_EQ(p.proveGE0(v("gp") - v("g") - Expr(1)).proof, Proof::Yes);
+  EXPECT_EQ(p.proveNonZero(v("gp") - v("g")), Proof::Yes);
+  // Scaled by a stride the difference stays provably nonzero — the
+  // disjointness fact `2*gp + c` vs `2*g + c` needs.
+  EXPECT_EQ(p.proveNonZero(Expr(2) * v("gp") - Expr(2) * v("g")), Proof::Yes);
+  // The bound is inexact by design: violations inside the band must never
+  // come back as exact "No" witnesses.
+  const auto r = p.proveGE0(v("g") - v("gp"));
+  if (r.proof == Proof::No) EXPECT_FALSE(r.exact);
+}
+
+TEST(Interval, DifferenceBoundDoesNotLeakToUnrelatedVars) {
+  Prover p;
+  p.setDomain("g", {Expr(0), Expr(7)});
+  p.assumeDifference("gp", "g", Expr(1), Expr(7));
+  // 'other' has no difference bound: goals about it stay undecided.
+  EXPECT_EQ(p.proveGE0(v("other") - v("g")).proof, Proof::Unknown);
+  // And gp alone (not as a difference) still inherits g's band: gp = g + d
+  // with g in [0,7], d in [1,7] gives gp in [1,14].
+  EXPECT_EQ(p.proveGE0(v("gp") - Expr(1)).proof, Proof::Yes);
+  EXPECT_NE(p.proveGE0(v("gp") - Expr(15)).proof, Proof::Yes);
+}
+
+TEST(Interval, PolyDivideExactAndRemainder) {
+  // Exact: (6*a*b + 2*b) / (2*b) == 3*a + 1, remainder 0.
+  auto qr = polyDivide(Expr(6) * v("a") * v("b") + Expr(2) * v("b"),
+                       Expr(2) * v("b"));
+  ASSERT_TRUE(qr.has_value());
+  EXPECT_EQ(qr->first, Expr(3) * v("a") + Expr(1));
+  EXPECT_EQ(qr->second, Expr(0));
+  // Mixed: the constant is split Euclideanly, 3 == 2*1 + 1.
+  auto mixed = polyDivide(Expr(4) * v("a") + Expr(3), Expr(2));
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->first, Expr(2) * v("a") + Expr(1));
+  EXPECT_EQ(mixed->second, Expr(1));
+  // Degree shortfall: b / b^2 is all remainder.
+  auto deg = polyDivide(v("b"), v("b") * v("b"));
+  ASSERT_TRUE(deg.has_value());
+  EXPECT_EQ(deg->first, Expr(0));
+  EXPECT_EQ(deg->second, v("b"));
+  // Out of scope: zero or multi-monomial divisors, non-polynomials.
+  EXPECT_FALSE(polyDivide(v("a"), Expr(0)).has_value());
+  EXPECT_FALSE(polyDivide(v("a"), v("a") + Expr(1)).has_value());
+  EXPECT_FALSE(polyDivide(v("a") / v("b"), v("b")).has_value());
+}
+
 }  // namespace
 }  // namespace lifta::analysis

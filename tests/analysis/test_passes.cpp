@@ -88,6 +88,44 @@ TEST(Passes, ReportJsonCarriesCountsAndFindings) {
   EXPECT_NE(json.find("\"counts\""), std::string::npos);
 }
 
+TEST(Passes, RelationalDomainDischargesMixedStrideDisjointness) {
+  // Work item g writes A[g] while reading A[2g + N] (extent 3N keeps every
+  // access in bounds). The write stride (1) and read stride (2) differ, so
+  // the affine-difference rule cannot align the pair — historically a
+  // guaranteed "different work-item strides" warning. The relational
+  // difference-bound domain proves the windows disjoint (g < N <= 2g' + N
+  // for every pair of work items), so the default configuration is clean.
+  using namespace lifta::ir;
+  memory::KernelDef def;
+  def.name = "mixed_stride";
+  const Expr n = Expr::var("N");
+  auto a = param("A", Type::array(Type::float_(), Expr(3) * n));
+  auto np = param("N", Type::int_());
+  auto g = param("g", nullptr);
+  def.params = {a, np};
+  def.body = mapGlb(
+      lambda({g},
+             writeTo(arrayAccess(a, g),
+                     arrayAccess(a, g * litInt(2) + np) * litFloat(0.5f))),
+      iota(n));
+
+  AnalysisOptions off;
+  off.relational = false;
+  const Report warned = analyzeKernelDef(def, off);
+  std::size_t strideWarnings = 0;
+  for (const auto& d : warned.diagnostics) {
+    if (d.severity == Severity::Warning && d.pass == PassId::Race &&
+        d.message.find("strides") != std::string::npos) {
+      ++strideWarnings;
+    }
+  }
+  EXPECT_GE(strideWarnings, 1u) << warned.toText();
+
+  const Report clean = analyzeKernelDef(def);  // relational on by default
+  EXPECT_EQ(clean.count(Severity::Error), 0u) << clean.toText();
+  EXPECT_EQ(clean.count(Severity::Warning), 0u) << clean.toText();
+}
+
 // --- the codegen-time verification gate -------------------------------------
 
 /// A kernel with a proven out-of-bounds read: A[i+1] over i in [0, N-1].

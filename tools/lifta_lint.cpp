@@ -1,20 +1,27 @@
 // lifta-lint: runs the full static-analysis suite (symbolic bounds prover,
-// scatter-write race detector, host-program lint) over every shipped model —
+// scatter-write race detector, translation validation of the optimizer,
+// host-program lint, host dataflow def-use lint) over every shipped model —
 // the acoustic volume/boundary kernels (FI, FI-MM, FD-MM, the Listing-6
 // stencil and run-table variants) and the geophysics FDTD2D kernels — plus
 // the Listing-5 host programs that schedule them.
 //
-// Usage: lifta-lint [--text] [--no-contracts]
+// Usage: lifta-lint [--text] [--no-contracts] [--werror] [--subject S]
 //   --text          human-readable findings instead of the JSON document
 //   --no-contracts  drop the buffer contracts (shows what the race detector
 //                   reports about raw scatter writes)
+//   --werror        exit nonzero on warnings too, not just errors
+//   --subject S     analyze only subjects whose name contains S (kernel
+//                   names and host-program labels; repeatable)
 //
-// Exit status: 0 when no error-severity finding exists, 1 otherwise.
+// Exit status: 0 when no error-severity finding exists (under --werror: no
+// error and no warning), 1 otherwise.
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/equiv.hpp"
 #include "analysis/host_lint.hpp"
 #include "analysis/passes.hpp"
 #include "arith/expr.hpp"
@@ -166,16 +173,30 @@ host::HostProgram emStepProgram() {
 int main(int argc, char** argv) {
   bool text = false;
   bool contracts = true;
+  bool werror = false;
+  std::vector<std::string> subjects;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--text") == 0) {
       text = true;
     } else if (std::strcmp(argv[i], "--no-contracts") == 0) {
       contracts = false;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--subject") == 0 && i + 1 < argc) {
+      subjects.push_back(argv[++i]);
     } else {
-      std::cerr << "usage: lifta-lint [--text] [--no-contracts]\n";
+      std::cerr << "usage: lifta-lint [--text] [--no-contracts] [--werror]"
+                   " [--subject S]\n";
       return 2;
     }
   }
+  const auto selected = [&subjects](const std::string& name) {
+    if (subjects.empty()) return true;
+    for (const auto& s : subjects) {
+      if (name.find(s) != std::string::npos) return true;
+    }
+    return false;
+  };
 
   const AnalysisOptions opts =
       contracts ? acousticContracts() : AnalysisOptions{};
@@ -202,13 +223,27 @@ int main(int argc, char** argv) {
       geophys::liftEmHyKernel(ir::ScalarKind::Double),
   };
   for (const auto& def : kernels) {
-    reports.push_back(analyzeKernelDef(def, opts));
+    if (!selected(def.name)) continue;
+    Report r = analyzeKernelDef(def, opts);
+    // Translation validation: prove the optimized emission equivalent to
+    // the unoptimized one (store summaries; see analysis/equiv.hpp).
+    r.append(validateTranslation(def));
+    reports.push_back(std::move(r));
   }
-  reports.push_back(
-      lintHostProgram(listing5Program(/*fdMm=*/false), "listing5-fimm"));
-  reports.push_back(
-      lintHostProgram(listing5Program(/*fdMm=*/true), "listing5-fdmm"));
-  reports.push_back(lintHostProgram(emStepProgram(), "fdtd2d-step"));
+  struct HostSubject {
+    host::HostProgram prog;
+    std::string name;
+  };
+  std::vector<HostSubject> hosts;
+  hosts.push_back({listing5Program(/*fdMm=*/false), "listing5-fimm"});
+  hosts.push_back({listing5Program(/*fdMm=*/true), "listing5-fdmm"});
+  hosts.push_back({emStepProgram(), "fdtd2d-step"});
+  for (const auto& h : hosts) {
+    if (!selected(h.name)) continue;
+    Report r = lintHostProgram(h.prog, h.name);
+    r.append(lintHostDataflow(h.prog, h.name));
+    reports.push_back(std::move(r));
+  }
 
   std::size_t errors = 0, warnings = 0, infos = 0;
   for (const auto& r : reports) {
@@ -234,5 +269,7 @@ int main(int argc, char** argv) {
   std::cerr << "lifta-lint: " << reports.size() << " subjects, " << errors
             << " errors, " << warnings << " warnings, " << infos
             << " notes\n";
-  return errors == 0 ? 0 : 1;
+  if (errors != 0) return 1;
+  if (werror && warnings != 0) return 1;
+  return 0;
 }
