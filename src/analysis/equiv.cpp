@@ -87,8 +87,9 @@ const char* binOpTag(ir::BinOp b) {
 /// structured resolution the optimizing emitter prints from.
 class Summarizer {
  public:
-  Summarizer(const memory::KernelDef& def, bool optimized)
-      : def_(def), optimized_(optimized) {}
+  Summarizer(const memory::KernelDef& def, bool optimized,
+             const memory::Specialization& spec = {})
+      : def_(def), optimized_(optimized), spec_(spec) {}
 
   KernelSummary run() {
     ir::typecheck(def_.body);
@@ -107,10 +108,20 @@ class Summarizer {
           }
         }
       } else if (isIntScalar(p->type)) {
-        env_[p.get()] = Binding{nullptr, EV{makeIndex(Expr::var(p->name)),
-                                            Expr::var(p->name)}};
+        // Specialized int scalars bind to their constant, exactly as the
+        // emitter's scalarParamCode folds them into index algebra.
+        auto si = spec_.ints.find(p->name);
+        const Expr iv = si != spec_.ints.end() ? Expr(si->second)
+                                               : Expr::var(p->name);
+        env_[p.get()] = Binding{nullptr, EV{makeIndex(iv), iv}};
       } else {
-        env_[p.get()] = Binding{nullptr, EV{makeLit(p->name), {}}};
+        auto sr = spec_.reals.find(p->name);
+        const std::string code =
+            sr != spec_.reals.end()
+                ? "(" + memory::Specialization::realLiteral(sr->second,
+                                                            def_.real) + ")"
+                : p->name;
+        env_[p.get()] = Binding{nullptr, EV{makeLit(code), {}}};
       }
     }
 
@@ -201,9 +212,11 @@ class Summarizer {
     out.reserve(in.size());
     for (const auto& g : in) {
       ValGuard vg;
-      vg.adjusted = optimized_ ? simplifyIndex(g.adjusted, prover_)
-                               : g.adjusted;
-      vg.size = g.size;
+      // Specialization substitutes before simplification, mirroring the
+      // emitter's accessCode; both walks see the same substituted guard.
+      const Expr adjusted = spec_.subst(g.adjusted);
+      vg.adjusted = optimized_ ? simplifyIndex(adjusted, prover_) : adjusted;
+      vg.size = spec_.subst(g.size);
       if (optimized_) {
         const GuardSides sides =
             proveGuardSides(vg.adjusted, vg.size, prover_);
@@ -222,7 +235,8 @@ class Summarizer {
     EV ev;
     switch (a.kind) {
       case view::ResolvedAccess::Kind::Iota: {
-        const Expr ix = optimized_ ? simplifyIndex(a.index, prover_) : a.index;
+        const Expr raw = spec_.subst(a.index);
+        const Expr ix = optimized_ ? simplifyIndex(raw, prover_) : raw;
         ev = EV{makeIndex(ix), ix};
         break;
       }
@@ -232,7 +246,7 @@ class Summarizer {
         break;
       }
       case view::ResolvedAccess::Kind::Mem: {
-        const Expr raw = a.index;
+        const Expr raw = spec_.subst(a.index);
         const Expr addr = optimized_ ? simplifyIndex(raw, prover_) : raw;
         ev.val = makeLoad(a.mem, addr);
         if (v->type && isIntScalar(v->type)) ev.ival = atomFor(a.mem, raw);
@@ -252,7 +266,8 @@ class Summarizer {
     }
     StoreSummary s;
     s.buffer = a.mem;
-    s.address = optimized_ ? simplifyIndex(a.index, prover_) : a.index;
+    const Expr raw = spec_.subst(a.index);
+    s.address = optimized_ ? simplifyIndex(raw, prover_) : raw;
     s.value = value.val ? value.val : makeLit("?");
     s.context = "store " + a.mem + "[" + a.index.toString() + "]";
     summary_.stores.push_back(std::move(s));
@@ -369,7 +384,7 @@ class Summarizer {
     EV init = evalVal(n.args[0]);
     const ExprPtr& input = n.args[1];
     const std::string iv = fresh("r");
-    registerLoop(iv, input->type->size());
+    registerLoop(iv, spec_.subst(input->type->size()));
     bindElement(n.lambda->params[1], input, Expr::var(iv));
     env_[n.lambda->params[0].get()] = Binding{nullptr, EV{makeLit(acc), {}}};
     EV body = evalVal(n.lambda->body);
@@ -576,13 +591,16 @@ class Summarizer {
       case Op::ArrayCons: {
         if (!dest) throw CodegenError("ArrayCons requires a destination");
         // Emitter order: the element is evaluated once, before the loop.
+        // The straight-line check keys on the *raw* extent (the emitter
+        // checks n.size1 before substituting), then the loop length is
+        // specialized — same structural decision in both.
         EV elem = evalVal(n.args[0]);
         if (n.size1.isConst(1)) {
           recordStore(view::accessView(dest, Expr(0)), elem);
           return;
         }
         const std::string iv = fresh("i");
-        registerLoop(iv, n.size1);
+        registerLoop(iv, spec_.subst(n.size1));
         recordStore(view::accessView(dest, Expr::var(iv)), elem);
         return;
       }
@@ -627,7 +645,11 @@ class Summarizer {
   void collectMap(const ExprPtr& e, ViewPtr dest) {
     const Node& n = *e;
     const ExprPtr& input = n.args[0];
-    const Expr len = input->type->size();
+    // Substituted before the straight-line check below — the emitter
+    // substitutes the map extent at the same point, so both validation
+    // walks make the same structural choice for spec'd single-iteration
+    // maps.
+    const Expr len = spec_.subst(input->type->size());
     const ExprPtr& bodyExpr = n.lambda->body;
 
     const bool collapsed =
@@ -686,6 +708,7 @@ class Summarizer {
 
   const memory::KernelDef& def_;
   const bool optimized_;
+  const memory::Specialization spec_;
   KernelSummary summary_;
   Prover prover_;
   std::map<const Node*, Binding> env_;
@@ -921,6 +944,12 @@ KernelSummary summarizeKernel(const memory::KernelDef& def, bool optimized) {
   return s.run();
 }
 
+KernelSummary summarizeKernel(const memory::KernelDef& def, bool optimized,
+                              const memory::Specialization& spec) {
+  Summarizer s(def, optimized, spec);
+  return s.run();
+}
+
 Report compareSummaries(const KernelSummary& ref, const KernelSummary& opt) {
   Report report;
   report.subject = ref.kernelName;
@@ -978,14 +1007,24 @@ Report compareSummaries(const KernelSummary& ref, const KernelSummary& opt) {
 }
 
 Report validateTranslation(const memory::KernelDef& def) {
-  const KernelSummary ref = summarizeKernel(def, /*optimized=*/false);
-  const KernelSummary opt = summarizeKernel(def, /*optimized=*/true);
+  return validateTranslation(def, memory::Specialization{});
+}
+
+Report validateTranslation(const memory::KernelDef& def,
+                           const memory::Specialization& spec) {
+  const KernelSummary ref = summarizeKernel(def, /*optimized=*/false, spec);
+  const KernelSummary opt = summarizeKernel(def, /*optimized=*/true, spec);
   return compareSummaries(ref, opt);
 }
 
 void verifyTranslation(const memory::KernelDef& def) {
+  verifyTranslation(def, memory::Specialization{});
+}
+
+void verifyTranslation(const memory::KernelDef& def,
+                       const memory::Specialization& spec) {
   if (!verifyEnabled()) return;
-  const Report report = validateTranslation(def);
+  const Report report = validateTranslation(def, spec);
   if (!report.hasErrors()) return;
   std::string msg =
       "kernel '" + def.name + "' failed translation validation:\n";

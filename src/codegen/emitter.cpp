@@ -1,0 +1,76 @@
+#include "codegen/emitter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace lifta::codegen {
+
+namespace {
+
+class CEmitter final : public KernelEmitter {
+ public:
+  std::string name() const override { return "c"; }
+  bool available() const override { return true; }
+  GeneratedKernel emit(const memory::KernelDef& def,
+                       const CodegenOptions& opts) const override {
+    return generateKernel(def, opts);
+  }
+};
+
+#if defined(LIFTA_WITH_LLVM)
+// Placeholder for the in-process LLVM ORC backend (ROADMAP item 2). The
+// build-system seam exists so enabling the option is a pure backend task:
+// implement emit() against the ORC LLJIT API, flip available(), and the
+// tier machinery picks it up through the registry.
+class OrcEmitter final : public KernelEmitter {
+ public:
+  std::string name() const override { return "llvm-orc"; }
+  bool available() const override { return false; }
+  GeneratedKernel emit(const memory::KernelDef&,
+                       const CodegenOptions&) const override {
+    throw CodegenError(
+        "llvm-orc emitter is a placeholder: built with LIFTA_WITH_LLVM but "
+        "the ORC lowering is not implemented yet (use the 'c' backend)");
+  }
+};
+#endif
+
+}  // namespace
+
+const KernelEmitter& cEmitter() {
+  static const CEmitter e;
+  return e;
+}
+
+std::vector<const KernelEmitter*> emitters() {
+  std::vector<const KernelEmitter*> all;
+  all.push_back(&cEmitter());
+#if defined(LIFTA_WITH_LLVM)
+  static const OrcEmitter orc;
+  all.push_back(&orc);
+#endif
+  return all;
+}
+
+const KernelEmitter* findEmitter(const std::string& name) {
+  for (const KernelEmitter* e : emitters()) {
+    if (e->name() == name) return e;
+  }
+  return nullptr;
+}
+
+const KernelEmitter& defaultEmitter() {
+  const char* want = std::getenv("LIFTA_EMITTER");
+  if (want != nullptr && *want != '\0') {
+    const KernelEmitter* e = findEmitter(want);
+    if (e != nullptr && e->available()) return *e;
+    std::fprintf(stderr,
+                 "lifta: LIFTA_EMITTER=%s is %s; using the 'c' backend\n",
+                 want, e == nullptr ? "unknown" : "unavailable");
+  }
+  return cEmitter();
+}
+
+}  // namespace lifta::codegen

@@ -1,0 +1,58 @@
+// Pluggable kernel-emitter backends (ROADMAP item 2 groundwork).
+//
+// generateKernel() is the portable C reference backend: it lowers a
+// KernelDef to a C source string the simulated OpenCL runtime JIT-compiles
+// with the system compiler. A KernelEmitter wraps one such lowering
+// strategy behind a uniform interface so alternative backends — notably an
+// in-process LLVM ORC JIT that skips the compiler subprocess entirely —
+// can slot in without touching callers. Every backend must produce kernels
+// with the uniform `void <name>(void** lifta_args, const lifta_wi_ctx*)`
+// ABI and bit-identical numerics to the C reference backend.
+//
+// The ORC backend itself is future work; this header fixes the seam. It is
+// compiled in (as an explicitly-unavailable placeholder) only when the
+// off-by-default LIFTA_WITH_LLVM CMake option is set, so the default build
+// carries no LLVM dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/kernel_codegen.hpp"
+
+namespace lifta::codegen {
+
+class KernelEmitter {
+ public:
+  virtual ~KernelEmitter() = default;
+
+  /// Stable backend identifier ("c", "llvm-orc").
+  virtual std::string name() const = 0;
+
+  /// True when the backend can actually emit in this build (the C backend
+  /// always can; the ORC placeholder reports false until implemented).
+  virtual bool available() const = 0;
+
+  /// Lowers the kernel under the given options. Unavailable backends throw
+  /// CodegenError. Must honour CodegenOptions::spec the same way the C
+  /// backend does: constants fold into index algebra only, and the result
+  /// passes the translation-validation gate.
+  virtual GeneratedKernel emit(const memory::KernelDef& def,
+                               const CodegenOptions& opts) const = 0;
+};
+
+/// The portable C reference backend (always available).
+const KernelEmitter& cEmitter();
+
+/// All registered backends, reference backend first.
+std::vector<const KernelEmitter*> emitters();
+
+/// Backend by name, nullptr when unknown.
+const KernelEmitter* findEmitter(const std::string& name);
+
+/// The backend the pipeline uses: LIFTA_EMITTER names one explicitly
+/// (unknown or unavailable names fall back with a stderr warning),
+/// otherwise the C reference backend.
+const KernelEmitter& defaultEmitter();
+
+}  // namespace lifta::codegen

@@ -1,0 +1,54 @@
+#include "memory/specialization.hpp"
+
+#include <cstring>
+
+#include "common/string_util.hpp"
+
+namespace lifta::memory {
+
+arith::Expr Specialization::subst(const arith::Expr& e) const {
+  if (ints.empty()) return e;
+  std::map<std::string, arith::Expr> bindings;
+  for (const auto& [name, value] : ints) {
+    bindings.emplace(name, arith::Expr(value));
+  }
+  return e.substitute(bindings);
+}
+
+std::string Specialization::realLiteral(double value, ir::ScalarKind real) {
+  // Mirror Emitter::printLiteral: Float literals are printed from the
+  // float-rounded value (the host binds (float)value) with a 'f' suffix so
+  // the kernel-side arithmetic stays in float.
+  const double printed = real == ir::ScalarKind::Float
+                             ? static_cast<double>(static_cast<float>(value))
+                             : value;
+  std::string s = real == ir::ScalarKind::Double ? strformat("%.17g", printed)
+                                                 : strformat("%.9g", printed);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos &&
+      s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  if (real == ir::ScalarKind::Float) s += "f";
+  return s;
+}
+
+std::string Specialization::digest() const {
+  if (empty()) return "";
+  std::string s;
+  for (const auto& [name, value] : ints) {
+    if (!s.empty()) s += ",";
+    s += name + "=" + std::to_string(value);
+  }
+  for (const auto& [name, value] : reals) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    if (!s.empty()) s += ",";
+    s += name + "=" + strformat("0x%016llx",
+                                static_cast<unsigned long long>(bits));
+  }
+  return s;
+}
+
+}  // namespace lifta::memory

@@ -1,0 +1,58 @@
+// Constant specialization of kernel definitions.
+//
+// A Specialization maps scalar kernel parameters to the concrete values the
+// host will bind at run time: grid dimensions, strides, launch counts and
+// material coefficients. The codegen emitter and the translation-validation
+// summarizer both consume the same Specialization so the specialized kernel
+// (a) bakes the constants into the emitted C — loop bounds, index algebra
+// and pad guards re-simplify against concrete values, and divisions by
+// runtime scalars become divisions by literals the host compiler strength-
+// reduces — and (b) is provable against an identically-substituted
+// reference walk.
+//
+// Substituting a parameter by the exact value the host binds is a renaming
+// of the environment, never a change of computation: integer constants only
+// enter *index* algebra, and real constants are printed as literals that
+// round-trip to the exact binary value the host would have passed (%.17g
+// for double, %.9g of the float-rounded value + 'f' for float). That is the
+// core of the hot-swap bit-identity argument (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arith/expr.hpp"
+#include "ir/type.hpp"
+
+namespace lifta::memory {
+
+struct Specialization {
+  /// Int scalar parameters to bake (grid dims, strides, counts).
+  std::map<std::string, std::int64_t> ints;
+  /// Real scalar parameters to bake (e.g. the update coefficients l, l2).
+  /// Values are stored as passed by the host (double); printing rounds
+  /// through float first when the kernel precision is Float, mirroring the
+  /// host's own cast.
+  std::map<std::string, double> reals;
+
+  bool empty() const { return ints.empty() && reals.empty(); }
+
+  /// Substitutes every specialized int parameter in `e` by its constant.
+  /// Real parameters never appear in index expressions.
+  arith::Expr subst(const arith::Expr& e) const;
+
+  /// Prints a real constant exactly as the C emitter prints literals of the
+  /// given kernel precision, so the parsed value bit-matches the scalar the
+  /// host would have bound (Float: value is rounded to float first and the
+  /// literal carries the 'f' suffix).
+  static std::string realLiteral(double value, ir::ScalarKind real);
+
+  /// Stable, order-independent identity string ("" when empty). Real values
+  /// are rendered from their bit pattern so distinct doubles never collide.
+  /// Embedded in the generated source header, which makes specialization
+  /// constants part of the JIT content hash by construction.
+  std::string digest() const;
+};
+
+}  // namespace lifta::memory

@@ -36,6 +36,31 @@ std::string compilerCommand() {
   return "c++";
 }
 
+/// First line of `cmd --version`, cached per command. The probe runs once
+/// per compiler per process; "unknown" (also cached) when the command
+/// cannot be run or prints nothing.
+std::string probedCompilerVersion(const std::string& cmd) {
+  static std::mutex mu;
+  static std::map<std::string, std::string> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(cmd);
+  if (it != cache.end()) return it->second;
+
+  std::string version = "unknown";
+  FILE* p = popen((cmd + " --version 2>/dev/null").c_str(), "r");
+  if (p != nullptr) {
+    char line[512];
+    if (std::fgets(line, sizeof line, p) != nullptr) {
+      std::string s(line);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) version = s;
+    }
+    pclose(p);
+  }
+  cache.emplace(cmd, version);
+  return version;
+}
+
 // No -march=native and contraction off: the JIT'd kernels must execute the
 // identical FP operation sequence as the reference build (see header).
 const char* kBaseFlags = "-O2 -ffp-contract=off -std=c++17 -shared -fPIC";
@@ -139,6 +164,17 @@ Jit& Jit::instance() {
   return jit;
 }
 
+std::string Jit::compilerIdentity() {
+  const std::string cmd = compilerCommand();
+  std::string version;
+  if (const char* env = std::getenv("LIFTA_CXX_VERSION")) {
+    version = env;
+  } else {
+    version = probedCompilerVersion(cmd);
+  }
+  return cmd + '\x1f' + version;
+}
+
 Jit::Stats Jit::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->stats;
@@ -177,14 +213,18 @@ std::string Jit::diskCacheDir() const {
 
 std::shared_ptr<SharedObject> Jit::compile(const std::string& source,
                                            const std::string& extraFlags) {
-  // Content address: compiler identity, every flag and the full source all
-  // feed the key, so a cached object can never be served for a build that
-  // would have produced different code.
+  // Content address: compiler command *and version*, every flag and the
+  // full source all feed the key, so a cached object can never be served
+  // for a build that would have produced different code — including after
+  // a system compiler upgrade against a persistent disk cache. (Generated
+  // sources additionally carry their specialization digest in a header
+  // comment, so specialized variants of a kernel hash apart from the
+  // generic one by construction.)
   const std::string flags =
       extraFlags.empty() ? std::string(kBaseFlags)
                          : std::string(kBaseFlags) + " " + extraFlags;
   const std::uint64_t h =
-      fnv1a(compilerCommand() + '\x1f' + flags + '\x1f' + source);
+      fnv1a(compilerIdentity() + '\x1f' + flags + '\x1f' + source);
 
   std::string diskDir;
   {
@@ -219,8 +259,17 @@ std::shared_ptr<SharedObject> Jit::compile(const std::string& source,
         impl_->insert(h, obj);
         return obj;
       }
-      // Corrupt/foreign cache entry: fall through and recompile.
+      // Corrupt/foreign cache entry (truncated write, bad disk, object from
+      // an incompatible loader): evict it and fall through to a cold
+      // compile — a damaged cache degrades to cache-off behaviour, it never
+      // fails the job.
+      const char* err = dlerror();
+      std::fprintf(stderr,
+                   "lifta: evicting corrupt JIT cache entry %s (%s)\n",
+                   cached.c_str(), err != nullptr ? err : "dlopen failed");
       fs::remove(cached, ec);
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      ++impl_->stats.corruptEvictions;
     }
   }
 

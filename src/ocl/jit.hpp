@@ -67,8 +67,17 @@ public:
     std::size_t misses = 0;    // not in memory (disk hit or compile)
     std::size_t evictions = 0; // LRU evictions from the memory cache
     std::size_t compiled = 0;  // actual compiler invocations
+    std::size_t corruptEvictions = 0;  // unloadable disk entries evicted
   };
   Stats stats() const;
+
+  /// The compiler identity baked into every cache key: the compile command
+  /// plus its probed `--version` banner, so upgrading (or switching) the
+  /// system compiler invalidates stale objects instead of serving code the
+  /// current compiler would not produce. LIFTA_CXX_VERSION overrides the
+  /// probe verbatim (tests fake a compiler upgrade with it); a failed probe
+  /// yields "unknown". Exposed for tests and diagnostics.
+  static std::string compilerIdentity();
 
   /// Number of distinct sources compiled so far (for tests).
   std::size_t compiledCount() const { return stats().compiled; }

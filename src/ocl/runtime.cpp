@@ -87,8 +87,9 @@ Context::Context(DeviceProfile profile) : profile_(std::move(profile)) {
   pool_ = std::make_unique<ThreadPool>(profile_.threads);
 }
 
-ProgramPtr Context::buildProgram(const std::string& source) {
-  auto so = Jit::instance().compile(source);
+ProgramPtr Context::buildProgram(const std::string& source,
+                                 const std::string& buildOptions) {
+  auto so = Jit::instance().compile(source, buildOptions);
   return ProgramPtr(new Program(source, std::move(so)));
 }
 

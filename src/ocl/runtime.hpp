@@ -128,8 +128,11 @@ public:
   const DeviceProfile& device() const { return profile_; }
   ThreadPool& pool() { return *pool_; }
 
-  /// clBuildProgram analogue; cached process-wide by source hash.
-  ProgramPtr buildProgram(const std::string& source);
+  /// clBuildProgram analogue; cached process-wide by (flags, source) hash.
+  /// `buildOptions` are extra compiler flags (clBuildProgram's options
+  /// string); they append after the JIT's base flags, so a later -O wins.
+  ProgramPtr buildProgram(const std::string& source,
+                          const std::string& buildOptions = "");
 
   BufferPtr allocate(std::size_t bytes) {
     return std::make_shared<Buffer>(bytes);

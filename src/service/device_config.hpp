@@ -1,0 +1,16 @@
+// Internal: the one spec -> DeviceSimulation::Config mapping shared by the
+// device-tier executor (RirService::runDeviceJob) and the batch pre-warmer
+// (runRirBatch). Both sides must agree exactly — a pre-warmed specialized
+// build only pays off if the real job generates byte-identical kernel
+// source and hits the compile queue / JIT cache.
+#pragma once
+
+#include "lift_acoustics/device_simulation.hpp"
+#include "service/rir_service.hpp"
+
+namespace lifta::service {
+
+lift_acoustics::DeviceSimulation::Config deviceConfigFromSpec(
+    const RirJobSpec& spec);
+
+}  // namespace lifta::service

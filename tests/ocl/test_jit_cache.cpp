@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -104,9 +105,61 @@ TEST(JitCache, CorruptDiskEntryFallsBackToCompiling) {
     std::ofstream(e.path(), std::ios::trunc);
   }
   auto rebuilt = jit.compile(src);
+  const auto s1 = jit.stats();
+  EXPECT_EQ(s1.compiled, s0.compiled + 1);
+  EXPECT_EQ(s1.corruptEvictions, s0.corruptEvictions + 1);
+  EXPECT_NE(rebuilt->symbol("lifta_test_sym"), nullptr);
+  // The broken entry was evicted and replaced by the fresh build: a later
+  // cold process would disk-hit, not trip over the same corruption again.
+  jit.clearMemoryCache();
+  const auto s2 = jit.stats();
+  jit.compile(src);
+  EXPECT_EQ(jit.stats().diskHits, s2.diskHits + 1);
+  jit.setDiskCacheDir("");
+}
+
+TEST(JitCache, GarbageDiskEntryAlsoFallsBack) {
+  auto& jit = Jit::instance();
+  const std::string dir = jit.scratchDir() + "/disk_garbage";
+  jit.setDiskCacheDir(dir);
+  const auto src = uniqueSource("garbage");
+  jit.compile(src);
+  jit.clearMemoryCache();
+  const auto s0 = jit.stats();
+  for (auto& e : fs::directory_iterator(dir)) {
+    std::ofstream f(e.path(), std::ios::trunc | std::ios::binary);
+    f << "not an ELF object at all";
+  }
+  auto rebuilt = jit.compile(src);
   EXPECT_EQ(jit.stats().compiled, s0.compiled + 1);
+  EXPECT_EQ(jit.stats().corruptEvictions, s0.corruptEvictions + 1);
   EXPECT_NE(rebuilt->symbol("lifta_test_sym"), nullptr);
   jit.setDiskCacheDir("");
+}
+
+TEST(JitCache, CompilerVersionIsPartOfTheKey) {
+  auto& jit = Jit::instance();
+  const auto src = uniqueSource("version");
+  const auto s0 = jit.stats();
+  jit.compile(src);
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 1);
+
+  // Fake a compiler upgrade: the identity changes, so the same source must
+  // miss the cache and recompile instead of serving the stale object.
+  const std::string before = Jit::compilerIdentity();
+  ::setenv("LIFTA_CXX_VERSION", "lifta-fake-compiler 99.9.9", 1);
+  EXPECT_NE(Jit::compilerIdentity(), before);
+  jit.compile(src);
+  EXPECT_EQ(jit.stats().compiled, s0.compiled + 2);
+
+  // Same faked version again: back to a plain memory hit.
+  const auto s1 = jit.stats();
+  jit.compile(src);
+  EXPECT_EQ(jit.stats().compiled, s1.compiled);
+  EXPECT_EQ(jit.stats().hits, s1.hits + 1);
+
+  ::unsetenv("LIFTA_CXX_VERSION");
+  EXPECT_EQ(Jit::compilerIdentity(), before);
 }
 
 TEST(JitCache, FailedCompileThrowsWithLogAndLeavesNoTempFiles) {

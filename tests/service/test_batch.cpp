@@ -131,6 +131,49 @@ TEST(Batch, RawShardsAreHashStableAcrossRuns) {
   EXPECT_GT(ra.rirsPerSecond, 0.0);
 }
 
+// A device-tier batch with tiered kernels must produce the same shard
+// bytes as a generic-kernel batch (specialization is bit-identical), and
+// the pre-warm must actually reach the background compile queue.
+TEST(Batch, DeviceTieredBatchMatchesGenericAndPrewarmsCompiles) {
+  const std::string dirG = freshDir("devGeneric");
+  const std::string dirT = freshDir("devTiered");
+
+  auto base = smallIsmBatch(dirG);
+  base.fidelity = Fidelity::Fdtd;
+  base.fdtdTier = JobTier::Device;
+  base.scenes = 2;
+  base.steps = 25;
+  base.shardSize = 2;
+
+  BatchResult rg, rt;
+  std::uint64_t compilesBefore = 0, compilesAfter = 0;
+  {
+    RirService svc;
+    rg = runRirBatch(svc, base);
+    compilesBefore = svc.metrics().compileSubmitted;
+  }
+  {
+    auto tiered = base;
+    tiered.outDir = dirT;
+    tiered.deviceKernelTier = DeviceKernelTier::Tiered;
+    RirService svc;
+    rt = runRirBatch(svc, tiered);
+    const ServiceMetrics m = svc.metrics();
+    compilesAfter = m.compileSubmitted;
+    EXPECT_EQ(m.deviceJobsTiered, 2u);
+  }
+
+  EXPECT_EQ(rg.scenesWritten, 2);
+  EXPECT_EQ(rt.scenesWritten, 2);
+  // Pre-warm queued at least one specialized build per scene's kernel set.
+  EXPECT_GE(compilesAfter, compilesBefore + 4);
+  ASSERT_EQ(rg.shardPaths.size(), rt.shardPaths.size());
+  for (std::size_t i = 0; i < rg.shardPaths.size(); ++i) {
+    EXPECT_EQ(readAll(rg.shardPaths[i]), readAll(rt.shardPaths[i]))
+        << "tiered shard " << i << " diverged from generic";
+  }
+}
+
 TEST(Batch, ManifestDescribesTheDataset) {
   const std::string dir = freshDir("manifest");
   RirService svc;

@@ -15,8 +15,10 @@
 //
 // Exit status: 0 when no error-severity finding exists (under --werror: no
 // error and no warning), 1 otherwise.
+#include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -168,6 +170,33 @@ host::HostProgram emStepProgram() {
   return prog;
 }
 
+/// Representative constants for the specialized-variant lint subjects: a
+/// consistent 16x14x12 box discretization. Specialization only substitutes
+/// these into index algebra, so any concrete values exercise the same
+/// simplification paths the tiered runtime bakes in; consistent ones
+/// (nxny == nx*ny etc.) additionally let proven-guard elimination fire the
+/// way it does for a real room.
+memory::Specialization representativeSpec(const memory::KernelDef& def) {
+  static const std::map<std::string, std::int64_t> ints = {
+      {"nx", 16},     {"ny", 14},   {"nz", 12},  {"nxny", 224},
+      {"cells", 2688}, {"numB", 1154}, {"M", 4},  {"numSeg", 336},
+      {"segW", 8},    {"count", 512}};
+  static const std::map<std::string, double> reals = {
+      {"l", 0.3}, {"l2", 0.09}, {"S", 0.5}};
+  memory::Specialization spec;
+  for (const auto& p : def.params) {
+    if (p->type->isArray()) continue;
+    if (p->type->scalarKind() == ir::ScalarKind::Int) {
+      const auto it = ints.find(p->name);
+      spec.ints[p->name] = it != ints.end() ? it->second : 8;
+    } else {
+      const auto it = reals.find(p->name);
+      spec.reals[p->name] = it != reals.end() ? it->second : 0.25;
+    }
+  }
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,12 +252,22 @@ int main(int argc, char** argv) {
       geophys::liftEmHyKernel(ir::ScalarKind::Double),
   };
   for (const auto& def : kernels) {
-    if (!selected(def.name)) continue;
-    Report r = analyzeKernelDef(def, opts);
-    // Translation validation: prove the optimized emission equivalent to
-    // the unoptimized one (store summaries; see analysis/equiv.hpp).
-    r.append(validateTranslation(def));
-    reports.push_back(std::move(r));
+    if (selected(def.name)) {
+      Report r = analyzeKernelDef(def, opts);
+      // Translation validation: prove the optimized emission equivalent to
+      // the unoptimized one (store summaries; see analysis/equiv.hpp).
+      r.append(validateTranslation(def));
+      reports.push_back(std::move(r));
+    }
+    // Constant-specialized variant (tiered execution, DESIGN.md §12): the
+    // same translation validation with representative constants baked into
+    // both walks — what the runtime gate checks before a hot-swap.
+    const std::string specName = def.name + "#specialized";
+    if (selected(specName)) {
+      Report r = validateTranslation(def, representativeSpec(def));
+      r.subject = specName;
+      reports.push_back(std::move(r));
+    }
   }
   struct HostSubject {
     host::HostProgram prog;
